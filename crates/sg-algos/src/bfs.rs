@@ -1,0 +1,197 @@
+//! Breadth-first search.
+//!
+//! BFS is the Graph500 kernel and the paper's special-cased accuracy target
+//! (§5): its output is the vector of parents in the traversal tree, from
+//! which `sg-metrics` derives the critical-edge sets. The parallel variant
+//! processes each frontier with rayon and resolves parent races with atomics
+//! (any valid parent is acceptable, exactly as in GAPBS).
+
+use rayon::prelude::*;
+use sg_graph::types::NO_VERTEX;
+use sg_graph::{CsrGraph, VertexId};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Depth value for unreachable vertices.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Result of a BFS traversal.
+#[derive(Clone, Debug)]
+pub struct BfsResult {
+    /// Parent of each vertex in the BFS tree (`NO_VERTEX` for the root's
+    /// parent and for unreachable vertices).
+    pub parent: Vec<VertexId>,
+    /// Depth (hop distance) of each vertex; `UNREACHABLE` if not reached.
+    pub depth: Vec<u32>,
+    /// Number of vertices reached (including the root).
+    pub reached: usize,
+}
+
+impl BfsResult {
+    /// True when `v` was reached from the root.
+    pub fn is_reached(&self, v: VertexId) -> bool {
+        self.depth[v as usize] != UNREACHABLE
+    }
+}
+
+/// Graph500-style validation of a BFS tree (the output class §5 says the
+/// benchmark checks): every reached non-root vertex must have a reached
+/// parent joined by a real edge with depth exactly one less; unreached
+/// vertices must have no parent; the root has depth 0.
+pub fn validate_bfs_tree(g: &CsrGraph, root: VertexId, r: &BfsResult) -> bool {
+    if r.depth.len() != g.num_vertices() || r.parent.len() != g.num_vertices() {
+        return false;
+    }
+    if r.depth[root as usize] != 0 || r.parent[root as usize] != NO_VERTEX {
+        return false;
+    }
+    for v in 0..g.num_vertices() as VertexId {
+        if v == root {
+            continue;
+        }
+        match (r.is_reached(v), r.parent[v as usize]) {
+            (false, p) => {
+                if p != NO_VERTEX {
+                    return false;
+                }
+            }
+            (true, p) => {
+                if p == NO_VERTEX
+                    || !g.has_edge(p, v)
+                    || r.depth[p as usize] == UNREACHABLE
+                    || r.depth[v as usize] != r.depth[p as usize] + 1
+                {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Sequential BFS from `root`.
+pub fn bfs(g: &CsrGraph, root: VertexId) -> BfsResult {
+    let n = g.num_vertices();
+    let mut parent = vec![NO_VERTEX; n];
+    let mut depth = vec![UNREACHABLE; n];
+    let mut queue = std::collections::VecDeque::new();
+    depth[root as usize] = 0;
+    queue.push_back(root);
+    let mut reached = 1usize;
+    while let Some(u) = queue.pop_front() {
+        let du = depth[u as usize];
+        for &v in g.neighbors(u) {
+            if depth[v as usize] == UNREACHABLE {
+                depth[v as usize] = du + 1;
+                parent[v as usize] = u;
+                reached += 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    BfsResult { parent, depth, reached }
+}
+
+/// Frontier-parallel BFS from `root`. Produces a valid BFS tree (depths are
+/// deterministic; parents may differ between runs among equal-depth
+/// candidates, as in any parallel BFS).
+pub fn bfs_parallel(g: &CsrGraph, root: VertexId) -> BfsResult {
+    let n = g.num_vertices();
+    let depth_atomic: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHABLE)).collect();
+    let parent_atomic: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NO_VERTEX)).collect();
+    depth_atomic[root as usize].store(0, Ordering::Relaxed);
+    let mut frontier = vec![root];
+    let mut level = 0u32;
+    let mut reached = 1usize;
+    let depth_ref = &depth_atomic;
+    let parent_ref = &parent_atomic;
+    while !frontier.is_empty() {
+        level += 1;
+        let next: Vec<VertexId> = frontier
+            .par_iter()
+            .flat_map_iter(|&u| {
+                g.neighbors(u).iter().filter_map(move |&v| {
+                    // Claim v if still unvisited; the winner sets the parent.
+                    if depth_ref[v as usize]
+                        .compare_exchange(UNREACHABLE, level, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        parent_ref[v as usize].store(u, Ordering::Relaxed);
+                        Some(v)
+                    } else {
+                        None
+                    }
+                })
+            })
+            .collect();
+        reached += next.len();
+        frontier = next;
+    }
+    BfsResult {
+        parent: parent_atomic.into_iter().map(|a| a.into_inner()).collect(),
+        depth: depth_atomic.into_iter().map(|a| a.into_inner()).collect(),
+        reached,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_graph::generators;
+
+    #[test]
+    fn bfs_on_path() {
+        let g = generators::path(5);
+        let r = bfs(&g, 0);
+        assert_eq!(r.depth, vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.parent[4], 3);
+        assert_eq!(r.parent[0], NO_VERTEX);
+        assert_eq!(r.reached, 5);
+    }
+
+    #[test]
+    fn bfs_disconnected() {
+        let g = CsrGraph::from_pairs(4, &[(0, 1)]);
+        let r = bfs(&g, 0);
+        assert_eq!(r.reached, 2);
+        assert!(!r.is_reached(3));
+        assert_eq!(r.depth[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_depths() {
+        let g = generators::rmat_graph500(10, 8, 42);
+        let seq = bfs(&g, 0);
+        let par = bfs_parallel(&g, 0);
+        assert_eq!(seq.depth, par.depth);
+        assert_eq!(seq.reached, par.reached);
+    }
+
+    #[test]
+    fn validator_accepts_real_trees_and_rejects_corruption() {
+        let g = generators::erdos_renyi(300, 900, 5);
+        let mut r = bfs(&g, 0);
+        assert!(validate_bfs_tree(&g, 0, &r));
+        let rp = bfs_parallel(&g, 0);
+        assert!(validate_bfs_tree(&g, 0, &rp));
+        // Corrupt a depth.
+        if let Some(v) = (1..300).find(|&v| r.is_reached(v)) {
+            r.depth[v as usize] += 1;
+            assert!(!validate_bfs_tree(&g, 0, &r));
+        }
+    }
+
+    #[test]
+    fn parallel_parents_are_valid_tree() {
+        let g = generators::erdos_renyi(500, 2000, 3);
+        let r = bfs_parallel(&g, 0);
+        for v in 0..500u32 {
+            if v != 0 && r.is_reached(v) {
+                let p = r.parent[v as usize];
+                assert!(g.has_edge(p, v), "parent edge missing for {v}");
+                assert_eq!(r.depth[v as usize], r.depth[p as usize] + 1);
+            }
+        }
+    }
+
+    use sg_graph::CsrGraph;
+}

@@ -1,0 +1,146 @@
+//! Connected components.
+//!
+//! Component preservation is one of the paper's headline invariants: Triangle
+//! Reduction and spanners never disconnect a graph, while uniform sampling
+//! and summarization can (§6.3, Table 3). Two engines are provided: a
+//! sequential union-find sweep and a parallel label-propagation
+//! (Shiloach–Vishkin-style hooking with pointer jumping).
+
+use crate::union_find::UnionFind;
+use rayon::prelude::*;
+use sg_graph::{CsrGraph, VertexId};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Result of a components computation.
+#[derive(Clone, Debug)]
+pub struct CcResult {
+    /// Component label per vertex (labels are representative vertex ids,
+    /// normalized to the minimum id in the component).
+    pub labels: Vec<VertexId>,
+    /// Number of connected components.
+    pub num_components: usize,
+}
+
+impl CcResult {
+    /// Size of each component, keyed by label.
+    pub fn component_sizes(&self) -> rustc_hash::FxHashMap<VertexId, usize> {
+        let mut sizes = rustc_hash::FxHashMap::default();
+        for &l in &self.labels {
+            *sizes.entry(l).or_insert(0) += 1;
+        }
+        sizes
+    }
+
+    /// Size of the largest component.
+    pub fn largest_component(&self) -> usize {
+        self.component_sizes().values().copied().max().unwrap_or(0)
+    }
+}
+
+/// Sequential union-find components.
+pub fn connected_components(g: &CsrGraph) -> CcResult {
+    let n = g.num_vertices();
+    let mut uf = UnionFind::new(n);
+    for &(u, v) in g.edge_slice() {
+        uf.union(u, v);
+    }
+    normalize(&mut uf, n)
+}
+
+fn normalize(uf: &mut UnionFind, n: usize) -> CcResult {
+    // Normalize labels to the minimum vertex id per component so labels are
+    // engine-independent and comparable across runs.
+    let mut min_label: Vec<VertexId> = (0..n as VertexId).collect();
+    for v in 0..n as VertexId {
+        let r = uf.find(v) as usize;
+        if v < min_label[r] {
+            min_label[r] = v;
+        }
+    }
+    let labels: Vec<VertexId> = (0..n as VertexId).map(|v| min_label[uf.find(v) as usize]).collect();
+    CcResult { num_components: uf.num_components(), labels }
+}
+
+/// Parallel label propagation: repeatedly hook each vertex's label to the
+/// minimum label in its closed neighborhood until a fixed point.
+pub fn connected_components_parallel(g: &CsrGraph) -> CcResult {
+    let n = g.num_vertices();
+    let labels: Vec<AtomicU32> = (0..n as VertexId).map(AtomicU32::new).collect();
+    loop {
+        let changed: usize = (0..n as VertexId)
+            .into_par_iter()
+            .map(|v| {
+                let mut best = labels[v as usize].load(Ordering::Relaxed);
+                for &u in g.neighbors(v) {
+                    best = best.min(labels[u as usize].load(Ordering::Relaxed));
+                }
+                if best < labels[v as usize].load(Ordering::Relaxed) {
+                    labels[v as usize].store(best, Ordering::Relaxed);
+                    1
+                } else {
+                    0
+                }
+            })
+            .sum();
+        if changed == 0 {
+            break;
+        }
+        // Pointer jumping: compress label chains to accelerate convergence.
+        (0..n).into_par_iter().for_each(|v| {
+            let mut l = labels[v].load(Ordering::Relaxed);
+            loop {
+                let ll = labels[l as usize].load(Ordering::Relaxed);
+                if ll == l {
+                    break;
+                }
+                l = ll;
+            }
+            labels[v].store(l, Ordering::Relaxed);
+        });
+    }
+    let labels: Vec<VertexId> = labels.into_iter().map(|a| a.into_inner()).collect();
+    let mut distinct: Vec<VertexId> = labels.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    CcResult { num_components: distinct.len(), labels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_graph::generators;
+
+    #[test]
+    fn two_components() {
+        let g = CsrGraph::from_pairs(5, &[(0, 1), (1, 2), (3, 4)]);
+        let r = connected_components(&g);
+        assert_eq!(r.num_components, 2);
+        assert_eq!(r.labels[0], r.labels[2]);
+        assert_ne!(r.labels[0], r.labels[3]);
+        assert_eq!(r.largest_component(), 3);
+    }
+
+    #[test]
+    fn isolated_vertices_are_components() {
+        let g = CsrGraph::from_pairs(4, &[(0, 1)]);
+        let r = connected_components(&g);
+        assert_eq!(r.num_components, 3);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = generators::erdos_renyi(2000, 2500, 4); // sparse -> many comps
+        let a = connected_components(&g);
+        let b = connected_components_parallel(&g);
+        assert_eq!(a.num_components, b.num_components);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_pairs(0, &[]);
+        assert_eq!(connected_components(&g).num_components, 0);
+    }
+
+    use sg_graph::CsrGraph;
+}

@@ -1,0 +1,106 @@
+//! Minimum spanning tree / forest (Kruskal).
+//!
+//! MST weight preservation is one of Triangle Reduction's showcase
+//! guarantees: removing the *maximum-weight* edge of a triangle never changes
+//! the MST weight (§4.3, §6.1 "Others"), verified empirically in E7/E13.
+
+use crate::union_find::UnionFind;
+use rayon::prelude::*;
+use sg_graph::{CsrGraph, EdgeId};
+
+/// Result of an MST/MSF computation.
+#[derive(Clone, Debug)]
+pub struct MstResult {
+    /// Canonical edge ids of the chosen forest edges.
+    pub edges: Vec<EdgeId>,
+    /// Total weight of the forest.
+    pub total_weight: f64,
+    /// Number of trees in the forest (= number of connected components).
+    pub num_trees: usize,
+}
+
+/// Kruskal's algorithm (works on forests; unweighted edges count weight 1).
+pub fn minimum_spanning_forest(g: &CsrGraph) -> MstResult {
+    let mut order: Vec<EdgeId> = (0..g.num_edges() as EdgeId).collect();
+    // Sort by (weight, id) — the id tiebreak makes the result deterministic.
+    order.par_sort_unstable_by(|&a, &b| {
+        g.edge_weight(a)
+            .total_cmp(&g.edge_weight(b))
+            .then(a.cmp(&b))
+    });
+    let mut uf = UnionFind::new(g.num_vertices());
+    let mut edges = Vec::new();
+    let mut total_weight = 0.0f64;
+    for e in order {
+        let (u, v) = g.edge_endpoints(e);
+        if uf.union(u, v) {
+            edges.push(e);
+            total_weight += g.edge_weight(e) as f64;
+            if edges.len() + 1 == g.num_vertices() {
+                break; // spanning tree complete
+            }
+        }
+    }
+    MstResult { num_trees: uf.num_components(), edges, total_weight }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_graph::generators;
+    use sg_graph::CsrGraph;
+
+    #[test]
+    fn weighted_triangle_mst() {
+        let g = CsrGraph::from_weighted_pairs(3, &[(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)]);
+        let r = minimum_spanning_forest(&g);
+        assert_eq!(r.edges.len(), 2);
+        assert_eq!(r.total_weight, 3.0);
+        assert_eq!(r.num_trees, 1);
+    }
+
+    #[test]
+    fn unweighted_tree_weight_is_edge_count() {
+        let g = generators::grid(5, 5);
+        let r = minimum_spanning_forest(&g);
+        assert_eq!(r.edges.len(), 24);
+        assert_eq!(r.total_weight, 24.0);
+    }
+
+    #[test]
+    fn forest_on_disconnected_graph() {
+        let g = CsrGraph::from_pairs(5, &[(0, 1), (2, 3)]);
+        let r = minimum_spanning_forest(&g);
+        assert_eq!(r.edges.len(), 2);
+        assert_eq!(r.num_trees, 3); // {0,1}, {2,3}, {4}
+    }
+
+    #[test]
+    fn mst_weight_invariant_to_max_triangle_edge_removal() {
+        // The invariant TR relies on: dropping the strictly heaviest edge of
+        // any triangle leaves MST weight unchanged (cycle property).
+        let g = generators::with_random_weights(&generators::complete(12), 1.0, 100.0, 3);
+        let before = minimum_spanning_forest(&g).total_weight;
+        // Remove the max-weight edge of the triangle (0, 1, 2).
+        let tri = [
+            g.find_edge(0, 1).expect("edge"),
+            g.find_edge(1, 2).expect("edge"),
+            g.find_edge(0, 2).expect("edge"),
+        ];
+        let heaviest = tri
+            .into_iter()
+            .max_by(|&a, &b| g.edge_weight(a).total_cmp(&g.edge_weight(b)))
+            .expect("three edges");
+        let h = g.filter_edges(|e| e != heaviest);
+        let after = minimum_spanning_forest(&h).total_weight;
+        assert!((before - after).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = generators::with_random_weights(&generators::erdos_renyi(200, 800, 1), 1.0, 10.0, 2);
+        let a = minimum_spanning_forest(&g);
+        let b = minimum_spanning_forest(&g);
+        assert_eq!(a.edges, b.edges);
+    }
+}

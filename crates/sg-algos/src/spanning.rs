@@ -1,0 +1,132 @@
+//! BFS spanning trees and forests.
+//!
+//! The spanner kernel (§4.5.3) replaces every low-diameter cluster by a
+//! spanning tree; this module provides the tree machinery, both for whole
+//! graphs and restricted to vertex subsets (clusters).
+
+use crate::bfs::bfs;
+use sg_graph::types::NO_VERTEX;
+use sg_graph::{CsrGraph, EdgeId, VertexId};
+
+/// Spanning forest via BFS from every unvisited vertex: returns the chosen
+/// canonical edge ids (n - #components edges).
+pub fn spanning_forest(g: &CsrGraph) -> Vec<EdgeId> {
+    let n = g.num_vertices();
+    let mut visited = vec![false; n];
+    let mut edges = Vec::new();
+    for root in 0..n as VertexId {
+        if visited[root as usize] {
+            continue;
+        }
+        let r = bfs(g, root);
+        for v in 0..n as VertexId {
+            if r.is_reached(v) {
+                visited[v as usize] = true;
+                let p = r.parent[v as usize];
+                if p != NO_VERTEX {
+                    edges.push(g.find_edge(p, v).expect("BFS tree edge exists"));
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// BFS spanning tree of the subgraph induced by `members` (a cluster),
+/// starting at `members\[0\]`, with membership given by a predicate. Only
+/// edges with both endpoints in the cluster are traversed. Returns tree
+/// edge ids plus the tree's depth (the low-diameter guarantee spanners rely
+/// on). The predicate form avoids allocating an O(n) bitmap per cluster —
+/// important when a decomposition yields thousands of clusters.
+pub fn cluster_spanning_tree_by(
+    g: &CsrGraph,
+    members: &[VertexId],
+    in_cluster: impl Fn(VertexId) -> bool,
+) -> (Vec<EdgeId>, u32) {
+    let mut edges = Vec::with_capacity(members.len().saturating_sub(1));
+    if members.is_empty() {
+        return (edges, 0);
+    }
+    let mut depth_of = rustc_hash::FxHashMap::default();
+    let root = members[0];
+    depth_of.insert(root, 0u32);
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(root);
+    let mut max_depth = 0;
+    while let Some(u) = queue.pop_front() {
+        let du = depth_of[&u];
+        let row = g.neighbors(u);
+        let eids = g.neighbor_edge_ids(u);
+        for (i, &v) in row.iter().enumerate() {
+            if in_cluster(v) && !depth_of.contains_key(&v) {
+                depth_of.insert(v, du + 1);
+                max_depth = max_depth.max(du + 1);
+                edges.push(eids[i]);
+                queue.push_back(v);
+            }
+        }
+    }
+    (edges, max_depth)
+}
+
+/// Bitmap-based variant of [`cluster_spanning_tree_by`].
+pub fn cluster_spanning_tree(
+    g: &CsrGraph,
+    members: &[VertexId],
+    in_cluster: &[bool],
+) -> (Vec<EdgeId>, u32) {
+    cluster_spanning_tree_by(g, members, |v| in_cluster[v as usize])
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::connected_components;
+    use sg_graph::generators;
+
+    #[test]
+    fn forest_size_is_n_minus_components() {
+        let g = generators::erdos_renyi(300, 450, 2);
+        let cc = connected_components(&g);
+        let f = spanning_forest(&g);
+        assert_eq!(f.len(), 300 - cc.num_components);
+    }
+
+    #[test]
+    fn forest_is_acyclic_and_spanning() {
+        let g = generators::erdos_renyi(200, 800, 3);
+        let f = spanning_forest(&g);
+        let keep: rustc_hash::FxHashSet<EdgeId> = f.iter().copied().collect();
+        let tree = g.filter_edges(|e| keep.contains(&e));
+        let cc_tree = connected_components(&tree);
+        let cc_full = connected_components(&g);
+        assert_eq!(cc_tree.num_components, cc_full.num_components);
+        assert_eq!(tree.num_edges(), 200 - cc_full.num_components);
+    }
+
+    #[test]
+    fn cluster_tree_respects_membership() {
+        let g = generators::grid(4, 4);
+        let members: Vec<VertexId> = vec![0, 1, 4, 5]; // 2x2 corner block
+        let mut in_cluster = vec![false; 16];
+        for &v in &members {
+            in_cluster[v as usize] = true;
+        }
+        let (edges, depth) = cluster_spanning_tree(&g, &members, &in_cluster);
+        assert_eq!(edges.len(), 3);
+        assert!(depth <= 2);
+        for &e in &edges {
+            let (u, v) = g.edge_endpoints(e);
+            assert!(in_cluster[u as usize] && in_cluster[v as usize]);
+        }
+    }
+
+    #[test]
+    fn empty_cluster() {
+        let g = generators::path(4);
+        let (edges, depth) = cluster_spanning_tree(&g, &[], &[false; 4]);
+        assert!(edges.is_empty());
+        assert_eq!(depth, 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Criterion benchmarks for stage-2 algorithms on original vs compressed
+//! graphs — the microbenchmark behind Figure 5's runtime columns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sg_algos::{bfs, cc, pagerank, tc};
+use sg_core::Scheme;
+use sg_graph::generators;
+use sg_graph::CsrGraph;
+use std::hint::black_box;
+
+fn workload() -> CsrGraph {
+    generators::rmat_graph500(13, 10, 3)
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let g = workload();
+    let compressed = Scheme::Uniform { p: 0.5 }.apply(&g, 9).graph;
+    let mut group = c.benchmark_group("stage2");
+    group.sample_size(10);
+    for (label, graph) in [("original", &g), ("uniform_p0.5", &compressed)] {
+        group.bench_with_input(BenchmarkId::new("bfs", label), graph, |b, g| {
+            b.iter(|| black_box(bfs::bfs_parallel(g, 0)));
+        });
+        group.bench_with_input(BenchmarkId::new("cc", label), graph, |b, g| {
+            b.iter(|| black_box(cc::connected_components(g)));
+        });
+        group.bench_with_input(BenchmarkId::new("pagerank", label), graph, |b, g| {
+            b.iter(|| {
+                black_box(pagerank::pagerank(
+                    g,
+                    pagerank::PageRankConfig { max_iterations: 10, ..Default::default() },
+                ))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("tc", label), graph, |b, g| {
+            b.iter(|| black_box(tc::count_triangles(g)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

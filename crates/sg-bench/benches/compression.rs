@@ -1,0 +1,48 @@
+//! Criterion benchmarks for the compression routines (§7.4 timing).
+//!
+//! One benchmark group per scheme; the expected ordering is
+//! sampling <= spectral < spanner < TR < summarization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sg_core::schemes::{TrConfig, UpsilonVariant};
+use sg_core::Scheme;
+use sg_graph::generators;
+use sg_graph::CsrGraph;
+use std::hint::black_box;
+
+fn workload() -> CsrGraph {
+    generators::planted_triangles(&generators::rmat_graph500(12, 8, 7), 10_000, 8)
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    let g = workload();
+    let mut group = c.benchmark_group("compression");
+    group.sample_size(10);
+    let schemes = [
+        ("uniform", Scheme::Uniform { p: 0.5 }),
+        (
+            "spectral",
+            Scheme::Spectral { p: 0.5, variant: UpsilonVariant::LogN, reweight: false },
+        ),
+        ("spanner_k8", Scheme::Spanner { k: 8.0 }),
+        ("tr_plain", Scheme::TriangleReduction(TrConfig::plain_1(0.5))),
+        ("tr_eo", Scheme::TriangleReduction(TrConfig::edge_once_1(0.5))),
+        ("summarization", Scheme::Summarization { epsilon: 0.1 }),
+    ];
+    for (name, scheme) in schemes {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &scheme, |b, s| {
+            b.iter(|| black_box(s.apply(&g, 42)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_materialization(c: &mut Criterion) {
+    let g = workload();
+    c.bench_function("filter_edges_half", |b| {
+        b.iter(|| black_box(g.filter_edges(|e| e % 2 == 0)));
+    });
+}
+
+criterion_group!(benches, bench_schemes, bench_materialization);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! E1 — Figure 5: storage and performance trade-offs of lossy compression.
+//!
+//! For three graphs spanning the paper's triangles-per-vertex regimes
+//! (s-cds-, s-pok-, v-ewk-like) and each kernel class, sweeps the
+//! compression parameter and reports (a) the compression ratio m'/m (the
+//! figure's color scale) and (b) the relative runtime difference of BFS,
+//! CC, PR and TC over compressed vs original graphs (the figure's y-axis).
+//!
+//! Run: `cargo run --release -p sg-bench --bin fig5_tradeoffs`
+
+use sg_bench::{f3, relative_runtime_diff, render_table, run_algorithm, FIG5_ALGORITHMS};
+use sg_core::schemes::{TrConfig, UpsilonVariant};
+use sg_core::Scheme;
+use sg_graph::generators::presets;
+
+#[allow(clippy::vec_init_then_push)]
+fn main() {
+    let suite = presets::fig5_suite();
+    let seed = 0xF15;
+
+    let mut sections: Vec<(&str, Vec<Scheme>)> = Vec::new();
+    sections.push((
+        "Edge kernels: spectral sparsification (p log(n) variant)",
+        [0.005, 0.01, 0.05, 0.1, 0.5]
+            .into_iter()
+            .map(|p| Scheme::Spectral { p, variant: UpsilonVariant::LogN, reweight: false })
+            .collect(),
+    ));
+    sections.push((
+        "Edge kernels: random uniform sampling",
+        [0.1, 0.3, 0.5, 0.7, 0.9].into_iter().map(|p| Scheme::Uniform { p }).collect(),
+    ));
+    sections.push((
+        "Triangle kernels: Triangle p-1-Reduction",
+        [0.1, 0.3, 0.5, 0.7, 0.9]
+            .into_iter()
+            .map(|p| Scheme::TriangleReduction(TrConfig::plain_1(p)))
+            .collect(),
+    ));
+    sections.push((
+        "Subgraph kernels: O(k)-spanners",
+        [2.0, 8.0, 32.0, 128.0].into_iter().map(|k| Scheme::Spanner { k }).collect(),
+    ));
+    sections.push((
+        "Subgraph kernels: lossy summarization (error bound eps)",
+        [0.0, 0.1, 0.4, 0.7].into_iter().map(|epsilon| Scheme::Summarization { epsilon }).collect(),
+    ));
+
+    for (title, schemes) in sections {
+        println!("\n== Figure 5 panel: {title} ==\n");
+        let mut rows = Vec::new();
+        for (gname, g) in &suite {
+            // Baseline stage-2 runtimes on the original graph.
+            let base: Vec<_> = FIG5_ALGORITHMS.iter().map(|a| run_algorithm(a, g)).collect();
+            for scheme in &schemes {
+                let r = scheme.apply(g, seed);
+                let mut row = vec![gname.to_string(), scheme.label(), f3(r.compression_ratio())];
+                for (i, a) in FIG5_ALGORITHMS.iter().enumerate() {
+                    let t = run_algorithm(a, &r.graph);
+                    row.push(f3(relative_runtime_diff(base[i], t)));
+                }
+                rows.push(row);
+            }
+        }
+        println!(
+            "{}",
+            render_table(
+                &["graph", "scheme", "m'/m", "dBFS", "dCC", "dPR", "dTC"],
+                &rows
+            )
+        );
+    }
+    println!("(d<alg> = relative runtime difference vs the uncompressed graph; positive = faster)");
+}

@@ -1,0 +1,73 @@
+//! E5 — Figure 7: impact of spanners on degree distributions.
+//!
+//! For twitter-, friendster- and .it-domains-like graphs, compares the
+//! degree distribution before compression and under spanners with k ∈
+//! {2, 32}. Expected shape: spanners "strengthen the power law" — the
+//! log–log fit's R² increases with k while max degree shrinks.
+//!
+//! Run: `cargo run --release -p sg-bench --bin fig7_spanner_degrees`
+
+use sg_bench::render_table;
+use sg_core::schemes::spanner;
+use sg_graph::generators::presets;
+use sg_graph::properties::DegreeDistribution;
+use sg_graph::CsrGraph;
+use sg_metrics::compare_degree_distributions;
+
+fn describe(name: &str, variant: &str, g: &CsrGraph) -> Vec<String> {
+    let dist = DegreeDistribution::of(g);
+    let fit = dist.power_law_fit();
+    vec![
+        name.to_string(),
+        variant.to_string(),
+        g.num_edges().to_string(),
+        g.max_degree().to_string(),
+        dist.support_size().to_string(),
+        fit.map_or("-".into(), |f| format!("{:.2}", f.exponent)),
+        fit.map_or("-".into(), |f| format!("{:.3}", f.r2)),
+    ]
+}
+
+fn main() {
+    let seed = 0xF17;
+    println!("== Figure 7: spanner impact on degree distributions ==\n");
+    let mut rows = Vec::new();
+    for (name, g) in presets::fig7_suite() {
+        rows.push(describe(name, "original", &g));
+        for k in [2.0, 32.0] {
+            let r = spanner(&g, k, seed);
+            rows.push(describe(name, &format!("spanner k={k}"), &r.graph));
+            let cmp = compare_degree_distributions(&g, &r.graph);
+            eprintln!(
+                "{name} k={k}: L1 distance {:.3}, R2 {:?} -> {:?}",
+                cmp.l1_distance, cmp.r2_before, cmp.r2_after
+            );
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &["graph", "variant", "m", "max_deg", "#degrees", "pl_exp", "pl_R2"],
+            &rows
+        )
+    );
+    println!("(pl_R2 closer to 1 under larger k = the power law 'strengthens', Fig. 7)");
+
+    // Emit the raw series for one graph so the figure itself can be re-plotted.
+    let g = presets::m_twt_like();
+    println!("\n# degree distribution series (m-twt-like): degree fraction_original fraction_k2 fraction_k32");
+    let orig = DegreeDistribution::of(&g);
+    let k2 = DegreeDistribution::of(&spanner(&g, 2.0, seed).graph);
+    let k32 = DegreeDistribution::of(&spanner(&g, 32.0, seed).graph);
+    let lookup = |d: &DegreeDistribution, deg: usize| -> f64 {
+        d.fractions().iter().find(|&&(x, _)| x == deg).map_or(0.0, |&(_, f)| f)
+    };
+    for &(deg, _) in orig.entries.iter().take(40) {
+        println!(
+            "{deg} {:.6} {:.6} {:.6}",
+            lookup(&orig, deg),
+            lookup(&k2, deg),
+            lookup(&k32, deg)
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! E8 — Table 2: scheme overview — remaining edges vs the closed forms,
+//! weighted/directed support, and compression storage.
+//!
+//! Run: `cargo run --release -p sg-bench --bin tab2_overview`
+
+use sg_bench::render_table;
+use sg_core::schemes::{summarize, SummarizationConfig, TrConfig, UpsilonVariant};
+use sg_core::Scheme;
+use sg_graph::generators;
+
+fn main() {
+    let seed = 0x7AB2;
+    let g = generators::planted_triangles(&generators::rmat_graph500(13, 10, seed), 20_000, seed);
+    let n = g.num_vertices() as f64;
+    let m = g.num_edges() as f64;
+    let t = sg_algos::tc::count_triangles(&g) as f64;
+    println!("workload: n = {n}, m = {m}, T = {t}\n");
+
+    let p = 0.4;
+    let k = 8.0;
+    let eps = 0.1;
+    let rows: Vec<(Scheme, String)> = vec![
+        (
+            Scheme::Spectral { p, variant: UpsilonVariant::LogN, reweight: true },
+            "prop. to max(log n, ...) * n".to_string(),
+        ),
+        (Scheme::Uniform { p }, format!("(1-p)m = {:.0}", (1.0 - p) * m)),
+        (
+            Scheme::TriangleReduction(TrConfig::plain_1(p)),
+            // §6.1: at least pT/(3d) edges deleted in expectation.
+            format!("<= m - pT/(3d) = {:.0}", m - p * t / (3.0 * g.max_degree() as f64)),
+        ),
+        (Scheme::Spanner { k }, format!("O(n^(1+1/k) log k) ~ {:.0}", n.powf(1.0 + 1.0 / k))),
+        (Scheme::Summarization { epsilon: eps }, format!("m +/- 2 eps m = {:.0}±{:.0}", m, 2.0 * eps * m)),
+    ];
+
+    let mut table = Vec::new();
+    for (scheme, formula) in rows {
+        let r = scheme.apply(&g, seed);
+        table.push(vec![
+            scheme.label(),
+            formula,
+            format!("{}", r.graph.num_edges()),
+            format!("{:.3}", r.compression_ratio()),
+            format!("{:.1}", r.elapsed.as_secs_f64() * 1e3),
+            format!("{}", r.graph.storage_bytes()),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["scheme", "#remaining edges (paper form)", "measured m'", "m'/m", "ms", "bytes"],
+            &table
+        )
+    );
+
+    // Storage accounting of the summary representation itself.
+    let s = summarize(&g, SummarizationConfig { epsilon: eps, max_iterations: 6, seed });
+    println!(
+        "\nsummary representation: {} supervertices, {} superedges, {}+{} corrections, storage {} edge-units vs m = {}",
+        s.num_supervertices(),
+        s.superedges.len(),
+        s.corrections_plus.len(),
+        s.corrections_minus.len(),
+        s.storage_cost(),
+        g.num_edges()
+    );
+    println!("\nweighted/directed support: spectral W; uniform W,D; TR W; spanner -; summary -");
+}

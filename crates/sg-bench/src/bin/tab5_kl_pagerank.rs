@@ -1,0 +1,55 @@
+//! E3 — Table 5: Kullback–Leibler divergence between PageRank
+//! distributions on original and compressed graphs.
+//!
+//! Schemes: EO-{0.8,1.0}-1-TR, Uniform p ∈ {0.2, 0.5}, Spanner
+//! k ∈ {2, 16, 128} on the five Table 5 graphs. Expected shape: KL grows
+//! with compression aggressiveness within each scheme family, and the road
+//! network (v-usa) shows near-zero KL for spanners.
+//!
+//! Run: `cargo run --release -p sg-bench --bin tab5_kl_pagerank`
+
+use sg_algos::pagerank::pagerank_default;
+use sg_bench::render_table;
+use sg_core::schemes::TrConfig;
+use sg_core::Scheme;
+use sg_graph::generators::presets;
+use sg_metrics::kl_divergence;
+
+fn main() {
+    let seed = 0x7AB5;
+    let schemes = [
+        Scheme::TriangleReduction(TrConfig::edge_once_1(0.8)),
+        Scheme::TriangleReduction(TrConfig::edge_once_1(1.0)),
+        Scheme::Uniform { p: 0.2 },
+        Scheme::Uniform { p: 0.5 },
+        Scheme::Spanner { k: 2.0 },
+        Scheme::Spanner { k: 16.0 },
+        Scheme::Spanner { k: 128.0 },
+    ];
+    let headers: Vec<&str> = std::iter::once("graph")
+        .chain([
+            "EO-0.8-1-TR",
+            "EO-1.0-1-TR",
+            "Unif(0.2)",
+            "Unif(0.5)",
+            "Span(k=2)",
+            "Span(k=16)",
+            "Span(k=128)",
+        ])
+        .collect();
+
+    println!("== Table 5: KL divergence of PageRank distributions ==\n");
+    let mut rows = Vec::new();
+    for (name, g) in presets::table5_suite() {
+        let base = pagerank_default(&g).scores;
+        let mut row = vec![name.to_string()];
+        for scheme in &schemes {
+            let r = scheme.apply(&g, seed);
+            let compressed = pagerank_default(&r.graph).scores;
+            row.push(format!("{:.4}", kl_divergence(&base, &compressed)));
+        }
+        rows.push(row);
+    }
+    println!("{}", render_table(&headers, &rows));
+    println!("(lower = closer to the original PageRank distribution)");
+}

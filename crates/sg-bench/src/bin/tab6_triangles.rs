@@ -1,0 +1,51 @@
+//! E4 — Table 6: average number of triangles per vertex after compression.
+//!
+//! Twelve graphs × {TR, uniform sampling, spanners, spectral} parameter
+//! grid. Expected shape (paper §7.2): TR reduces T strongly with p; uniform
+//! sampling scales T by (1-p)^3; spanners (especially large k) eliminate
+//! most cycles; spectral with small p keeps few triangles.
+//!
+//! Run: `cargo run --release -p sg-bench --bin tab6_triangles`
+
+use sg_algos::tc::count_triangles;
+use sg_bench::render_table;
+use sg_core::schemes::{TrConfig, UpsilonVariant};
+use sg_core::Scheme;
+use sg_graph::generators::presets;
+use sg_graph::CsrGraph;
+
+fn tpv(g: &CsrGraph) -> f64 {
+    count_triangles(g) as f64 / g.num_vertices().max(1) as f64
+}
+
+fn main() {
+    let seed = 0x7AB6;
+    let schemes: Vec<(&str, Scheme)> = vec![
+        ("0.2-1-TR", Scheme::TriangleReduction(TrConfig::plain_1(0.2))),
+        ("0.9-1-TR", Scheme::TriangleReduction(TrConfig::plain_1(0.9))),
+        ("Unif(0.8)", Scheme::Uniform { p: 0.8 }),
+        ("Unif(0.5)", Scheme::Uniform { p: 0.5 }),
+        ("Unif(0.2)", Scheme::Uniform { p: 0.2 }),
+        ("Span(k=2)", Scheme::Spanner { k: 2.0 }),
+        ("Span(k=16)", Scheme::Spanner { k: 16.0 }),
+        ("Span(k=128)", Scheme::Spanner { k: 128.0 }),
+        ("Spec(0.5)", Scheme::Spectral { p: 0.5, variant: UpsilonVariant::LogN, reweight: false }),
+        ("Spec(0.05)", Scheme::Spectral { p: 0.05, variant: UpsilonVariant::LogN, reweight: false }),
+        ("Spec(0.005)", Scheme::Spectral { p: 0.005, variant: UpsilonVariant::LogN, reweight: false }),
+    ];
+    let mut headers: Vec<&str> = vec!["graph", "Original"];
+    headers.extend(schemes.iter().map(|&(n, _)| n));
+
+    println!("== Table 6: average triangles per vertex ==\n");
+    let mut rows = Vec::new();
+    for (name, g) in presets::table6_suite() {
+        let mut row = vec![name.to_string(), format!("{:.3}", tpv(&g))];
+        for (_, scheme) in &schemes {
+            let r = scheme.apply(&g, seed);
+            row.push(format!("{:.3}", tpv(&r.graph)));
+        }
+        rows.push(row);
+        eprintln!("done: {name}");
+    }
+    println!("{}", render_table(&headers, &rows));
+}

@@ -1,0 +1,58 @@
+//! E10 — §7.4: compression-routine timing.
+//!
+//! Expected shape (paper): sampling fastest; spectral negligibly slower
+//! (kernels read vertex degrees); spanners >20% slower than the edge
+//! kernels (LDD overhead); TR slower than spanners (O(m^{3/2}) vs O(m));
+//! summarization >200% slower than TR (iterations + complex design).
+//!
+//! Run: `cargo run --release -p sg-bench --bin timing_compression`
+
+use sg_bench::render_table;
+use sg_core::schemes::{TrConfig, UpsilonVariant};
+use sg_core::Scheme;
+use sg_graph::generators::presets;
+
+fn main() {
+    let seed = 0x71E;
+    let g = presets::v_ewk_like();
+    println!(
+        "workload: v-ewk-like, n = {}, m = {}\n",
+        g.num_vertices(),
+        g.num_edges()
+    );
+    let schemes = [
+        Scheme::Uniform { p: 0.5 },
+        Scheme::Spectral { p: 0.5, variant: UpsilonVariant::LogN, reweight: false },
+        Scheme::Spanner { k: 8.0 },
+        Scheme::TriangleReduction(TrConfig::plain_1(0.5)),
+        Scheme::Summarization { epsilon: 0.1 },
+    ];
+    let mut rows = Vec::new();
+    let mut base_ms: Option<f64> = None;
+    for scheme in schemes {
+        // Median of 3 runs (first result discarded as warmup inside apply's
+        // repetitions).
+        let mut times = Vec::new();
+        let mut last = None;
+        for rep in 0..3u64 {
+            let r = scheme.apply(&g, seed ^ rep);
+            times.push(r.elapsed.as_secs_f64() * 1e3);
+            last = Some(r);
+        }
+        times.sort_by(f64::total_cmp);
+        let med = times[1];
+        let base = *base_ms.get_or_insert(med);
+        let r = last.expect("ran at least once");
+        rows.push(vec![
+            scheme.label(),
+            format!("{med:.1}"),
+            format!("{:.1}x", med / base),
+            format!("{:.3}", r.compression_ratio()),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["scheme", "median ms", "vs sampling", "m'/m"], &rows)
+    );
+    println!("(expected ordering: sampling <= spectral < spanner < TR < summarization)");
+}

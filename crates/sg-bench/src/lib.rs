@@ -1,0 +1,163 @@
+//! # sg-bench — harness utilities shared by the experiment binaries
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (the mapping is in DESIGN.md §4 and EXPERIMENTS.md).
+//! This library holds the shared pieces: stage-2 algorithm timing, relative
+//! runtime differences (Figure 5's y-axis), and plain-text table rendering.
+
+use sg_algos::{bfs, cc, pagerank, tc};
+use sg_graph::CsrGraph;
+use std::time::{Duration, Instant};
+
+/// Times a closure.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Median wall time of `runs` executions (first run discarded as warmup
+/// when `runs > 1`, mirroring the paper's warmup policy).
+pub fn median_time(runs: usize, mut f: impl FnMut()) -> Duration {
+    assert!(runs >= 1);
+    if runs > 1 {
+        f(); // warmup
+    }
+    let mut samples: Vec<Duration> = (0..runs)
+        .map(|_| {
+            let s = Instant::now();
+            f();
+            s.elapsed()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// The stage-2 algorithm set of Figure 5.
+pub const FIG5_ALGORITHMS: [&str; 4] = ["BFS", "CC", "PR", "TC"];
+
+/// Runs one Figure 5 algorithm and returns its wall time.
+pub fn run_algorithm(name: &str, g: &CsrGraph) -> Duration {
+    match name {
+        "BFS" => {
+            let root = densest_vertex(g);
+            median_time(3, || {
+                bfs::bfs_parallel(g, root);
+            })
+        }
+        "CC" => median_time(3, || {
+            cc::connected_components(g);
+        }),
+        "PR" => median_time(3, || {
+            pagerank::pagerank(
+                g,
+                pagerank::PageRankConfig { max_iterations: 20, ..Default::default() },
+            );
+        }),
+        "TC" => median_time(3, || {
+            tc::count_triangles(g);
+        }),
+        other => panic!("unknown algorithm {other}"),
+    }
+}
+
+/// Root choice for BFS runs: the highest-degree vertex (stable across
+/// compression, reached component is large).
+pub fn densest_vertex(g: &CsrGraph) -> u32 {
+    (0..g.num_vertices() as u32)
+        .max_by_key(|&v| g.degree(v))
+        .unwrap_or(0)
+}
+
+/// Figure 5's y-axis: relative difference between runtimes over the
+/// compressed and the original graph (positive = speedup).
+pub fn relative_runtime_diff(original: Duration, compressed: Duration) -> f64 {
+    let o = original.as_secs_f64();
+    if o == 0.0 {
+        return 0.0;
+    }
+    (o - compressed.as_secs_f64()) / o
+}
+
+/// Renders an aligned plain-text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a fraction as a fixed-width value.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a duration in milliseconds.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_graph::generators;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "22".into()],
+            ],
+        );
+        assert!(t.contains("long-name"));
+        assert_eq!(t.lines().count(), 4);
+    }
+
+    #[test]
+    fn algorithms_all_run() {
+        let g = generators::erdos_renyi(500, 2000, 1);
+        for a in FIG5_ALGORITHMS {
+            let d = run_algorithm(a, &g);
+            assert!(d.as_nanos() > 0);
+        }
+    }
+
+    #[test]
+    fn relative_diff_sign() {
+        let o = Duration::from_millis(100);
+        assert!(relative_runtime_diff(o, Duration::from_millis(50)) > 0.0);
+        assert!(relative_runtime_diff(o, Duration::from_millis(200)) < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_rows_panic() {
+        render_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+}

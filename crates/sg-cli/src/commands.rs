@@ -1,0 +1,236 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use sg_algos::{cc, pagerank, tc};
+use sg_core::schemes::{TrConfig, UpsilonVariant};
+use sg_core::Scheme;
+use sg_graph::{generators, io, CsrGraph};
+use sg_metrics::kl_divergence;
+
+const HELP: &str = "\
+slimgraph — practical lossy graph compression (Slim Graph, SC'19)
+
+USAGE:
+  slimgraph <command> [--flag value]...
+
+COMMANDS:
+  compress   Compress a graph and write the result
+             --input FILE (.txt edge list or .bin)  --output FILE
+             --scheme uniform|spectral|tr|tr-eo|tr-ct|spanner|summary|cut|lowdeg
+             [--p F] [--k F] [--epsilon F] [--seed N]
+  analyze    Compress, then report accuracy metrics vs the original
+             (same flags as compress, no --output needed)
+  stats      Print structural statistics of a graph
+             --input FILE
+  generate   Produce a synthetic workload
+             --kind rmat|er|ba|ws|grid  --output FILE
+             [--scale N] [--n N] [--m N] [--k N] [--seed N]
+  help       Show this message
+";
+
+/// Entry point shared with tests.
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    match args.command.as_str() {
+        "compress" => compress(&args),
+        "analyze" => analyze(&args),
+        "stats" => stats(&args),
+        "generate" => generate(&args),
+        "help" | "--help" | "-h" => {
+            println!("{HELP}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn load(path: &str) -> Result<CsrGraph, String> {
+    let res = if path.ends_with(".bin") {
+        io::load_binary(path)
+    } else {
+        io::load_text(path)
+    };
+    res.map_err(|e| format!("loading {path}: {e}"))
+}
+
+fn save(g: &CsrGraph, path: &str) -> Result<(), String> {
+    let res = if path.ends_with(".bin") {
+        io::save_binary(g, path).map(|_| ())
+    } else {
+        io::save_text(g, path)
+    };
+    res.map_err(|e| format!("writing {path}: {e}"))
+}
+
+fn scheme_from(args: &Args) -> Result<Scheme, String> {
+    let p: f64 = args.get_or("p", 0.5)?;
+    let k: f64 = args.get_or("k", 8.0)?;
+    let epsilon: f64 = args.get_or("epsilon", 0.1)?;
+    Ok(match args.require("scheme")? {
+        "uniform" => Scheme::Uniform { p },
+        "spectral" => Scheme::Spectral { p, variant: UpsilonVariant::LogN, reweight: false },
+        "tr" => Scheme::TriangleReduction(TrConfig::plain_1(p)),
+        "tr-eo" => Scheme::TriangleReduction(TrConfig::edge_once_1(p)),
+        "tr-ct" => Scheme::TriangleReduction(TrConfig::count_triangles(p)),
+        "spanner" => Scheme::Spanner { k },
+        "summary" => Scheme::Summarization { epsilon },
+        "cut" => Scheme::CutSparsifier { k: k.max(1.0) as u32 },
+        "lowdeg" => Scheme::LowDegree,
+        other => return Err(format!("unknown scheme '{other}'")),
+    })
+}
+
+fn compress(args: &Args) -> Result<(), String> {
+    let g = load(args.require("input")?)?;
+    let scheme = scheme_from(args)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let r = scheme.apply(&g, seed);
+    println!(
+        "{}: m {} -> {} ({:.1}% kept) in {:.1} ms",
+        scheme.label(),
+        r.original_edges,
+        r.graph.num_edges(),
+        r.compression_ratio() * 100.0,
+        r.elapsed.as_secs_f64() * 1e3
+    );
+    save(&r.graph, args.require("output")?)
+}
+
+fn analyze(args: &Args) -> Result<(), String> {
+    let g = load(args.require("input")?)?;
+    let scheme = scheme_from(args)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let r = scheme.apply(&g, seed);
+
+    println!("scheme:            {}", scheme.label());
+    println!("edges kept:        {:.1}%", r.compression_ratio() * 100.0);
+    let cc0 = cc::connected_components(&g).num_components;
+    let cc1 = cc::connected_components(&r.graph).num_components;
+    println!("components:        {cc0} -> {cc1}");
+    let t0 = tc::count_triangles(&g);
+    let t1 = tc::count_triangles(&r.graph);
+    println!("triangles:         {t0} -> {t1}");
+    if r.graph.num_vertices() == g.num_vertices() {
+        let pr0 = pagerank::pagerank_default(&g).scores;
+        let pr1 = pagerank::pagerank_default(&r.graph).scores;
+        println!("PageRank KL:       {:.5} bits", kl_divergence(&pr0, &pr1));
+        let root = (0..g.num_vertices() as u32).max_by_key(|&v| g.degree(v)).unwrap_or(0);
+        println!(
+            "BFS critical kept: {:.1}%",
+            sg_metrics::critical_edge_preservation(&g, &r.graph, root) * 100.0
+        );
+    } else {
+        println!("(vertex set changed; distribution metrics skipped)");
+    }
+    Ok(())
+}
+
+fn stats(args: &Args) -> Result<(), String> {
+    let g = load(args.require("input")?)?;
+    let s = sg_graph::properties::degree_stats(&g);
+    println!("vertices:     {}", g.num_vertices());
+    println!("edges:        {}", g.num_edges());
+    println!("weighted:     {}", g.is_weighted());
+    println!("degrees:      min {} / mean {:.2} / max {}", s.min, s.mean, s.max);
+    println!("isolated:     {}", s.isolated);
+    println!("leaves:       {}", s.leaves);
+    println!("components:   {}", cc::connected_components(&g).num_components);
+    println!("triangles:    {}", tc::count_triangles(&g));
+    if let Some(fit) = sg_graph::properties::DegreeDistribution::of(&g).power_law_fit() {
+        println!("power law:    exponent {:.2}, R2 {:.3}", fit.exponent, fit.r2);
+    }
+    Ok(())
+}
+
+fn generate(args: &Args) -> Result<(), String> {
+    let seed: u64 = args.get_or("seed", 42)?;
+    let g = match args.require("kind")? {
+        "rmat" => {
+            let scale: u32 = args.get_or("scale", 12)?;
+            let ef: usize = args.get_or("m", 8)?;
+            generators::rmat_graph500(scale, ef, seed)
+        }
+        "er" => {
+            let n: usize = args.get_or("n", 10_000)?;
+            let m: usize = args.get_or("m", 50_000)?;
+            generators::erdos_renyi(n, m, seed)
+        }
+        "ba" => {
+            let n: usize = args.get_or("n", 10_000)?;
+            let k: usize = args.get_or("k", 4)?;
+            generators::barabasi_albert(n, k, seed)
+        }
+        "ws" => {
+            let n: usize = args.get_or("n", 10_000)?;
+            let k: usize = args.get_or("k", 4)?;
+            generators::watts_strogatz(n, k, 0.1, seed)
+        }
+        "grid" => {
+            let n: usize = args.get_or("n", 100)?;
+            generators::grid(n, n)
+        }
+        other => return Err(format!("unknown generator '{other}'")),
+    };
+    println!("generated n = {}, m = {}", g.num_vertices(), g.num_edges());
+    save(&g, args.require("output")?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("slimgraph-cli-tests");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn generate_stats_compress_analyze_roundtrip() {
+        let gpath = tmp("g.txt");
+        run(&sv(&["generate", "--kind", "ba", "--n", "500", "--k", "3", "--output", &gpath]))
+            .expect("generate");
+        run(&sv(&["stats", "--input", &gpath])).expect("stats");
+        let out = tmp("g-compressed.bin");
+        run(&sv(&[
+            "compress", "--input", &gpath, "--scheme", "uniform", "--p", "0.4", "--output", &out,
+        ]))
+        .expect("compress");
+        let g = load(&gpath).expect("load original");
+        let h = load(&out).expect("load compressed");
+        assert!(h.num_edges() < g.num_edges());
+        run(&sv(&["analyze", "--input", &gpath, "--scheme", "tr-eo", "--p", "0.8"]))
+            .expect("analyze");
+    }
+
+    #[test]
+    fn all_schemes_parse() {
+        for s in ["uniform", "spectral", "tr", "tr-eo", "tr-ct", "spanner", "summary", "cut", "lowdeg"] {
+            let a = Args::parse(&sv(&["compress", "--scheme", s])).expect("parse");
+            scheme_from(&a).expect("scheme");
+        }
+    }
+
+    #[test]
+    fn unknown_command_and_scheme_error() {
+        assert!(run(&sv(&["frobnicate"])).is_err());
+        let a = Args::parse(&sv(&["compress", "--scheme", "nope"])).expect("parse");
+        assert!(scheme_from(&a).is_err());
+    }
+
+    #[test]
+    fn help_runs() {
+        run(&sv(&["help"])).expect("help");
+        run(&[]).expect("implicit help");
+    }
+
+    #[test]
+    fn missing_input_is_reported() {
+        let err = run(&sv(&["stats", "--input", "/nonexistent/g.txt"])).unwrap_err();
+        assert!(err.contains("loading"));
+    }
+}

@@ -1,0 +1,27 @@
+//! `slimgraph` — command-line front end for the Slim Graph pipeline.
+//!
+//! ```text
+//! slimgraph compress --input g.txt --scheme uniform --p 0.3 --output out.bin
+//! slimgraph analyze  --input g.txt --scheme spanner --k 8
+//! slimgraph stats    --input g.txt
+//! slimgraph generate --kind rmat --scale 12 --output g.txt
+//! ```
+//!
+//! Arguments are parsed by hand (no CLI dependency); see `slimgraph help`.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("slimgraph: error: {e}");
+            eprintln!("run `slimgraph help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

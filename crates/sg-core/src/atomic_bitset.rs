@@ -1,0 +1,110 @@
+//! A fixed-size concurrent bitset.
+//!
+//! Deletion marks and Edge-Once `considered` flags are written concurrently
+//! by kernel instances (`atomic SG.del(e)` in the paper's syntax); an atomic
+//! bitset keeps that state at one bit per edge.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A concurrent bitset over `0..len`.
+#[derive(Debug)]
+pub struct AtomicBitset {
+    words: Vec<AtomicU64>,
+    len: usize,
+}
+
+impl AtomicBitset {
+    /// Creates a bitset of `len` zeroed bits.
+    pub fn new(len: usize) -> Self {
+        let words = (0..len.div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
+        Self { words, len }
+    }
+
+    /// Number of addressable bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitset addresses no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64].load(Ordering::Relaxed) >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i`, returning its previous value (atomic test-and-set).
+    #[inline]
+    pub fn set(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i % 64);
+        self.words[i / 64].fetch_or(mask, Ordering::Relaxed) & mask != 0
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn clear(&self, i: usize) {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i % 64);
+        self.words[i / 64].fetch_and(!mask, Ordering::Relaxed);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.load(Ordering::Relaxed).count_ones() as usize).sum()
+    }
+
+    /// Snapshot into a plain `Vec<bool>`.
+    pub fn to_vec(&self) -> Vec<bool> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn set_get_clear() {
+        let bs = AtomicBitset::new(130);
+        assert!(!bs.get(129));
+        assert!(!bs.set(129)); // previously unset
+        assert!(bs.get(129));
+        assert!(bs.set(129)); // already set
+        bs.clear(129);
+        assert!(!bs.get(129));
+    }
+
+    #[test]
+    fn count_ones() {
+        let bs = AtomicBitset::new(100);
+        for i in (0..100).step_by(3) {
+            bs.set(i);
+        }
+        assert_eq!(bs.count_ones(), 34);
+    }
+
+    #[test]
+    fn concurrent_test_and_set_claims_once() {
+        let bs = AtomicBitset::new(1000);
+        // 8 threads race to claim each bit; exactly one wins per bit.
+        let claims: usize = (0..8)
+            .into_par_iter()
+            .map(|_| (0..1000).filter(|&i| !bs.set(i)).count())
+            .sum();
+        assert_eq!(claims, 1000);
+        assert_eq!(bs.count_ones(), 1000);
+    }
+
+    #[test]
+    fn empty_bitset() {
+        let bs = AtomicBitset::new(0);
+        assert!(bs.is_empty());
+        assert_eq!(bs.count_ones(), 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Uniform scheme configuration for harness code.
+//!
+//! Every experiment in the paper sweeps (scheme × parameter) grids; the
+//! [`Scheme`] enum gives the benchmark harness one entry point that
+//! dispatches to the concrete kernels.
+
+use crate::engine::CompressionResult;
+use crate::schemes::{
+    cut_sparsify, remove_low_degree, spanner, spectral_sparsify, summarize_to_graph,
+    triangle_collapse, triangle_reduce, uniform_sample, SummarizationConfig, TrConfig,
+    UpsilonVariant,
+};
+use sg_graph::CsrGraph;
+
+/// A lossy compression scheme plus its parameters (Table 2).
+#[derive(Clone, Copy, Debug)]
+pub enum Scheme {
+    /// Random uniform sampling: remove each edge with probability `p`.
+    Uniform { p: f64 },
+    /// Spectral sparsification with user parameter `p` and Υ variant.
+    Spectral { p: f64, variant: UpsilonVariant, reweight: bool },
+    /// Triangle Reduction family.
+    TriangleReduction(TrConfig),
+    /// Triangle p-Reduction by Collapse.
+    TriangleCollapse { p: f64 },
+    /// Degree ≤ 1 vertex removal.
+    LowDegree,
+    /// O(k)-spanner.
+    Spanner { k: f64 },
+    /// Lossy ϵ-summarization (graph reconstructed for stage 2).
+    Summarization { epsilon: f64 },
+    /// Nagamochi–Ibaraki cut sparsifier (the §4.6 "future version" scheme):
+    /// preserves all cuts of value ≤ k.
+    CutSparsifier { k: u32 },
+}
+
+impl Scheme {
+    /// Applies the scheme to `g` with deterministic seed `seed`.
+    pub fn apply(&self, g: &CsrGraph, seed: u64) -> CompressionResult {
+        match *self {
+            Scheme::Uniform { p } => uniform_sample(g, p, seed),
+            Scheme::Spectral { p, variant, reweight } => {
+                spectral_sparsify(g, p, variant, reweight, seed)
+            }
+            Scheme::TriangleReduction(cfg) => triangle_reduce(g, cfg, seed),
+            Scheme::TriangleCollapse { p } => triangle_collapse(g, p, seed),
+            Scheme::LowDegree => remove_low_degree(g, seed),
+            Scheme::Spanner { k } => spanner(g, k, seed),
+            Scheme::Summarization { epsilon } => {
+                let cfg = SummarizationConfig { epsilon, max_iterations: 8, seed };
+                summarize_to_graph(g, cfg).1
+            }
+            Scheme::CutSparsifier { k } => cut_sparsify(g, k, seed),
+        }
+    }
+
+    /// Human-readable label matching the paper's tables.
+    pub fn label(&self) -> String {
+        match *self {
+            Scheme::Uniform { p } => format!("Uniform (p={p})"),
+            Scheme::Spectral { p, variant, .. } => match variant {
+                UpsilonVariant::LogN => format!("Spectral-logn (p={p})"),
+                UpsilonVariant::AvgDegree => format!("Spectral-avgdeg (p={p})"),
+            },
+            Scheme::TriangleReduction(cfg) => cfg.label(),
+            Scheme::TriangleCollapse { p } => format!("Collapse-{p}-TR"),
+            Scheme::LowDegree => "LowDegree".to_string(),
+            Scheme::Spanner { k } => format!("Spanner (k={k})"),
+            Scheme::Summarization { epsilon } => format!("Summary (eps={epsilon})"),
+            Scheme::CutSparsifier { k } => format!("CutSparsifier (k={k})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_graph::generators;
+
+    #[test]
+    fn all_schemes_apply() {
+        let g = generators::planted_triangles(&generators::erdos_renyi(300, 900, 1), 300, 2);
+        let schemes = [
+            Scheme::Uniform { p: 0.3 },
+            Scheme::Spectral { p: 0.5, variant: UpsilonVariant::LogN, reweight: false },
+            Scheme::TriangleReduction(TrConfig::edge_once_1(0.5)),
+            Scheme::TriangleCollapse { p: 0.4 },
+            Scheme::LowDegree,
+            Scheme::Spanner { k: 4.0 },
+            Scheme::Summarization { epsilon: 0.05 },
+            Scheme::CutSparsifier { k: 2 },
+        ];
+        for s in schemes {
+            let r = s.apply(&g, 7);
+            assert!(r.graph.num_edges() <= g.num_edges() + (0.1 * g.num_edges() as f64) as usize,
+                "{} inflated edges", s.label());
+            assert!(!s.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn labels_match_tables() {
+        assert_eq!(Scheme::Uniform { p: 0.2 }.label(), "Uniform (p=0.2)");
+        assert_eq!(Scheme::Spanner { k: 16.0 }.label(), "Spanner (k=16)");
+    }
+}

@@ -1,0 +1,152 @@
+//! The `SG` container: shared state visible to every kernel instance.
+//!
+//! In the paper (§4.1), `SG` is the global object kernels use to delete
+//! graph elements (`SG.del`), draw randomness (`SG.rand`), and read scheme
+//! parameters. Here [`SgContext`] carries the input graph, the atomic
+//! deletion/consideration bitsets, and a deterministic per-element RNG:
+//! the random decision for element `x` depends only on `(seed, x)`, so
+//! parallel runs are bit-identical to sequential ones.
+
+use crate::atomic_bitset::AtomicBitset;
+use sg_graph::prng;
+use sg_graph::{CsrGraph, EdgeId, VertexId};
+
+/// Shared kernel-visible state for one compression run.
+pub struct SgContext<'g> {
+    /// The input graph (kernels have read-only structural access).
+    pub graph: &'g CsrGraph,
+    /// Global seed for deterministic per-element randomness.
+    pub seed: u64,
+    deleted_edges: AtomicBitset,
+    deleted_vertices: AtomicBitset,
+    /// Edge-Once `considered` flags (paper's `e.considered`).
+    considered_edges: AtomicBitset,
+}
+
+impl<'g> SgContext<'g> {
+    /// Creates a context for `graph` with deterministic seed `seed`.
+    pub fn new(graph: &'g CsrGraph, seed: u64) -> Self {
+        Self {
+            graph,
+            seed,
+            deleted_edges: AtomicBitset::new(graph.num_edges()),
+            deleted_vertices: AtomicBitset::new(graph.num_vertices()),
+            considered_edges: AtomicBitset::new(graph.num_edges()),
+        }
+    }
+
+    /// `SG.del(e)` — atomically marks edge `e` deleted. Returns true if this
+    /// call performed the deletion (false if already deleted).
+    #[inline]
+    pub fn del_edge(&self, e: EdgeId) -> bool {
+        !self.deleted_edges.set(e as usize)
+    }
+
+    /// `SG.del(v)` — atomically marks vertex `v` deleted.
+    #[inline]
+    pub fn del_vertex(&self, v: VertexId) -> bool {
+        !self.deleted_vertices.set(v as usize)
+    }
+
+    /// True when edge `e` is currently marked deleted.
+    #[inline]
+    pub fn edge_deleted(&self, e: EdgeId) -> bool {
+        self.deleted_edges.get(e as usize)
+    }
+
+    /// True when vertex `v` is currently marked deleted.
+    #[inline]
+    pub fn vertex_deleted(&self, v: VertexId) -> bool {
+        self.deleted_vertices.get(v as usize)
+    }
+
+    /// Atomically marks edge `e` considered (Edge-Once discipline); returns
+    /// true when this kernel instance is the *first* to consider it.
+    #[inline]
+    pub fn consider_edge_once(&self, e: EdgeId) -> bool {
+        !self.considered_edges.set(e as usize)
+    }
+
+    /// True when edge `e` was already considered.
+    #[inline]
+    pub fn edge_considered(&self, e: EdgeId) -> bool {
+        self.considered_edges.get(e as usize)
+    }
+
+    /// `SG.rand(0,1)` — deterministic uniform draw for element `element`
+    /// under stream `stream` (so one element can draw several independent
+    /// values).
+    #[inline]
+    pub fn rand_unit(&self, element: u64, stream: u64) -> f64 {
+        prng::unit_f64(self.seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15), element)
+    }
+
+    /// Deterministic uniform integer in `[0, bound)` for `element`.
+    #[inline]
+    pub fn rand_below(&self, element: u64, stream: u64, bound: u64) -> u64 {
+        prng::bounded_u64(self.seed, element, stream, bound)
+    }
+
+    /// Number of edges currently marked deleted.
+    pub fn deleted_edge_count(&self) -> usize {
+        self.deleted_edges.count_ones()
+    }
+
+    /// Number of vertices currently marked deleted.
+    pub fn deleted_vertex_count(&self) -> usize {
+        self.deleted_vertices.count_ones()
+    }
+
+    /// Snapshot of vertex deletion marks (for materialization).
+    pub fn deleted_vertices_vec(&self) -> Vec<bool> {
+        self.deleted_vertices.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_graph::generators;
+
+    #[test]
+    fn deletion_marks_are_idempotent() {
+        let g = generators::cycle(5);
+        let sg = SgContext::new(&g, 1);
+        assert!(sg.del_edge(0));
+        assert!(!sg.del_edge(0));
+        assert!(sg.edge_deleted(0));
+        assert_eq!(sg.deleted_edge_count(), 1);
+    }
+
+    #[test]
+    fn consider_once_claims_exactly_once() {
+        let g = generators::cycle(5);
+        let sg = SgContext::new(&g, 1);
+        assert!(sg.consider_edge_once(3));
+        assert!(!sg.consider_edge_once(3));
+        assert!(sg.edge_considered(3));
+        assert!(!sg.edge_considered(2));
+    }
+
+    #[test]
+    fn rand_is_deterministic_per_element() {
+        let g = generators::cycle(5);
+        let a = SgContext::new(&g, 77);
+        let b = SgContext::new(&g, 77);
+        for e in 0..100 {
+            assert_eq!(a.rand_unit(e, 0), b.rand_unit(e, 0));
+        }
+        let c = SgContext::new(&g, 78);
+        let diff = (0..100).filter(|&e| a.rand_unit(e, 0) != c.rand_unit(e, 0)).count();
+        assert!(diff > 90);
+    }
+
+    #[test]
+    fn vertex_deletion() {
+        let g = generators::star(6);
+        let sg = SgContext::new(&g, 2);
+        sg.del_vertex(3);
+        assert!(sg.vertex_deleted(3));
+        assert_eq!(sg.deleted_vertices_vec(), vec![false, false, false, true, false, false]);
+    }
+}

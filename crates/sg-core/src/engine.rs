@@ -1,0 +1,331 @@
+//! The Slim Graph execution engine (§3.2).
+//!
+//! Stage 1 of the paper's two-stage pipeline: compression kernels execute in
+//! parallel over their elements (edges, vertices, triangles, or subgraphs),
+//! recording deletions in the [`SgContext`] bitsets; the engine then
+//! *materializes* a compacted CSR graph. Stage 2 — running graph algorithms
+//! over the compressed graph — is `sg-algos`, invoked by the harness.
+
+use crate::context::SgContext;
+use crate::kernel::{
+    EdgeDecision, EdgeKernel, EdgeView, SubgraphKernel, SubgraphView, TriangleKernel,
+    VertexDecision, VertexKernel, VertexView,
+};
+use crate::mapping::VertexMapping;
+use rayon::prelude::*;
+use sg_graph::{CsrGraph, VertexId};
+use std::time::{Duration, Instant};
+
+/// Outcome of one compression run.
+#[derive(Clone, Debug)]
+pub struct CompressionResult {
+    /// The compressed graph.
+    pub graph: CsrGraph,
+    /// Edge count of the input.
+    pub original_edges: usize,
+    /// Vertex count of the input.
+    pub original_vertices: usize,
+    /// Wall-clock compression time (kernel execution + materialization).
+    pub elapsed: Duration,
+    /// Old→new vertex relabelling when vertices were removed.
+    pub vertex_mapping: Option<Vec<Option<VertexId>>>,
+}
+
+impl CompressionResult {
+    /// Number of removed edges.
+    pub fn edges_removed(&self) -> usize {
+        self.original_edges - self.graph.num_edges()
+    }
+
+    /// Remaining-edge ratio `m' / m` (the color scale of Figure 5).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.original_edges == 0 {
+            1.0
+        } else {
+            self.graph.num_edges() as f64 / self.original_edges as f64
+        }
+    }
+
+    /// Removed-edge fraction `1 - m'/m` (the y-axis of Figure 6).
+    pub fn edge_reduction(&self) -> f64 {
+        1.0 - self.compression_ratio()
+    }
+}
+
+/// The kernel executor. Holds the deterministic seed for the run.
+#[derive(Clone, Copy, Debug)]
+pub struct Engine {
+    /// Seed for all kernel randomness.
+    pub seed: u64,
+}
+
+impl Engine {
+    /// Creates an engine with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Executes an edge kernel over every canonical edge in parallel
+    /// (§4.2). Kernels returning [`EdgeDecision::Reweight`] produce a
+    /// weighted output graph.
+    pub fn run_edge_kernel<K: EdgeKernel>(&self, g: &CsrGraph, kernel: &K) -> CompressionResult {
+        let start = Instant::now();
+        let sg = SgContext::new(g, self.seed);
+        let decisions: Vec<EdgeDecision> = g
+            .par_edge_ids()
+            .map(|e| {
+                let (u, v) = g.edge_endpoints(e);
+                let view = EdgeView {
+                    id: e,
+                    u,
+                    v,
+                    weight: g.edge_weight(e),
+                    deg_u: g.degree(u),
+                    deg_v: g.degree(v),
+                };
+                kernel.process(view, &sg)
+            })
+            .collect();
+        let any_reweight = decisions
+            .par_iter()
+            .any(|d| matches!(d, EdgeDecision::Reweight(_)));
+        let graph = if any_reweight {
+            g.filter_reweight(|e| match decisions[e as usize] {
+                EdgeDecision::Keep => Some(g.edge_weight(e)),
+                EdgeDecision::Delete => None,
+                EdgeDecision::Reweight(w) => Some(w),
+            })
+        } else {
+            g.filter_edges(|e| decisions[e as usize] != EdgeDecision::Delete)
+        };
+        CompressionResult {
+            graph,
+            original_edges: g.num_edges(),
+            original_vertices: g.num_vertices(),
+            elapsed: start.elapsed(),
+            vertex_mapping: None,
+        }
+    }
+
+    /// Executes a vertex kernel over every vertex in parallel (§4.4).
+    /// Deleted vertices take their incident edges with them; survivors are
+    /// relabelled compactly (Table 3's `remove k deg-1 vertices` row changes
+    /// `n`).
+    pub fn run_vertex_kernel<K: VertexKernel>(&self, g: &CsrGraph, kernel: &K) -> CompressionResult {
+        let start = Instant::now();
+        let sg = SgContext::new(g, self.seed);
+        let removed: Vec<bool> = (0..g.num_vertices() as VertexId)
+            .into_par_iter()
+            .map(|v| {
+                let view = VertexView { id: v, degree: g.degree(v) };
+                kernel.process(view, &sg) == VertexDecision::Delete
+            })
+            .collect();
+        let (graph, mapping) = g.remove_vertices(&removed);
+        CompressionResult {
+            graph,
+            original_edges: g.num_edges(),
+            original_vertices: g.num_vertices(),
+            elapsed: start.elapsed(),
+            vertex_mapping: Some(mapping),
+        }
+    }
+
+    /// Executes a triangle kernel over every triangle (§4.3). Kernels that
+    /// declare `parallel()` stream triangles concurrently; order-sensitive
+    /// disciplines (Edge-Once, Count-Triangles) run over the deterministic
+    /// sorted triangle list so results are reproducible.
+    pub fn run_triangle_kernel<K: TriangleKernel>(&self, g: &CsrGraph, kernel: &K) -> CompressionResult {
+        let start = Instant::now();
+        let sg = SgContext::new(g, self.seed);
+        if kernel.parallel() {
+            sg_algos::tc::for_each_triangle(g, |t| kernel.process(&t, &sg));
+        } else {
+            for t in sg_algos::tc::list_triangles(g) {
+                kernel.process(&t, &sg);
+            }
+        }
+        let graph = g.filter_edges(|e| !sg.edge_deleted(e));
+        CompressionResult {
+            graph,
+            original_edges: g.num_edges(),
+            original_vertices: g.num_vertices(),
+            elapsed: start.elapsed(),
+            vertex_mapping: None,
+        }
+    }
+
+    /// Executes a subgraph kernel over every cluster of `mapping` in
+    /// parallel (§4.5). The runtime follows Listing 2: the mapping has
+    /// already been constructed (`SG.construct_mapping()`), then all kernels
+    /// run concurrently (`SG.run_kernels()`).
+    pub fn run_subgraph_kernel<K: SubgraphKernel>(
+        &self,
+        g: &CsrGraph,
+        mapping: &VertexMapping,
+        kernel: &K,
+    ) -> CompressionResult {
+        let start = Instant::now();
+        let sg = SgContext::new(g, self.seed);
+        mapping
+            .clusters
+            .par_iter()
+            .enumerate()
+            .for_each(|(cid, members)| {
+                let view = SubgraphView {
+                    cluster_id: cid,
+                    members,
+                    assignment: &mapping.assignment,
+                };
+                kernel.process(view, &sg);
+            });
+        let graph = g.filter_edges(|e| !sg.edge_deleted(e));
+        CompressionResult {
+            graph,
+            original_edges: g.num_edges(),
+            original_vertices: g.num_vertices(),
+            elapsed: start.elapsed(),
+            vertex_mapping: None,
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::*;
+    use sg_graph::generators;
+
+    struct KeepAll;
+    impl EdgeKernel for KeepAll {
+        fn process(&self, _e: EdgeView, _sg: &SgContext<'_>) -> EdgeDecision {
+            EdgeDecision::Keep
+        }
+    }
+
+    struct DropEven;
+    impl EdgeKernel for DropEven {
+        fn process(&self, e: EdgeView, _sg: &SgContext<'_>) -> EdgeDecision {
+            if e.id % 2 == 0 {
+                EdgeDecision::Delete
+            } else {
+                EdgeDecision::Keep
+            }
+        }
+    }
+
+    struct DoubleWeight;
+    impl EdgeKernel for DoubleWeight {
+        fn process(&self, e: EdgeView, _sg: &SgContext<'_>) -> EdgeDecision {
+            EdgeDecision::Reweight(e.weight * 2.0)
+        }
+    }
+
+    struct DropLeaves;
+    impl VertexKernel for DropLeaves {
+        fn process(&self, v: VertexView, _sg: &SgContext<'_>) -> VertexDecision {
+            if v.degree <= 1 {
+                VertexDecision::Delete
+            } else {
+                VertexDecision::Keep
+            }
+        }
+    }
+
+    #[test]
+    fn keep_all_is_identity() {
+        let g = generators::erdos_renyi(100, 400, 1);
+        let r = Engine::new(0).run_edge_kernel(&g, &KeepAll);
+        assert_eq!(r.graph.num_edges(), g.num_edges());
+        assert_eq!(r.compression_ratio(), 1.0);
+        assert_eq!(r.edges_removed(), 0);
+    }
+
+    #[test]
+    fn drop_even_halves() {
+        let g = generators::erdos_renyi(100, 400, 2);
+        let r = Engine::new(0).run_edge_kernel(&g, &DropEven);
+        assert_eq!(r.graph.num_edges(), g.num_edges() / 2);
+        assert!((r.compression_ratio() - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn reweight_produces_weighted_graph() {
+        let g = generators::cycle(6);
+        let r = Engine::new(0).run_edge_kernel(&g, &DoubleWeight);
+        assert!(r.graph.is_weighted());
+        assert_eq!(r.graph.num_edges(), 6);
+        for (e, _, _) in r.graph.edge_iter() {
+            assert_eq!(r.graph.edge_weight(e), 2.0);
+        }
+    }
+
+    #[test]
+    fn vertex_kernel_removes_and_relabels() {
+        let g = generators::star(6); // hub + 5 leaves
+        let r = Engine::new(0).run_vertex_kernel(&g, &DropLeaves);
+        assert_eq!(r.graph.num_vertices(), 1);
+        assert_eq!(r.graph.num_edges(), 0);
+        let mapping = r.vertex_mapping.expect("vertex kernel relabels");
+        assert!(mapping[0].is_some());
+        assert!(mapping[1..].iter().all(Option::is_none));
+    }
+
+    struct DeleteFirstEdge;
+    impl TriangleKernel for DeleteFirstEdge {
+        fn process(&self, t: &Triangle, sg: &SgContext<'_>) {
+            sg.del_edge(t.e_uv);
+        }
+    }
+
+    #[test]
+    fn triangle_kernel_deletes_marked() {
+        let g = generators::complete(4); // 4 triangles, 6 edges
+        let r = Engine::new(0).run_triangle_kernel(&g, &DeleteFirstEdge);
+        assert!(r.graph.num_edges() < 6);
+    }
+
+    struct DropIntraCluster;
+    impl SubgraphKernel for DropIntraCluster {
+        fn process(&self, sgv: SubgraphView<'_>, sg: &SgContext<'_>) {
+            for &v in sgv.members {
+                let row = sg.graph.neighbors(v);
+                let eids = sg.graph.neighbor_edge_ids(v);
+                for (i, &u) in row.iter().enumerate() {
+                    if sgv.assignment[u as usize] == sgv.cluster_id as u32 {
+                        sg.del_edge(eids[i]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subgraph_kernel_uses_mapping() {
+        let g = generators::complete(6);
+        // Two clusters {0,1,2} and {3,4,5}: dropping intra-cluster edges
+        // leaves only the 9 cross edges.
+        let mapping = VertexMapping::from_assignment(vec![0, 0, 0, 1, 1, 1]);
+        let r = Engine::new(0).run_subgraph_kernel(&g, &mapping, &DropIntraCluster);
+        assert_eq!(r.graph.num_edges(), 9);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = generators::rmat_graph500(10, 6, 7);
+        struct CoinFlip;
+        impl EdgeKernel for CoinFlip {
+            fn process(&self, e: EdgeView, sg: &SgContext<'_>) -> EdgeDecision {
+                if sg.rand_unit(e.id as u64, 0) < 0.5 {
+                    EdgeDecision::Delete
+                } else {
+                    EdgeDecision::Keep
+                }
+            }
+        }
+        let a = Engine::new(123).run_edge_kernel(&g, &CoinFlip);
+        let b = Engine::new(123).run_edge_kernel(&g, &CoinFlip);
+        assert_eq!(a.graph.edge_slice(), b.graph.edge_slice());
+    }
+}

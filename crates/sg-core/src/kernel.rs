@@ -1,0 +1,127 @@
+//! Compression-kernel traits — the Slim Graph programming model.
+//!
+//! A kernel is a small program with a *local view* of the graph (§3.1): its
+//! argument is an edge, a vertex, a triangle, or a subgraph, exposed here as
+//! view structs carrying the fields the paper's opaque `E`/`V` references
+//! provide (`e.u`, `e.v`, `e.weight`, `v.deg`, …). Kernels either return a
+//! declarative decision (edge/vertex kernels — pure per element) or mutate
+//! shared state through [`crate::SgContext`] (triangle/subgraph kernels,
+//! which need the paper's `atomic` semantics).
+
+use crate::context::SgContext;
+use sg_graph::{EdgeId, VertexId, Weight};
+pub use sg_algos::tc::Triangle;
+
+/// Local view of an edge handed to an [`EdgeKernel`] (the paper's `E e`
+/// argument plus the degree fields kernels like `spectral_sparsify` read).
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeView {
+    /// Canonical edge id.
+    pub id: EdgeId,
+    /// Source endpoint (`e.u`).
+    pub u: VertexId,
+    /// Destination endpoint (`e.v`).
+    pub v: VertexId,
+    /// Edge weight (`e.weight`; 1.0 when unweighted).
+    pub weight: Weight,
+    /// Degree of `u` (`e.u.deg`).
+    pub deg_u: usize,
+    /// Degree of `v` (`e.v.deg`).
+    pub deg_v: usize,
+}
+
+/// Outcome of an edge kernel for one edge.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EdgeDecision {
+    /// Edge survives unchanged.
+    Keep,
+    /// `atomic SG.del(e)`.
+    Delete,
+    /// Edge survives with a new weight (spectral sparsifiers reweight
+    /// survivors by `1/p_e` so the Laplacian stays unbiased).
+    Reweight(Weight),
+}
+
+/// A single-edge compression kernel (§4.2).
+pub trait EdgeKernel: Sync {
+    /// Decides the fate of one edge. Invoked in parallel across edges.
+    fn process(&self, edge: EdgeView, sg: &SgContext<'_>) -> EdgeDecision;
+}
+
+/// Local view of a vertex handed to a [`VertexKernel`].
+#[derive(Clone, Copy, Debug)]
+pub struct VertexView {
+    /// Vertex id.
+    pub id: VertexId,
+    /// Degree (`v.deg`).
+    pub degree: usize,
+}
+
+/// Outcome of a vertex kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VertexDecision {
+    /// Vertex survives.
+    Keep,
+    /// `atomic SG.del(v)` — vertex and all incident edges removed.
+    Delete,
+}
+
+/// A single-vertex compression kernel (§4.4).
+pub trait VertexKernel: Sync {
+    /// Decides the fate of one vertex. Invoked in parallel across vertices.
+    fn process(&self, vertex: VertexView, sg: &SgContext<'_>) -> VertexDecision;
+}
+
+/// A triangle compression kernel (§4.3). The argument mirrors the paper's
+/// `vector<E> triangle`; deletions go through `sg` so the Edge-Once /
+/// `considered` disciplines can be expressed atomically.
+pub trait TriangleKernel: Sync {
+    /// Processes one triangle.
+    fn process(&self, triangle: &Triangle, sg: &SgContext<'_>);
+
+    /// Whether instances may run concurrently. Disciplines that need a
+    /// deterministic consideration order (Edge-Once, Count-Triangles) return
+    /// false and are executed over the deterministic sorted triangle stream.
+    fn parallel(&self) -> bool {
+        true
+    }
+}
+
+/// Local view of a subgraph (cluster) handed to a [`SubgraphKernel`]: the
+/// member list plus the global membership table for O(1) "is this endpoint
+/// inside?" queries (the paper's `parent_ID`).
+pub struct SubgraphView<'a> {
+    /// Cluster index (`elem_ID`).
+    pub cluster_id: usize,
+    /// Vertices of this cluster.
+    pub members: &'a [VertexId],
+    /// `assignment[v]` = cluster index of vertex `v` (the §4.5.2 mapping).
+    pub assignment: &'a [u32],
+}
+
+/// A subgraph compression kernel (§4.5).
+pub trait SubgraphKernel: Sync {
+    /// Processes one cluster. Invoked in parallel across clusters.
+    fn process(&self, subgraph: SubgraphView<'_>, sg: &SgContext<'_>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct DropAll;
+    impl EdgeKernel for DropAll {
+        fn process(&self, _e: EdgeView, _sg: &SgContext<'_>) -> EdgeDecision {
+            EdgeDecision::Delete
+        }
+    }
+
+    #[test]
+    fn trait_objects_are_usable() {
+        let k: Box<dyn EdgeKernel> = Box::new(DropAll);
+        let g = sg_graph::generators::cycle(3);
+        let sg = SgContext::new(&g, 0);
+        let view = EdgeView { id: 0, u: 0, v: 1, weight: 1.0, deg_u: 2, deg_v: 2 };
+        assert_eq!(k.process(view, &sg), EdgeDecision::Delete);
+    }
+}

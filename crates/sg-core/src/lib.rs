@@ -1,0 +1,36 @@
+//! # sg-core — the Slim Graph programming model and execution engine
+//!
+//! This crate implements the paper's three core elements:
+//!
+//! 1. **Programming model** ([`kernel`], [`context`]): developers express
+//!    lossy compression as small *compression kernels* whose scope is an
+//!    edge, a vertex, a triangle, or an arbitrary subgraph. Kernels access
+//!    local graph structure through their argument views and global state
+//!    (sampling parameters, atomic deletion, `considered` flags) through the
+//!    [`context::SgContext`] container — the paper's `SG` object.
+//! 2. **Execution engine** ([`engine`]): kernels are executed in parallel by
+//!    the engine, which then *materializes* the compressed graph. The
+//!    subgraph path additionally builds vertex→subgraph [`mapping`]s (the
+//!    paper's §4.5.2), for which [`ldd`] provides the low-diameter
+//!    decomposition used by spanners.
+//! 3. **Compression schemes** ([`schemes`]): the paper's scheme zoo — random
+//!    uniform sampling, spectral sparsification (both Υ variants), the
+//!    Triangle Reduction family (p-x, Edge-Once, Count-Triangles,
+//!    max-weight, collapse), low-degree vertex removal, O(k)-spanners, and
+//!    SWeG-style lossy ϵ-summarization with corrections.
+//!
+//! The [`config`] module offers a uniform [`config::Scheme`] enum so harness
+//! code can sweep schemes generically.
+
+pub mod atomic_bitset;
+pub mod config;
+pub mod context;
+pub mod engine;
+pub mod kernel;
+pub mod ldd;
+pub mod mapping;
+pub mod schemes;
+
+pub use config::Scheme;
+pub use context::SgContext;
+pub use engine::{CompressionResult, Engine};

@@ -1,0 +1,491 @@
+//! Lossy ϵ-summarization (§4.5.4) — a SWeG-style scheme \[141\].
+//!
+//! Vertices are merged into *supervertices* by generalized Jaccard
+//! similarity (minhash-grouped, with the SWeG threshold schedule
+//! `θ(t) = 1/(1+t)`); dense inter-supervertex edge groups become
+//! *superedges*. Exactness is retained through two correction sets: edges a
+//! superedge over-covers (`corrections_minus`) and edges no superedge covers
+//! (`corrections_plus`) — Listing 1's `derive_summary` kernel state. The
+//! lossy knob ϵ drops up to `ϵ·m` corrections from each set, bounding the
+//! symmetric difference of the reconstruction by `2ϵm` (Table 3's
+//! `m ± 2ϵm` row).
+
+use crate::engine::CompressionResult;
+use rustc_hash::{FxHashMap, FxHashSet};
+use sg_graph::prng::mix64;
+use sg_graph::{CsrGraph, EdgeList, VertexId};
+use std::time::Instant;
+
+/// Configuration for ϵ-summarization.
+#[derive(Clone, Copy, Debug)]
+pub struct SummarizationConfig {
+    /// Error knob: up to `ϵ·m` corrections dropped from each correction set.
+    pub epsilon: f64,
+    /// Maximum merge iterations (SWeG uses tens; clusters converge fast at
+    /// our scales).
+    pub max_iterations: usize,
+    /// Seed for minhash grouping and correction dropping.
+    pub seed: u64,
+}
+
+impl Default for SummarizationConfig {
+    fn default() -> Self {
+        Self { epsilon: 0.0, max_iterations: 10, seed: 0 }
+    }
+}
+
+/// A graph summary: supervertices + superedges + corrections.
+#[derive(Clone, Debug)]
+pub struct Summary {
+    /// Supervertex id per original vertex.
+    pub supervertex_of: Vec<u32>,
+    /// Member lists per supervertex.
+    pub supervertices: Vec<Vec<VertexId>>,
+    /// Superedges `(a, b)` with `a <= b`; `a == b` encodes an internal
+    /// near-clique.
+    pub superedges: Vec<(u32, u32)>,
+    /// Edges that exist but are not covered by any superedge.
+    pub corrections_plus: Vec<(VertexId, VertexId)>,
+    /// Non-edges covered by a superedge (to delete on decompression).
+    pub corrections_minus: Vec<(VertexId, VertexId)>,
+    /// Corrections irreversibly dropped by the ϵ knob.
+    pub dropped_plus: usize,
+    /// Dropped minus-corrections.
+    pub dropped_minus: usize,
+    /// Merge iterations executed.
+    pub iterations: usize,
+    original_vertices: usize,
+    original_edges: usize,
+}
+
+impl Summary {
+    /// Storage cost in "edge units": superedges plus retained corrections
+    /// (what the summary actually stores).
+    pub fn storage_cost(&self) -> usize {
+        self.superedges.len() + self.corrections_plus.len() + self.corrections_minus.len()
+    }
+
+    /// Number of supervertices.
+    pub fn num_supervertices(&self) -> usize {
+        self.supervertices.len()
+    }
+
+    /// Reconstructs the (approximate) graph the summary encodes. With
+    /// `ϵ = 0` this is exactly the input graph.
+    pub fn decompress(&self) -> CsrGraph {
+        let mut edges: FxHashSet<(VertexId, VertexId)> = FxHashSet::default();
+        for &(a, b) in &self.superedges {
+            let ma = &self.supervertices[a as usize];
+            let mb = &self.supervertices[b as usize];
+            if a == b {
+                for i in 0..ma.len() {
+                    for j in (i + 1)..ma.len() {
+                        edges.insert(ordered(ma[i], ma[j]));
+                    }
+                }
+            } else {
+                for &u in ma {
+                    for &v in mb {
+                        edges.insert(ordered(u, v));
+                    }
+                }
+            }
+        }
+        for &(u, v) in &self.corrections_minus {
+            edges.remove(&ordered(u, v));
+        }
+        for &(u, v) in &self.corrections_plus {
+            edges.insert(ordered(u, v));
+        }
+        let mut list: Vec<(VertexId, VertexId)> = edges.into_iter().collect();
+        list.sort_unstable();
+        CsrGraph::from_edge_list(EdgeList {
+            num_vertices: self.original_vertices,
+            edges: list,
+            weights: None,
+        })
+    }
+
+    /// Symmetric difference between the reconstruction and `original`
+    /// (the accuracy the ϵ bound guards).
+    pub fn reconstruction_error(&self, original: &CsrGraph) -> usize {
+        let recon = self.decompress();
+        let a: FxHashSet<(VertexId, VertexId)> = original.edge_slice().iter().copied().collect();
+        let b: FxHashSet<(VertexId, VertexId)> = recon.edge_slice().iter().copied().collect();
+        a.symmetric_difference(&b).count()
+    }
+
+    /// Edge count of the input graph.
+    pub fn original_edges(&self) -> usize {
+        self.original_edges
+    }
+}
+
+#[inline]
+fn ordered(u: VertexId, v: VertexId) -> (VertexId, VertexId) {
+    if u < v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+/// Jaccard similarity of two sorted vertex sets.
+fn jaccard_sorted(a: &[VertexId], b: &[VertexId]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+fn merge_sorted(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() || j < b.len() {
+        let take_a = j >= b.len() || (i < a.len() && a[i] <= b[j]);
+        if take_a {
+            if j < b.len() && i < a.len() && a[i] == b[j] {
+                j += 1;
+            }
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out
+}
+
+/// Builds a summary of `g` (the convergence loop of Listing 2: construct
+/// mapping, run kernels, repeat until converged).
+pub fn summarize(g: &CsrGraph, cfg: SummarizationConfig) -> Summary {
+    assert!(cfg.epsilon >= 0.0, "epsilon must be non-negative");
+    let n = g.num_vertices();
+    let m = g.num_edges();
+
+    // --- Merge phase -----------------------------------------------------
+    // Supervertex state: representative id per vertex + neighborhood sets.
+    let mut sv_of: Vec<u32> = (0..n as u32).collect();
+    let mut members: FxHashMap<u32, Vec<VertexId>> =
+        (0..n as u32).map(|v| (v, vec![v as VertexId])).collect();
+    let mut neigh: FxHashMap<u32, Vec<VertexId>> = (0..n as u32)
+        .map(|v| (v, g.neighbors(v as VertexId).to_vec()))
+        .collect();
+
+    let mut iterations = 0;
+    for t in 0..cfg.max_iterations {
+        iterations = t + 1;
+        let threshold = 1.0 / (1.0 + t as f64); // SWeG schedule
+        // Group current supervertices by a minhash of their neighborhoods.
+        let mut groups: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+        let mut sv_ids: Vec<u32> = members.keys().copied().collect();
+        sv_ids.sort_unstable();
+        for &s in &sv_ids {
+            let h = neigh[&s]
+                .iter()
+                .map(|&u| mix64(cfg.seed ^ (t as u64) << 32 ^ u as u64))
+                .min()
+                .unwrap_or(mix64(cfg.seed ^ s as u64));
+            groups.entry(h).or_default().push(s);
+        }
+        let mut merges = 0usize;
+        let mut keys: Vec<u64> = groups.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let group = &groups[&key];
+            if group.len() < 2 {
+                continue;
+            }
+            let rep = group[0];
+            for &s in &group[1..] {
+                if !members.contains_key(&rep) || !members.contains_key(&s) {
+                    continue;
+                }
+                if jaccard_sorted(&neigh[&rep], &neigh[&s]) >= threshold {
+                    // Merge s into rep.
+                    let moved = members.remove(&s).expect("present");
+                    for &v in &moved {
+                        sv_of[v as usize] = rep;
+                    }
+                    members.get_mut(&rep).expect("present").extend(moved);
+                    let ns = neigh.remove(&s).expect("present");
+                    let merged = merge_sorted(&neigh[&rep], &ns);
+                    neigh.insert(rep, merged);
+                    merges += 1;
+                }
+            }
+        }
+        if merges == 0 {
+            break;
+        }
+    }
+
+    // Densify supervertex ids.
+    let mut dense: FxHashMap<u32, u32> = FxHashMap::default();
+    let mut reps: Vec<u32> = members.keys().copied().collect();
+    reps.sort_unstable();
+    for (i, &r) in reps.iter().enumerate() {
+        dense.insert(r, i as u32);
+    }
+    let supervertex_of: Vec<u32> = sv_of.iter().map(|r| dense[r]).collect();
+    let mut supervertices: Vec<Vec<VertexId>> = vec![Vec::new(); reps.len()];
+    for (v, &s) in supervertex_of.iter().enumerate() {
+        supervertices[s as usize].push(v as VertexId);
+    }
+
+    // --- Encoding phase (the derive_summary kernel per cluster pair) ------
+    let mut pair_edges: FxHashMap<(u32, u32), Vec<(VertexId, VertexId)>> = FxHashMap::default();
+    for (_, u, v) in g.edge_iter() {
+        let (a, b) = {
+            let (sa, sb) = (supervertex_of[u as usize], supervertex_of[v as usize]);
+            if sa <= sb {
+                (sa, sb)
+            } else {
+                (sb, sa)
+            }
+        };
+        pair_edges.entry((a, b)).or_default().push(ordered(u, v));
+    }
+    // Per-pair encoding decision, kept grouped so the lossy phase can drop
+    // whole superedge groups.
+    struct PairCode {
+        pair: (u32, u32),
+        /// Edges the pair actually contains.
+        present: Vec<(VertexId, VertexId)>,
+        /// Missing pairs the superedge over-covers (None = sparse group).
+        minus: Option<Vec<(VertexId, VertexId)>>,
+    }
+    let mut codes: Vec<PairCode> = Vec::new();
+    let mut corrections_plus = Vec::new();
+    let mut pairs: Vec<(u32, u32)> = pair_edges.keys().copied().collect();
+    pairs.sort_unstable();
+    for (a, b) in pairs {
+        let present: &Vec<(VertexId, VertexId)> = &pair_edges[&(a, b)];
+        let (ma, mb) = (&supervertices[a as usize], &supervertices[b as usize]);
+        let potential = if a == b {
+            ma.len() * (ma.len() - 1) / 2
+        } else {
+            ma.len() * mb.len()
+        };
+        if 2 * present.len() > potential {
+            // Dense: superedge + minus-corrections for the missing pairs
+            // (SG.superedge returning (se, inter)).
+            let have: FxHashSet<(VertexId, VertexId)> = present.iter().copied().collect();
+            let mut minus = Vec::with_capacity(potential - present.len());
+            if a == b {
+                for i in 0..ma.len() {
+                    for j in (i + 1)..ma.len() {
+                        let p = ordered(ma[i], ma[j]);
+                        if !have.contains(&p) {
+                            minus.push(p);
+                        }
+                    }
+                }
+            } else {
+                for &u in ma {
+                    for &v in mb {
+                        let p = ordered(u, v);
+                        if !have.contains(&p) {
+                            minus.push(p);
+                        }
+                    }
+                }
+            }
+            codes.push(PairCode { pair: (a, b), present: present.clone(), minus: Some(minus) });
+        } else {
+            // Sparse: keep the edges themselves (corrections_plus).
+            corrections_plus.extend_from_slice(present);
+        }
+    }
+
+    // --- Lossy drop (the ϵ knob) ------------------------------------------
+    // Two mechanisms, matching §4.5.4: (a) `summary_select` drops
+    // intra/inter correction entries, and (b) `SG.superedge` drops sampled
+    // edge groups outright. Each consumes an ϵ·m edge-loss budget, keeping
+    // the reconstruction's symmetric difference within 2ϵm (Table 3).
+    let budget = (cfg.epsilon * m as f64).floor() as usize;
+    let dropped_plus = drop_corrections(&mut corrections_plus, budget, cfg.seed ^ 0x9);
+    // (b): drop whole sampled superedge groups, smallest first, while the
+    // remaining plus-budget allows (losing `present` edges per group).
+    let mut superedge_budget = budget - dropped_plus;
+    if superedge_budget > 0 {
+        codes.sort_by_key(|c| {
+            (c.present.len(), mix64(cfg.seed ^ 0xB ^ ((c.pair.0 as u64) << 32 | c.pair.1 as u64)))
+        });
+        codes.retain(|c| {
+            if superedge_budget >= c.present.len() && !c.present.is_empty() {
+                superedge_budget -= c.present.len();
+                false // drop the group: edges lost, corrections freed
+            } else {
+                true
+            }
+        });
+        codes.sort_by_key(|c| c.pair);
+    }
+    let dropped_plus = dropped_plus + (budget - dropped_plus - superedge_budget);
+    let superedges: Vec<(u32, u32)> = codes.iter().map(|c| c.pair).collect();
+    let mut corrections_minus: Vec<(VertexId, VertexId)> = codes
+        .iter_mut()
+        .flat_map(|c| c.minus.take().unwrap_or_default())
+        .collect();
+    corrections_minus.sort_unstable();
+    let dropped_minus = drop_corrections(&mut corrections_minus, budget, cfg.seed ^ 0xA);
+
+    Summary {
+        supervertex_of,
+        supervertices,
+        superedges,
+        corrections_plus,
+        corrections_minus,
+        dropped_plus,
+        dropped_minus,
+        iterations,
+        original_vertices: n,
+        original_edges: m,
+    }
+}
+
+/// Drops up to `budget` corrections pseudo-randomly (deterministic per
+/// seed); returns the number dropped.
+fn drop_corrections(
+    corrections: &mut Vec<(VertexId, VertexId)>,
+    budget: usize,
+    seed: u64,
+) -> usize {
+    if budget == 0 || corrections.is_empty() {
+        return 0;
+    }
+    let drop = budget.min(corrections.len());
+    // Deterministic random order, then truncate the victims.
+    corrections.sort_unstable_by_key(|&(u, v)| mix64(seed ^ ((u as u64) << 32 | v as u64)));
+    corrections.drain(0..drop);
+    corrections.sort_unstable();
+    drop
+}
+
+/// Runs summarization and reconstructs the approximate graph so downstream
+/// algorithms can run on it (what stage 2 measures).
+pub fn summarize_to_graph(g: &CsrGraph, cfg: SummarizationConfig) -> (Summary, CompressionResult) {
+    let start = Instant::now();
+    let summary = summarize(g, cfg);
+    let graph = summary.decompress();
+    let result = CompressionResult {
+        graph,
+        original_edges: g.num_edges(),
+        original_vertices: g.num_vertices(),
+        elapsed: start.elapsed(),
+        vertex_mapping: None,
+    };
+    (summary, result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_graph::generators;
+
+    fn cfg(eps: f64, seed: u64) -> SummarizationConfig {
+        SummarizationConfig { epsilon: eps, max_iterations: 8, seed }
+    }
+
+    #[test]
+    fn lossless_roundtrip() {
+        // ϵ = 0: the summary must reconstruct the exact input graph.
+        for seed in [1, 2] {
+            let g = generators::barabasi_albert(400, 4, seed);
+            let s = summarize(&g, cfg(0.0, seed));
+            let recon = s.decompress();
+            assert_eq!(recon.edge_slice(), g.edge_slice(), "seed {seed}");
+            assert_eq!(s.reconstruction_error(&g), 0);
+        }
+    }
+
+    #[test]
+    fn twins_merge_into_supervertex() {
+        // Two vertices with identical neighborhoods must land in one
+        // supervertex at threshold 1.0 (iteration 0).
+        let mut edges = Vec::new();
+        for hub in 2..8u32 {
+            edges.push((0, hub));
+            edges.push((1, hub));
+        }
+        let g = CsrGraph::from_pairs(8, &edges);
+        let s = summarize(&g, cfg(0.0, 3));
+        assert_eq!(s.supervertex_of[0], s.supervertex_of[1]);
+        assert!(s.num_supervertices() < 8);
+    }
+
+    #[test]
+    fn epsilon_bounds_symmetric_difference() {
+        // Table 3: lossy ϵ-summary has m ± 2ϵm edges; symmetric difference
+        // of the reconstruction is at most 2ϵm.
+        let g = generators::watts_strogatz(500, 5, 0.05, 4);
+        let m = g.num_edges() as f64;
+        for eps in [0.01, 0.05, 0.1] {
+            let s = summarize(&g, cfg(eps, 5));
+            let err = s.reconstruction_error(&g) as f64;
+            assert!(err <= 2.0 * eps * m + 1e-9, "eps {eps}: err {err} > {}", 2.0 * eps * m);
+        }
+    }
+
+    #[test]
+    fn higher_epsilon_drops_more() {
+        let g = generators::barabasi_albert(600, 5, 6);
+        let lo = summarize(&g, cfg(0.02, 7));
+        let hi = summarize(&g, cfg(0.2, 7));
+        assert!(hi.dropped_plus + hi.dropped_minus >= lo.dropped_plus + lo.dropped_minus);
+    }
+
+    #[test]
+    fn storage_cost_reported() {
+        let g = generators::barabasi_albert(300, 3, 8);
+        let s = summarize(&g, cfg(0.0, 9));
+        assert!(s.storage_cost() > 0);
+        // Lossless storage never needs more than m + superedges units.
+        assert!(s.corrections_plus.len() <= g.num_edges());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_pairs(0, &[]);
+        let s = summarize(&g, cfg(0.1, 10));
+        assert_eq!(s.num_supervertices(), 0);
+        assert_eq!(s.decompress().num_edges(), 0);
+    }
+
+    #[test]
+    fn summarize_to_graph_reports_sizes() {
+        let g = generators::barabasi_albert(300, 4, 11);
+        let (s, r) = summarize_to_graph(&g, cfg(0.1, 12));
+        assert_eq!(r.original_edges, g.num_edges());
+        // Reconstruction within the ±2ϵm band.
+        let band = 2.0 * 0.1 * g.num_edges() as f64;
+        let diff = (r.graph.num_edges() as f64 - g.num_edges() as f64).abs();
+        assert!(diff <= band + 1e-9, "diff {diff} band {band}");
+        assert!(s.iterations >= 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = generators::barabasi_albert(300, 3, 13);
+        let a = summarize(&g, cfg(0.05, 14));
+        let b = summarize(&g, cfg(0.05, 14));
+        assert_eq!(a.decompress().edge_slice(), b.decompress().edge_slice());
+    }
+
+    use sg_graph::CsrGraph;
+}

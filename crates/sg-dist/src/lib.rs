@@ -1,0 +1,234 @@
+//! # sg-dist — simulated distributed-memory compression (§7.3)
+//!
+//! The paper compresses its largest graphs (up to Web Data Commons 2012 at
+//! ≈128 B edges) with a *distributed* implementation of edge compression
+//! kernels built on MPI Remote Memory Access. That substrate is simulated
+//! here: each MPI rank becomes an OS thread owning a contiguous shard of the
+//! canonical edge array (`sg_graph::partition`), kernels run independently
+//! per shard, and the gather phase (surviving edges + per-rank degree
+//! histograms) flows over crossbeam channels instead of RMA windows.
+//!
+//! Because kernel decisions are deterministic in `(seed, edge id)`, the
+//! distributed result is **bit-identical** to the shared-memory result for
+//! any rank count — the property the tests pin down, and the reason the
+//! simulation preserves the figure-8 pipeline's observable behaviour.
+
+use crossbeam::channel;
+use sg_core::kernel::{EdgeDecision, EdgeKernel, EdgeView};
+use sg_core::{CompressionResult, SgContext};
+use sg_graph::partition::{partition_edges, EdgeShard};
+use sg_graph::{CsrGraph, EdgeId, VertexId};
+use std::time::Instant;
+
+/// Per-rank execution statistics returned by the simulated pipeline.
+#[derive(Clone, Debug)]
+pub struct RankStats {
+    /// Rank id.
+    pub rank: usize,
+    /// Edges owned by the shard.
+    pub owned_edges: usize,
+    /// Edges the rank's kernel instances kept.
+    pub kept_edges: usize,
+}
+
+/// Outcome of a distributed compression run.
+#[derive(Clone, Debug)]
+pub struct DistResult {
+    /// The compressed graph (gathered at the root).
+    pub result: CompressionResult,
+    /// Per-rank statistics.
+    pub ranks: Vec<RankStats>,
+    /// Merged degree histogram of the compressed graph
+    /// (`degree -> #vertices`), the Figure-8 artifact.
+    pub degree_histogram: Vec<(usize, usize)>,
+}
+
+/// Runs an edge kernel over `ranks` simulated distributed ranks.
+pub fn distributed_edge_kernel<K: EdgeKernel>(
+    g: &CsrGraph,
+    kernel: &K,
+    ranks: usize,
+    seed: u64,
+) -> DistResult {
+    assert!(ranks > 0, "need at least one rank");
+    let start = Instant::now();
+    let shards = partition_edges(g, ranks);
+    let (tx, rx) = channel::unbounded::<(usize, Vec<EdgeId>)>();
+
+    // Each rank runs its shard independently (thread = MPI rank).
+    std::thread::scope(|scope| {
+        for shard in &shards {
+            let tx = tx.clone();
+            let shard: EdgeShard = *shard;
+            scope.spawn(move || {
+                let sg = SgContext::new(g, seed);
+                let kept: Vec<EdgeId> = shard
+                    .edge_ids()
+                    .filter(|&e| {
+                        let (u, v) = g.edge_endpoints(e);
+                        let view = EdgeView {
+                            id: e,
+                            u,
+                            v,
+                            weight: g.edge_weight(e),
+                            deg_u: g.degree(u),
+                            deg_v: g.degree(v),
+                        };
+                        !matches!(kernel.process(view, &sg), EdgeDecision::Delete)
+                    })
+                    .collect();
+                tx.send((shard.rank, kept)).expect("root outlives ranks");
+            });
+        }
+    });
+    drop(tx);
+
+    // Gather phase at the root.
+    let mut per_rank: Vec<Vec<EdgeId>> = vec![Vec::new(); ranks];
+    for (rank, kept) in rx {
+        per_rank[rank] = kept;
+    }
+    let stats: Vec<RankStats> = shards
+        .iter()
+        .map(|s| RankStats {
+            rank: s.rank,
+            owned_edges: s.len(),
+            kept_edges: per_rank[s.rank].len(),
+        })
+        .collect();
+    let mut keep_mask = vec![false; g.num_edges()];
+    for kept in &per_rank {
+        for &e in kept {
+            keep_mask[e as usize] = true;
+        }
+    }
+    let graph = g.filter_edges(|e| keep_mask[e as usize]);
+    let degree_histogram = distributed_degree_histogram(&graph, ranks);
+    DistResult {
+        result: CompressionResult {
+            graph,
+            original_edges: g.num_edges(),
+            original_vertices: g.num_vertices(),
+            elapsed: start.elapsed(),
+            vertex_mapping: None,
+        },
+        ranks: stats,
+        degree_histogram,
+    }
+}
+
+/// Distributed random uniform sampling — the §7.3 experiment (Figure 8).
+pub fn distributed_uniform_sample(g: &CsrGraph, p: f64, ranks: usize, seed: u64) -> DistResult {
+    let kernel = sg_core::schemes::UniformKernel::new(p);
+    distributed_edge_kernel(g, &kernel, ranks, seed)
+}
+
+/// Computes the degree histogram with per-rank partial histograms merged at
+/// the root (each rank owns a contiguous vertex range — the reduction the
+/// paper performs with RMA accumulate).
+pub fn distributed_degree_histogram(g: &CsrGraph, ranks: usize) -> Vec<(usize, usize)> {
+    let parts = sg_graph::partition::partition_vertices(g.num_vertices(), ranks);
+    let (tx, rx) = channel::unbounded::<Vec<(usize, usize)>>();
+    std::thread::scope(|scope| {
+        for &(lo, hi) in &parts {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                let mut local: rustc_lite::Map = rustc_lite::Map::new();
+                for v in lo..hi {
+                    local.add(g.degree(v as VertexId));
+                }
+                tx.send(local.into_sorted()).expect("root outlives ranks");
+            });
+        }
+    });
+    drop(tx);
+    let mut merged: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+    for part in rx {
+        for (d, c) in part {
+            *merged.entry(d).or_insert(0) += c;
+        }
+    }
+    merged.into_iter().collect()
+}
+
+/// Tiny local histogram helper (keeps per-rank state allocation-light).
+mod rustc_lite {
+    pub struct Map {
+        counts: Vec<usize>,
+    }
+    impl Map {
+        pub fn new() -> Self {
+            Self { counts: Vec::new() }
+        }
+        pub fn add(&mut self, degree: usize) {
+            if degree >= self.counts.len() {
+                self.counts.resize(degree + 1, 0);
+            }
+            self.counts[degree] += 1;
+        }
+        pub fn into_sorted(self) -> Vec<(usize, usize)> {
+            self.counts
+                .into_iter()
+                .enumerate()
+                .filter(|&(_, c)| c > 0)
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_core::schemes::uniform_sample;
+    use sg_graph::generators;
+
+    #[test]
+    fn distributed_matches_shared_memory_exactly() {
+        // Determinism in (seed, edge id) means rank count cannot change the
+        // result — the core guarantee of the simulation.
+        let g = generators::rmat_graph500(12, 8, 1);
+        let shared = uniform_sample(&g, 0.4, 42);
+        for ranks in [1, 2, 7, 16] {
+            let dist = distributed_uniform_sample(&g, 0.4, ranks, 42);
+            assert_eq!(
+                dist.result.graph.edge_slice(),
+                shared.graph.edge_slice(),
+                "ranks = {ranks}"
+            );
+        }
+    }
+
+    #[test]
+    fn rank_stats_cover_all_edges() {
+        let g = generators::erdos_renyi(1000, 5000, 2);
+        let dist = distributed_uniform_sample(&g, 0.3, 5, 3);
+        let owned: usize = dist.ranks.iter().map(|r| r.owned_edges).sum();
+        let kept: usize = dist.ranks.iter().map(|r| r.kept_edges).sum();
+        assert_eq!(owned, g.num_edges());
+        assert_eq!(kept, dist.result.graph.num_edges());
+    }
+
+    #[test]
+    fn histogram_matches_direct_computation() {
+        let g = generators::barabasi_albert(800, 4, 4);
+        let hist = distributed_degree_histogram(&g, 6);
+        let direct = sg_graph::properties::DegreeDistribution::of(&g);
+        assert_eq!(hist, direct.entries);
+    }
+
+    #[test]
+    fn histogram_total_is_n() {
+        let g = generators::rmat_graph500(11, 10, 5);
+        let dist = distributed_uniform_sample(&g, 0.7, 4, 6);
+        let total: usize = dist.degree_histogram.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, g.num_vertices());
+    }
+
+    #[test]
+    fn single_rank_degenerates_gracefully() {
+        let g = generators::path(10);
+        let dist = distributed_uniform_sample(&g, 0.0, 1, 7);
+        assert_eq!(dist.result.graph.num_edges(), 9);
+        assert_eq!(dist.ranks.len(), 1);
+    }
+}

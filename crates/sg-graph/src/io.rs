@@ -1,0 +1,216 @@
+//! Graph I/O: plain-text edge lists (SNAP style) and a compact binary format.
+//!
+//! The binary format stores the canonical edge array directly and is the
+//! vehicle for the paper's storage-reduction accounting: compressing a graph
+//! and re-serializing it shows the on-disk saving.
+
+use crate::edge_list::EdgeList;
+use crate::types::{VertexId, Weight};
+use crate::CsrGraph;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: u32 = 0x5147_5253; // "SRGQ"
+
+/// Reads a whitespace-separated edge list (`u v [w]` per line, `#` comments).
+pub fn read_edge_list_text<R: BufRead>(reader: R) -> io::Result<EdgeList> {
+    let mut el = EdgeList::new(0);
+    let mut weighted: Option<bool> = None;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>, what: &str| -> io::Result<u64> {
+            tok.ok_or_else(|| bad_line(lineno, what))?
+                .parse::<u64>()
+                .map_err(|_| bad_line(lineno, what))
+        };
+        let u = parse(it.next(), "source")? as VertexId;
+        let v = parse(it.next(), "target")? as VertexId;
+        match it.next() {
+            Some(wtok) => {
+                let w: Weight =
+                    wtok.parse().map_err(|_| bad_line(lineno, "weight"))?;
+                match weighted {
+                    Some(false) => return Err(bad_line(lineno, "mixed weighted/unweighted")),
+                    _ => weighted = Some(true),
+                }
+                el.push_weighted(u, v, w);
+            }
+            None => {
+                match weighted {
+                    Some(true) => return Err(bad_line(lineno, "mixed weighted/unweighted")),
+                    _ => weighted = Some(false),
+                }
+                el.push(u, v);
+            }
+        }
+    }
+    el.num_vertices = el.max_vertex_bound();
+    Ok(el)
+}
+
+fn bad_line(lineno: usize, what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("line {}: bad {what}", lineno + 1))
+}
+
+/// Writes a graph as a text edge list (canonical edges only).
+pub fn write_edge_list_text<W: Write>(g: &CsrGraph, mut writer: W) -> io::Result<()> {
+    for (e, u, v) in g.edge_iter() {
+        if g.is_weighted() {
+            writeln!(writer, "{u} {v} {}", g.edge_weight(e))?;
+        } else {
+            writeln!(writer, "{u} {v}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Serializes a graph into the compact binary format.
+pub fn to_binary(g: &CsrGraph) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + g.num_edges() * 12);
+    buf.put_u32(MAGIC);
+    buf.put_u8(g.is_directed() as u8);
+    buf.put_u8(g.is_weighted() as u8);
+    buf.put_u64(g.num_vertices() as u64);
+    buf.put_u64(g.num_edges() as u64);
+    for (e, u, v) in g.edge_iter() {
+        buf.put_u32(u);
+        buf.put_u32(v);
+        if g.is_weighted() {
+            buf.put_f32(g.edge_weight(e));
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes a graph from the binary format.
+pub fn from_binary(mut data: &[u8]) -> io::Result<CsrGraph> {
+    let fail = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if data.remaining() < 22 {
+        return Err(fail("truncated header"));
+    }
+    if data.get_u32() != MAGIC {
+        return Err(fail("bad magic"));
+    }
+    let directed = data.get_u8() != 0;
+    let weighted = data.get_u8() != 0;
+    let n = data.get_u64() as usize;
+    let m = data.get_u64() as usize;
+    let rec = if weighted { 12 } else { 8 };
+    if data.remaining() < m * rec {
+        return Err(fail("truncated edge section"));
+    }
+    let mut el = EdgeList::with_capacity(n, m);
+    if weighted {
+        el.weights = Some(Vec::with_capacity(m));
+    }
+    for _ in 0..m {
+        let u = data.get_u32();
+        let v = data.get_u32();
+        el.edges.push((u, v));
+        if weighted {
+            el.weights.as_mut().expect("weighted").push(data.get_f32());
+        }
+    }
+    Ok(if directed {
+        CsrGraph::from_edge_list_directed(el)
+    } else {
+        CsrGraph::from_edge_list(el)
+    })
+}
+
+/// Loads a graph from a text edge-list file (undirected).
+pub fn load_text(path: impl AsRef<Path>) -> io::Result<CsrGraph> {
+    let el = read_edge_list_text(BufReader::new(File::open(path)?))?;
+    Ok(CsrGraph::from_edge_list(el))
+}
+
+/// Saves a graph to a text edge-list file.
+pub fn save_text(g: &CsrGraph, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write_edge_list_text(g, &mut w)?;
+    w.flush()
+}
+
+/// Saves a graph in binary form; returns bytes written.
+pub fn save_binary(g: &CsrGraph, path: impl AsRef<Path>) -> io::Result<usize> {
+    let data = to_binary(g);
+    File::create(path)?.write_all(&data)?;
+    Ok(data.len())
+}
+
+/// Loads a graph from a binary file.
+pub fn load_binary(path: impl AsRef<Path>) -> io::Result<CsrGraph> {
+    let mut data = Vec::new();
+    File::open(path)?.read_to_end(&mut data)?;
+    from_binary(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn text_roundtrip_unweighted() {
+        let g = generators::erdos_renyi(100, 300, 1);
+        let mut buf = Vec::new();
+        write_edge_list_text(&g, &mut buf).expect("write");
+        let el = read_edge_list_text(&buf[..]).expect("read");
+        let h = CsrGraph::from_edge_list(el);
+        assert_eq!(g.num_edges(), h.num_edges());
+        assert_eq!(g.edge_slice(), h.edge_slice());
+    }
+
+    #[test]
+    fn text_parses_comments_and_weights() {
+        let src = "# header\n0 1 2.5\n\n1 2 0.5\n";
+        let el = read_edge_list_text(src.as_bytes()).expect("parse");
+        assert_eq!(el.edges, vec![(0, 1), (1, 2)]);
+        assert_eq!(el.weights.expect("weighted"), vec![2.5, 0.5]);
+    }
+
+    #[test]
+    fn text_rejects_garbage() {
+        assert!(read_edge_list_text("0 x\n".as_bytes()).is_err());
+        assert!(read_edge_list_text("0\n".as_bytes()).is_err());
+        assert!(read_edge_list_text("0 1 2.0\n0 2\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = generators::with_random_weights(&generators::erdos_renyi(64, 200, 2), 1.0, 9.0, 3);
+        let bytes = to_binary(&g);
+        let h = from_binary(&bytes).expect("decode");
+        assert_eq!(g.num_edges(), h.num_edges());
+        assert_eq!(g.num_vertices(), h.num_vertices());
+        assert!(h.is_weighted());
+        for (e, _, _) in g.edge_iter() {
+            assert!((g.edge_weight(e) - h.edge_weight(e)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        assert!(from_binary(&[1, 2, 3]).is_err());
+        let g = generators::erdos_renyi(10, 20, 4);
+        let bytes = to_binary(&g);
+        assert!(from_binary(&bytes[..bytes.len() - 4]).is_err());
+        let mut bad = bytes.to_vec();
+        bad[0] ^= 0xFF;
+        assert!(from_binary(&bad).is_err());
+    }
+
+    #[test]
+    fn compressed_graph_serializes_smaller() {
+        let g = generators::erdos_renyi(500, 4000, 5);
+        let h = g.filter_edges(|e| e % 2 == 0);
+        assert!(to_binary(&h).len() < to_binary(&g).len());
+    }
+}

@@ -1,0 +1,174 @@
+//! Structural graph properties: degree statistics and distributions.
+//!
+//! Degree-distribution analysis is one of the paper's accuracy instruments
+//! (Figures 7 and 8): compression schemes are judged visually by how they
+//! deform the distribution. [`DegreeDistribution`] produces the
+//! `degree -> fraction of vertices` series those plots show.
+
+use crate::types::VertexId;
+use crate::CsrGraph;
+use rayon::prelude::*;
+
+/// Summary statistics over vertex degrees.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    pub min: usize,
+    pub max: usize,
+    pub mean: f64,
+    /// Number of isolated (degree-0) vertices.
+    pub isolated: usize,
+    /// Number of degree-1 vertices (targets of the low-degree kernel).
+    pub leaves: usize,
+}
+
+/// Computes degree statistics in parallel.
+pub fn degree_stats(g: &CsrGraph) -> DegreeStats {
+    let n = g.num_vertices();
+    if n == 0 {
+        return DegreeStats { min: 0, max: 0, mean: 0.0, isolated: 0, leaves: 0 };
+    }
+    let (min, max, sum, isolated, leaves) = (0..n as VertexId)
+        .into_par_iter()
+        .map(|v| {
+            let d = g.degree(v);
+            (d, d, d, (d == 0) as usize, (d == 1) as usize)
+        })
+        .reduce(
+            || (usize::MAX, 0, 0, 0, 0),
+            |a, b| (a.0.min(b.0), a.1.max(b.1), a.2 + b.2, a.3 + b.3, a.4 + b.4),
+        );
+    DegreeStats { min, max, mean: sum as f64 / n as f64, isolated, leaves }
+}
+
+/// A sparse degree histogram: `(degree, count)` pairs sorted by degree.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DegreeDistribution {
+    pub entries: Vec<(usize, usize)>,
+    pub num_vertices: usize,
+}
+
+impl DegreeDistribution {
+    /// Builds the distribution for a graph.
+    pub fn of(g: &CsrGraph) -> Self {
+        let mut counts = vec![0usize; g.max_degree() + 1];
+        for v in 0..g.num_vertices() as VertexId {
+            counts[g.degree(v)] += 1;
+        }
+        let entries = counts
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        Self { entries, num_vertices: g.num_vertices() }
+    }
+
+    /// `degree -> fraction of vertices` series (what Figures 7/8 plot).
+    pub fn fractions(&self) -> Vec<(usize, f64)> {
+        let n = self.num_vertices.max(1) as f64;
+        self.entries.iter().map(|&(d, c)| (d, c as f64 / n)).collect()
+    }
+
+    /// Number of distinct degrees present ("scatter" of the plot; uniform
+    /// sampling is observed to reduce this clutter in Fig. 8).
+    pub fn support_size(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Least-squares slope of `log(fraction)` vs `log(degree)` over degrees
+    /// ≥ 1 — the power-law exponent estimate. Spanners "strengthen the power
+    /// law" (Fig. 7): the fit residual shrinks as k grows.
+    pub fn power_law_fit(&self) -> Option<PowerLawFit> {
+        let pts: Vec<(f64, f64)> = self
+            .fractions()
+            .into_iter()
+            .filter(|&(d, f)| d >= 1 && f > 0.0)
+            .map(|(d, f)| ((d as f64).ln(), f.ln()))
+            .collect();
+        if pts.len() < 3 {
+            return None;
+        }
+        let n = pts.len() as f64;
+        let sx: f64 = pts.iter().map(|p| p.0).sum();
+        let sy: f64 = pts.iter().map(|p| p.1).sum();
+        let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+        let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < 1e-12 {
+            return None;
+        }
+        let slope = (n * sxy - sx * sy) / denom;
+        let intercept = (sy - slope * sx) / n;
+        let ss_res: f64 =
+            pts.iter().map(|&(x, y)| (y - (slope * x + intercept)).powi(2)).sum();
+        let mean_y = sy / n;
+        let ss_tot: f64 = pts.iter().map(|&(_, y)| (y - mean_y).powi(2)).sum();
+        let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+        Some(PowerLawFit { exponent: slope, r2 })
+    }
+}
+
+/// Result of fitting `fraction ∝ degree^exponent`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerLawFit {
+    /// Fitted exponent (negative for heavy-tailed graphs).
+    pub exponent: f64,
+    /// Coefficient of determination of the log–log fit.
+    pub r2: f64,
+}
+
+/// Global clustering-related count: triangles per vertex `T / n`, using the
+/// provided triangle total (computed by `sg-algos`).
+pub fn triangles_per_vertex(triangles: u64, g: &CsrGraph) -> f64 {
+    if g.num_vertices() == 0 {
+        0.0
+    } else {
+        triangles as f64 / g.num_vertices() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn stats_on_star() {
+        let g = generators::star(10);
+        let s = degree_stats(&g);
+        assert_eq!(s.max, 9);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.leaves, 9);
+        assert_eq!(s.isolated, 0);
+    }
+
+    #[test]
+    fn stats_on_empty() {
+        let g = crate::CsrGraph::from_pairs(0, &[]);
+        let s = degree_stats(&g);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn distribution_sums_to_n() {
+        let g = generators::erdos_renyi(500, 1500, 3);
+        let d = DegreeDistribution::of(&g);
+        let total: usize = d.entries.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 500);
+        let frac_sum: f64 = d.fractions().iter().map(|&(_, f)| f).sum();
+        assert!((frac_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_law_fit_negative_for_ba() {
+        let g = generators::barabasi_albert(5000, 3, 1);
+        let fit = DegreeDistribution::of(&g).power_law_fit().expect("enough points");
+        assert!(fit.exponent < -1.0, "exponent {}", fit.exponent);
+    }
+
+    #[test]
+    fn power_law_fit_none_for_regular() {
+        // A cycle has a single degree value — no fit possible.
+        let g = generators::cycle(50);
+        assert!(DegreeDistribution::of(&g).power_law_fit().is_none());
+    }
+}

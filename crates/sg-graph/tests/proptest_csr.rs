@@ -1,0 +1,149 @@
+//! Property-based tests for the CSR substrate: construction invariants,
+//! canonical edge identity, filtering, serialization round-trips.
+
+use proptest::prelude::*;
+use sg_graph::{io, CsrGraph, EdgeList};
+
+/// Strategy: an arbitrary raw edge list over up to `n` vertices (possibly
+/// with duplicates, self-loops, both orientations).
+fn raw_edges(max_n: u32, max_m: usize) -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
+    (2..max_n).prop_flat_map(move |n| {
+        let edge = (0..n, 0..n);
+        (Just(n), proptest::collection::vec(edge, 0..max_m))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSR invariants hold for any input: sorted rows, consistent degrees,
+    /// canonical endpoints, both directions sharing an edge id.
+    #[test]
+    fn csr_structural_invariants((n, edges) in raw_edges(64, 200)) {
+        let g = CsrGraph::from_pairs(n as usize, &edges);
+        // Degrees sum to 2m.
+        let degree_sum: usize = (0..g.num_vertices() as u32).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+        for v in 0..g.num_vertices() as u32 {
+            let row = g.neighbors(v);
+            // Sorted, unique, no self-loops.
+            prop_assert!(row.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(!row.contains(&v));
+            // Slot edge ids agree with canonical endpoints.
+            for (i, &t) in row.iter().enumerate() {
+                let e = g.neighbor_edge_ids(v)[i];
+                let (a, b) = g.edge_endpoints(e);
+                prop_assert_eq!((a, b), (v.min(t), v.max(t)));
+                // Reverse direction resolves to the same id.
+                prop_assert_eq!(g.find_edge(t, v), Some(e));
+            }
+        }
+        // Canonical edges sorted and unique.
+        let es = g.edge_slice();
+        prop_assert!(es.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(es.iter().all(|&(u, v)| u < v));
+    }
+
+    /// Construction is idempotent: rebuilding from the canonical edge list
+    /// reproduces the graph.
+    #[test]
+    fn csr_roundtrip_via_edge_list((n, edges) in raw_edges(64, 200)) {
+        let g = CsrGraph::from_pairs(n as usize, &edges);
+        let h = CsrGraph::from_edge_list(g.to_edge_list());
+        prop_assert_eq!(g.edge_slice(), h.edge_slice());
+        prop_assert_eq!(g.num_vertices(), h.num_vertices());
+    }
+
+    /// Binary serialization round-trips exactly.
+    #[test]
+    fn binary_io_roundtrip((n, edges) in raw_edges(48, 150)) {
+        let g = CsrGraph::from_pairs(n as usize, &edges);
+        let bytes = io::to_binary(&g);
+        let h = io::from_binary(&bytes).expect("valid payload");
+        prop_assert_eq!(g.edge_slice(), h.edge_slice());
+        prop_assert_eq!(g.num_vertices(), h.num_vertices());
+    }
+
+    /// Filtering by an arbitrary predicate keeps exactly the selected edges
+    /// and never disturbs the others.
+    #[test]
+    fn filter_edges_selects_exactly((n, edges) in raw_edges(64, 200), modulus in 2u32..7) {
+        let g = CsrGraph::from_pairs(n as usize, &edges);
+        let h = g.filter_edges(|e| e % modulus == 0);
+        let expect: Vec<_> = g
+            .edge_iter()
+            .filter(|&(e, _, _)| e % modulus == 0)
+            .map(|(_, u, v)| (u, v))
+            .collect();
+        prop_assert_eq!(h.edge_slice(), &expect[..]);
+        prop_assert_eq!(h.num_vertices(), g.num_vertices());
+    }
+
+    /// Vertex removal produces a graph whose edges are exactly the
+    /// surviving-endpoint edges, relabelled by the returned mapping.
+    #[test]
+    fn remove_vertices_consistent((n, edges) in raw_edges(48, 150), kill_mod in 2u32..5) {
+        let g = CsrGraph::from_pairs(n as usize, &edges);
+        let removed: Vec<bool> =
+            (0..g.num_vertices() as u32).map(|v| v % kill_mod == 0).collect();
+        let (h, map) = g.remove_vertices(&removed);
+        for (v, m) in map.iter().enumerate() {
+            prop_assert_eq!(m.is_none(), removed[v]);
+        }
+        let mut expect: Vec<(u32, u32)> = g
+            .edge_iter()
+            .filter_map(|(_, u, v)| match (map[u as usize], map[v as usize]) {
+                (Some(nu), Some(nv)) => Some((nu.min(nv), nu.max(nv))),
+                _ => None,
+            })
+            .collect();
+        expect.sort_unstable();
+        expect.dedup();
+        prop_assert_eq!(h.edge_slice(), &expect[..]);
+    }
+
+    /// Weighted canonicalization preserves the multiset of (edge, weight)
+    /// pairs up to duplicate resolution.
+    #[test]
+    fn weighted_edges_survive_canonicalization(
+        (n, edges) in raw_edges(32, 100),
+        wseed in 0u64..100,
+    ) {
+        let triples: Vec<(u32, u32, f32)> = edges
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v))| {
+                (u, v, 1.0 + sg_graph::prng::unit_f64(wseed, i as u64) as f32)
+            })
+            .collect();
+        let g = CsrGraph::from_weighted_pairs(n as usize, &triples);
+        for (e, u, v) in g.edge_iter() {
+            let w = g.edge_weight(e);
+            // The weight must come from SOME input triple on that edge.
+            let found = triples.iter().any(|&(a, b, tw)| {
+                (a.min(b), a.max(b)) == (u, v) && (tw - w).abs() < 1e-6
+            });
+            prop_assert!(found, "weight {w} of edge ({u},{v}) not in input");
+        }
+    }
+
+    /// Generators produce graphs whose edge count never exceeds the request
+    /// and whose determinism holds.
+    #[test]
+    fn er_generator_bounds(n in 10usize..200, m in 1usize..500, seed in 0u64..50) {
+        let g = sg_graph::generators::erdos_renyi(n, m, seed);
+        prop_assert!(g.num_edges() <= m);
+        prop_assert_eq!(g.num_vertices(), n);
+        let h = sg_graph::generators::erdos_renyi(n, m, seed);
+        prop_assert_eq!(g.edge_slice(), h.edge_slice());
+    }
+}
+
+#[test]
+fn edge_list_canonicalization_is_idempotent() {
+    let mut el = EdgeList::from_pairs(5, vec![(0, 1), (1, 0), (2, 2), (3, 4)]);
+    el.canonicalize_undirected();
+    let once = el.edges.clone();
+    el.canonicalize_undirected();
+    assert_eq!(el.edges, once);
+}

@@ -1,0 +1,18 @@
+//! # sg-lowrank — clustered low-rank graph approximation baseline
+//!
+//! The paper compares Slim Graph against low-rank approximation of the
+//! adjacency matrix via clustered SVD [133, 149] (§4.6, §7.4) and finds
+//! "significant storage overheads and consistently very high error rates";
+//! this crate reproduces that comparator: a dense symmetric-matrix
+//! eigensolver (randomized subspace iteration), whole-graph truncated
+//! low-rank reconstruction, and the clustered per-block variant.
+//!
+//! Everything is intentionally dense — the point of the experiment is that
+//! the approach costs `O(n_c^2)` storage and `O(n_c^3)` work and still
+//! reconstructs the edge set poorly.
+
+pub mod matrix;
+pub mod svd;
+
+pub use matrix::DenseMatrix;
+pub use svd::{clustered_lowrank, lowrank_approximation, LowRankResult};

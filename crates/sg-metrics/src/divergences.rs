@@ -1,0 +1,147 @@
+//! Statistical divergences (§5).
+//!
+//! The paper surveys f-divergences and Bregman divergences and selects
+//! Kullback–Leibler — the only divergence in both families — to quantify
+//! information loss between algorithm outputs interpreted as probability
+//! distributions (PageRank above all; Table 5). A few alternatives are
+//! provided so users can reproduce the paper's selection analysis.
+
+/// Additive smoothing floor: divergences require absolute continuity
+/// (`Q(i) = 0 ⟹ P(i) = 0`); compressed graphs can zero a vertex's rank, so
+/// both inputs are smoothed and renormalized before comparison.
+const SMOOTHING: f64 = 1e-12;
+
+fn smooth(p: &[f64]) -> Vec<f64> {
+    let total: f64 = p.iter().map(|&x| x.max(0.0) + SMOOTHING).sum();
+    p.iter().map(|&x| (x.max(0.0) + SMOOTHING) / total).collect()
+}
+
+fn check_lengths(p: &[f64], q: &[f64]) {
+    assert_eq!(p.len(), q.len(), "distributions must have equal support");
+    assert!(!p.is_empty(), "distributions must be non-empty");
+}
+
+/// Kullback–Leibler divergence `D(P ‖ Q) = Σ P(i) log2(P(i)/Q(i))` in bits.
+///
+/// Non-negative; zero iff the (smoothed) distributions coincide. Lower KL
+/// between PageRank distributions means the compressed graph is closer to
+/// the original (Table 5's reading).
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    check_lengths(p, q);
+    let ps = smooth(p);
+    let qs = smooth(q);
+    ps.iter()
+        .zip(&qs)
+        .map(|(&pi, &qi)| if pi > 0.0 { pi * (pi / qi).log2() } else { 0.0 })
+        .sum::<f64>()
+        .max(0.0) // guard tiny negative rounding
+}
+
+/// Jensen–Shannon divergence (symmetrized, bounded KL): `(D(P‖M)+D(Q‖M))/2`
+/// with `M = (P+Q)/2`. Bounded by 1 bit.
+pub fn jensen_shannon(p: &[f64], q: &[f64]) -> f64 {
+    check_lengths(p, q);
+    let ps = smooth(p);
+    let qs = smooth(q);
+    let m: Vec<f64> = ps.iter().zip(&qs).map(|(&a, &b)| 0.5 * (a + b)).collect();
+    0.5 * (kl_divergence(&ps, &m) + kl_divergence(&qs, &m))
+}
+
+/// Total variation distance `½ Σ |P(i) − Q(i)|`, in `[0, 1]`.
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    check_lengths(p, q);
+    let ps = smooth(p);
+    let qs = smooth(q);
+    0.5 * ps.iter().zip(&qs).map(|(&a, &b)| (a - b).abs()).sum::<f64>()
+}
+
+/// Hellinger distance `√(½ Σ (√P(i) − √Q(i))²)`, in `[0, 1]`.
+pub fn hellinger(p: &[f64], q: &[f64]) -> f64 {
+    check_lengths(p, q);
+    let ps = smooth(p);
+    let qs = smooth(q);
+    let s: f64 = ps
+        .iter()
+        .zip(&qs)
+        .map(|(&a, &b)| (a.sqrt() - b.sqrt()).powi(2))
+        .sum();
+    (0.5 * s).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kl_is_zero_for_identical() {
+        let p = vec![0.25, 0.25, 0.5];
+        assert!(kl_divergence(&p, &p) < 1e-9);
+    }
+
+    #[test]
+    fn kl_is_nonnegative_and_asymmetric() {
+        let p = vec![0.7, 0.2, 0.1];
+        let q = vec![0.1, 0.2, 0.7];
+        let d1 = kl_divergence(&p, &q);
+        let d2 = kl_divergence(&q, &p);
+        assert!(d1 > 0.0);
+        assert!(d2 > 0.0);
+        // KL is generally asymmetric; for this symmetric swap it happens to
+        // coincide, so perturb instead.
+        let q2 = vec![0.5, 0.3, 0.2];
+        assert!((kl_divergence(&p, &q2) - kl_divergence(&q2, &p)).abs() > 1e-6);
+    }
+
+    #[test]
+    fn kl_grows_with_distortion() {
+        // §7.2: "the higher the compression ratio, the higher KL becomes" —
+        // monotone response to increasing distortion.
+        let p = vec![0.4, 0.3, 0.2, 0.1];
+        let mild = vec![0.38, 0.31, 0.21, 0.10];
+        let harsh = vec![0.1, 0.2, 0.3, 0.4];
+        assert!(kl_divergence(&p, &mild) < kl_divergence(&p, &harsh));
+    }
+
+    #[test]
+    fn kl_handles_zeros_via_smoothing() {
+        let p = vec![0.5, 0.5, 0.0];
+        let q = vec![0.5, 0.0, 0.5];
+        let d = kl_divergence(&p, &q);
+        assert!(d.is_finite());
+        assert!(d > 0.0);
+    }
+
+    #[test]
+    fn js_is_symmetric_and_bounded() {
+        let p = vec![0.9, 0.1];
+        let q = vec![0.1, 0.9];
+        let a = jensen_shannon(&p, &q);
+        let b = jensen_shannon(&q, &p);
+        assert!((a - b).abs() < 1e-12);
+        assert!(a > 0.0 && a <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn tv_and_hellinger_bounds() {
+        let p = vec![1.0, 0.0];
+        let q = vec![0.0, 1.0];
+        assert!(total_variation(&p, &q) > 0.99);
+        assert!(hellinger(&p, &q) > 0.99);
+        assert!(total_variation(&p, &p) < 1e-9);
+        assert!(hellinger(&p, &p) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal support")]
+    fn mismatched_lengths_panic() {
+        kl_divergence(&[0.5, 0.5], &[1.0]);
+    }
+
+    #[test]
+    fn unnormalized_inputs_are_normalized() {
+        // Raw algorithm outputs may not sum to 1; smoothing normalizes.
+        let p = vec![2.0, 2.0];
+        let q = vec![1.0, 1.0];
+        assert!(kl_divergence(&p, &q) < 1e-9);
+    }
+}

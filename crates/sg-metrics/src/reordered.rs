@@ -1,0 +1,197 @@
+//! Counts of reordered pairs (§5).
+//!
+//! For algorithms whose output is a per-vertex score that imposes an
+//! ordering (betweenness centrality, triangles per vertex), compression
+//! accuracy is the number of vertex pairs whose relative order flips,
+//! normalized by `n²` — `|PRE / n²|` in the paper. The exact count uses a
+//! Fenwick tree (O(n log n), the inversion-counting formulation of Kendall's
+//! discordance); the cheaper neighbor-only variant checks only pairs joined
+//! by an edge (O(m)).
+
+use sg_graph::CsrGraph;
+
+/// Fenwick tree for prefix counts.
+struct Bit {
+    tree: Vec<u64>,
+}
+
+impl Bit {
+    fn new(n: usize) -> Self {
+        Self { tree: vec![0; n + 1] }
+    }
+    fn add(&mut self, mut i: usize) {
+        i += 1;
+        while i < self.tree.len() {
+            self.tree[i] += 1;
+            i += i & i.wrapping_neg();
+        }
+    }
+    /// Count of inserted values with index ≤ i.
+    fn prefix(&self, mut i: usize) -> u64 {
+        i += 1;
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+}
+
+/// Dense ranks of `values` (equal values share a rank).
+fn dense_ranks(values: &[f64]) -> (Vec<usize>, usize) {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    let mut ranks = vec![0usize; values.len()];
+    let mut rank = 0usize;
+    for (pos, &i) in idx.iter().enumerate() {
+        if pos > 0 && values[i] != values[idx[pos - 1]] {
+            rank += 1;
+        }
+        ranks[i] = rank;
+    }
+    (ranks, rank + 1)
+}
+
+/// Exact number of *discordant* pairs: pairs `(i, j)` with
+/// `before[i] < before[j]` but `after[i] > after[j]` (strict flips; ties on
+/// either side do not count).
+pub fn reordered_pair_count(before: &[f64], after: &[f64]) -> u64 {
+    assert_eq!(before.len(), after.len(), "score vectors must align");
+    let n = before.len();
+    if n < 2 {
+        return 0;
+    }
+    let (after_ranks, num_ranks) = dense_ranks(after);
+    // Process vertices in increasing `before` order, groups of equal
+    // `before` together so intra-group pairs (ties) are excluded. For each
+    // element, previously inserted elements all have strictly smaller
+    // `before`; those with strictly larger `after` rank are discordant.
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| before[a].total_cmp(&before[b]));
+    let mut bit = Bit::new(num_ranks);
+    let mut inserted = 0u64;
+    let mut count = 0u64;
+    let mut pos = 0usize;
+    while pos < n {
+        let mut end = pos;
+        while end < n && before[idx[end]] == before[idx[pos]] {
+            end += 1;
+        }
+        // Count discordances against everything inserted so far.
+        for &i in &idx[pos..end] {
+            let r = after_ranks[i];
+            let le = bit.prefix(r); // inserted with after-rank <= r
+            count += inserted - le; // strictly greater after-rank => flip
+        }
+        for &i in &idx[pos..end] {
+            bit.add(after_ranks[i]);
+            inserted += 1;
+        }
+        pos = end;
+    }
+    count
+}
+
+/// `|PRE / n²|` — the paper's normalized reordered-pair metric.
+pub fn reordered_pair_fraction(before: &[f64], after: &[f64]) -> f64 {
+    let n = before.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    reordered_pair_count(before, after) as f64 / (n * n)
+}
+
+/// Neighbor-only variant (O(m)): the fraction of *edges* whose endpoint
+/// order (w.r.t. the score) flips after compression. Scores are indexed by
+/// the original graph's vertex ids.
+pub fn reordered_neighbor_fraction(g: &CsrGraph, before: &[f64], after: &[f64]) -> f64 {
+    assert_eq!(before.len(), g.num_vertices());
+    assert_eq!(after.len(), g.num_vertices());
+    if g.num_edges() == 0 {
+        return 0.0;
+    }
+    let flipped = g
+        .edge_iter()
+        .filter(|&(_, u, v)| {
+            let (u, v) = (u as usize, v as usize);
+            (before[u] < before[v] && after[u] > after[v])
+                || (before[u] > before[v] && after[u] < after[v])
+        })
+        .count();
+    flipped as f64 / g.num_edges() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_graph::generators;
+
+    #[test]
+    fn identical_orders_have_zero_flips() {
+        let s = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(reordered_pair_count(&s, &s), 0);
+        assert_eq!(reordered_pair_fraction(&s, &s), 0.0);
+    }
+
+    #[test]
+    fn full_reversal_flips_all_pairs() {
+        let before = vec![1.0, 2.0, 3.0, 4.0];
+        let after = vec![4.0, 3.0, 2.0, 1.0];
+        assert_eq!(reordered_pair_count(&before, &after), 6); // C(4,2)
+    }
+
+    #[test]
+    fn single_swap() {
+        let before = vec![1.0, 2.0, 3.0];
+        let after = vec![2.0, 1.0, 3.0];
+        assert_eq!(reordered_pair_count(&before, &after), 1);
+    }
+
+    #[test]
+    fn ties_do_not_count() {
+        // Pair tied before -> cannot flip; pair tied after -> not a strict flip.
+        let before = vec![1.0, 1.0, 2.0];
+        let after = vec![5.0, 1.0, 1.0];
+        // Pairs: (0,1) tied before; (0,2): before 1<2, after 5>1 -> flip;
+        // (1,2): before 1<2, after 1==1 -> no flip.
+        assert_eq!(reordered_pair_count(&before, &after), 1);
+    }
+
+    #[test]
+    fn matches_bruteforce_on_random() {
+        use sg_graph::prng::unit_f64;
+        let n = 200;
+        let before: Vec<f64> = (0..n).map(|i| unit_f64(1, i as u64)).collect();
+        let after: Vec<f64> = (0..n).map(|i| unit_f64(2, i as u64)).collect();
+        let brute = {
+            let mut c = 0u64;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if (before[i] < before[j] && after[i] > after[j])
+                        || (before[i] > before[j] && after[i] < after[j])
+                    {
+                        c += 1;
+                    }
+                }
+            }
+            c
+        };
+        assert_eq!(reordered_pair_count(&before, &after), brute);
+    }
+
+    #[test]
+    fn neighbor_fraction_on_path() {
+        let g = generators::path(3); // edges (0,1), (1,2)
+        let before = vec![1.0, 2.0, 3.0];
+        let after = vec![2.0, 1.0, 3.0];
+        // Edge (0,1) flipped, edge (1,2) kept order (1 < 3).
+        assert!((reordered_neighbor_fraction(&g, &before, &after) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(reordered_pair_fraction(&[], &[]), 0.0);
+        assert_eq!(reordered_pair_fraction(&[1.0], &[2.0]), 0.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Relative scalar change — the simple metric for scalar-output algorithms
+//! (#connected components, triangle totals, MST weight, matching size).
+
+/// Relative change `(after - before) / before`; 0 when both are 0.
+pub fn relative_change(before: f64, after: f64) -> f64 {
+    if before == 0.0 {
+        if after == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (after - before) / before
+    }
+}
+
+/// Relative *error* `|after - before| / |before|` (symmetric sign).
+pub fn relative_error(before: f64, after: f64) -> f64 {
+    relative_change(before, after).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_changes() {
+        assert_eq!(relative_change(10.0, 5.0), -0.5);
+        assert_eq!(relative_change(10.0, 15.0), 0.5);
+        assert_eq!(relative_change(0.0, 0.0), 0.0);
+        assert_eq!(relative_change(0.0, 3.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn error_is_absolute() {
+        assert_eq!(relative_error(10.0, 5.0), 0.5);
+        assert_eq!(relative_error(10.0, 15.0), 0.5);
+    }
+}

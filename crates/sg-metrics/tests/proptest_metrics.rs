@@ -1,0 +1,105 @@
+//! Property-based tests for the analytics subsystem's mathematical
+//! invariants (divergence axioms, reordered-pair identities).
+
+use proptest::prelude::*;
+use sg_metrics::{
+    hellinger, jensen_shannon, kl_divergence, reordered::reordered_pair_count, total_variation,
+};
+
+fn distribution(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.001f64..10.0, len..=len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// KL is non-negative and zero on identical inputs.
+    #[test]
+    fn kl_nonnegative(p in distribution(16), q in distribution(16)) {
+        prop_assert!(kl_divergence(&p, &q) >= 0.0);
+        prop_assert!(kl_divergence(&p, &p) < 1e-9);
+    }
+
+    /// KL is invariant under rescaling either argument (inputs are
+    /// normalized internally).
+    #[test]
+    fn kl_scale_invariant(p in distribution(12), q in distribution(12), c in 0.1f64..50.0) {
+        let scaled: Vec<f64> = p.iter().map(|x| x * c).collect();
+        let d1 = kl_divergence(&p, &q);
+        let d2 = kl_divergence(&scaled, &q);
+        prop_assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    /// Jensen–Shannon is symmetric and bounded by 1 bit.
+    #[test]
+    fn js_symmetric_bounded(p in distribution(12), q in distribution(12)) {
+        let a = jensen_shannon(&p, &q);
+        let b = jensen_shannon(&q, &p);
+        prop_assert!((a - b).abs() < 1e-9);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&a));
+    }
+
+    /// Total variation and Hellinger are metrics on [0, 1]: symmetric,
+    /// zero iff equal, triangle inequality.
+    #[test]
+    fn tv_hellinger_metric_axioms(
+        p in distribution(10),
+        q in distribution(10),
+        r in distribution(10),
+    ) {
+        for f in [total_variation, hellinger] {
+            let pq = f(&p, &q);
+            let qp = f(&q, &p);
+            prop_assert!((pq - qp).abs() < 1e-9);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&pq));
+            prop_assert!(f(&p, &p) < 1e-9);
+            // Triangle inequality.
+            prop_assert!(f(&p, &r) <= pq + f(&q, &r) + 1e-9);
+        }
+    }
+
+    /// Pinsker-style ordering: TV² ≤ KL·ln2/2 (sanity tying the divergences
+    /// together).
+    #[test]
+    fn pinsker_inequality(p in distribution(14), q in distribution(14)) {
+        let tv = total_variation(&p, &q);
+        let kl_nats = kl_divergence(&p, &q) * std::f64::consts::LN_2;
+        prop_assert!(tv * tv <= kl_nats / 2.0 + 1e-9);
+    }
+
+    /// Reordered pairs: symmetric in (before, after), zero for identity and
+    /// for any monotone transform, equal to brute force.
+    #[test]
+    fn reordered_pairs_properties(scores in proptest::collection::vec(0u32..50, 2..40)) {
+        let before: Vec<f64> = scores.iter().map(|&x| x as f64).collect();
+        // Monotone transform preserves order -> zero flips.
+        let squared: Vec<f64> = before.iter().map(|x| x * x + 1.0).collect();
+        prop_assert_eq!(reordered_pair_count(&before, &squared), 0);
+        // Symmetry.
+        let reversed: Vec<f64> = before.iter().map(|x| -x).collect();
+        prop_assert_eq!(
+            reordered_pair_count(&before, &reversed),
+            reordered_pair_count(&reversed, &before)
+        );
+    }
+
+    /// Exact count matches O(n²) brute force on random score pairs.
+    #[test]
+    fn reordered_matches_bruteforce(
+        before in proptest::collection::vec(0u32..20, 2..30),
+        after in proptest::collection::vec(0u32..20, 2..30),
+    ) {
+        let n = before.len().min(after.len());
+        let b: Vec<f64> = before[..n].iter().map(|&x| x as f64).collect();
+        let a: Vec<f64> = after[..n].iter().map(|&x| x as f64).collect();
+        let mut brute = 0u64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if (b[i] < b[j] && a[i] > a[j]) || (b[i] > b[j] && a[i] < a[j]) {
+                    brute += 1;
+                }
+            }
+        }
+        prop_assert_eq!(reordered_pair_count(&b, &a), brute);
+    }
+}

