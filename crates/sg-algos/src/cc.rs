@@ -57,7 +57,8 @@ fn normalize(uf: &mut UnionFind, n: usize) -> CcResult {
             min_label[r] = v;
         }
     }
-    let labels: Vec<VertexId> = (0..n as VertexId).map(|v| min_label[uf.find(v) as usize]).collect();
+    let labels: Vec<VertexId> =
+        (0..n as VertexId).map(|v| min_label[uf.find(v) as usize]).collect();
     CcResult { num_components: uf.num_components(), labels }
 }
 

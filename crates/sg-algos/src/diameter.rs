@@ -14,22 +14,12 @@ use sg_graph::{CsrGraph, VertexId};
 /// to small graphs). Returns 0 for empty/edgeless graphs.
 pub fn diameter_exact(g: &CsrGraph) -> u32 {
     let n = g.num_vertices();
-    (0..n as VertexId)
-        .into_par_iter()
-        .map(|s| eccentricity(g, s))
-        .max()
-        .unwrap_or(0)
+    (0..n as VertexId).into_par_iter().map(|s| eccentricity(g, s)).max().unwrap_or(0)
 }
 
 /// Eccentricity of `s` within its component.
 pub fn eccentricity(g: &CsrGraph, s: VertexId) -> u32 {
-    bfs(g, s)
-        .depth
-        .iter()
-        .copied()
-        .filter(|&d| d != UNREACHABLE)
-        .max()
-        .unwrap_or(0)
+    bfs(g, s).depth.iter().copied().filter(|&d| d != UNREACHABLE).max().unwrap_or(0)
 }
 
 /// Double-sweep diameter lower bound: BFS from `start`, then BFS from the
@@ -71,7 +61,7 @@ pub fn average_path_length_sampled(g: &CsrGraph, samples: usize, seed: u64) -> f
             }
             (sum, cnt)
         })
-        .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+        .fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
     if count == 0 {
         0.0
     } else {

@@ -90,15 +90,10 @@ pub fn arboricity_lower_bound(g: &CsrGraph) -> u32 {
     let kmax = cores.degeneracy;
     let in_core: Vec<bool> = cores.core.iter().map(|&c| c == kmax).collect();
     let core_n = in_core.iter().filter(|&&b| b).count();
-    let core_m = g
-        .edge_iter()
-        .filter(|&(_, u, v)| in_core[u as usize] && in_core[v as usize])
-        .count();
-    let core_bound = if core_n >= 2 {
-        (core_m as f64 / (core_n as f64 - 1.0)).ceil() as u32
-    } else {
-        0
-    };
+    let core_m =
+        g.edge_iter().filter(|&(_, u, v)| in_core[u as usize] && in_core[v as usize]).count();
+    let core_bound =
+        if core_n >= 2 { (core_m as f64 / (core_n as f64 - 1.0)).ceil() as u32 } else { 0 };
     // Degeneracy/2 is also a classic arboricity lower bound.
     whole.max(core_bound).max(cores.degeneracy.div_ceil(2))
 }

@@ -50,9 +50,7 @@ pub fn is_maximal_independent_set(g: &CsrGraph, set: &[VertexId]) -> bool {
     }
     // Maximality: every non-member has a member neighbor.
     for v in 0..n as VertexId {
-        if !member[v as usize]
-            && !g.neighbors(v).iter().any(|&u| member[u as usize])
-        {
+        if !member[v as usize] && !g.neighbors(v).iter().any(|&u| member[u as usize]) {
             return false;
         }
     }

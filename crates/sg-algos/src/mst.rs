@@ -24,9 +24,7 @@ pub fn minimum_spanning_forest(g: &CsrGraph) -> MstResult {
     let mut order: Vec<EdgeId> = (0..g.num_edges() as EdgeId).collect();
     // Sort by (weight, id) — the id tiebreak makes the result deterministic.
     order.par_sort_unstable_by(|&a, &b| {
-        g.edge_weight(a)
-            .total_cmp(&g.edge_weight(b))
-            .then(a.cmp(&b))
+        g.edge_weight(a).total_cmp(&g.edge_weight(b)).then(a.cmp(&b))
     });
     let mut uf = UnionFind::new(g.num_vertices());
     let mut edges = Vec::new();
@@ -98,7 +96,8 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let g = generators::with_random_weights(&generators::erdos_renyi(200, 800, 1), 1.0, 10.0, 2);
+        let g =
+            generators::with_random_weights(&generators::erdos_renyi(200, 800, 1), 1.0, 10.0, 2);
         let a = minimum_spanning_forest(&g);
         let b = minimum_spanning_forest(&g);
         assert_eq!(a.edges, b.edges);

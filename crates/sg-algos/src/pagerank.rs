@@ -55,11 +55,8 @@ pub fn pagerank(g: &CsrGraph, cfg: PageRankConfig) -> PageRankResult {
     let mut residual = f64::INFINITY;
     while iterations < cfg.max_iterations && residual > cfg.tolerance {
         // Mass of dangling vertices (out-degree 0) teleports everywhere.
-        let dangling: f64 = (0..n)
-            .into_par_iter()
-            .filter(|&v| out_degree[v] == 0)
-            .map(|v| rank[v])
-            .sum();
+        let dangling: f64 =
+            (0..n).into_par_iter().filter(|&v| out_degree[v] == 0).map(|v| rank[v]).sum();
         let dangling_share = cfg.damping * dangling * inv_n;
 
         next.par_iter_mut().enumerate().for_each(|(v, slot)| {
@@ -71,11 +68,7 @@ pub fn pagerank(g: &CsrGraph, cfg: PageRankConfig) -> PageRankResult {
             *slot = base_teleport + dangling_share + cfg.damping * pulled;
         });
 
-        residual = rank
-            .par_iter()
-            .zip(next.par_iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        residual = rank.par_iter().zip(next.par_iter()).map(|(a, b)| (a - b).abs()).sum();
         std::mem::swap(&mut rank, &mut next);
         iterations += 1;
     }
@@ -150,7 +143,10 @@ mod tests {
     #[test]
     fn converges_on_skewed_graph() {
         let g = generators::rmat_graph500(10, 8, 5);
-        let r = pagerank(&g, PageRankConfig { tolerance: 1e-12, max_iterations: 300, ..Default::default() });
+        let r = pagerank(
+            &g,
+            PageRankConfig { tolerance: 1e-12, max_iterations: 300, ..Default::default() },
+        );
         assert!(r.residual < 1e-10);
     }
 }

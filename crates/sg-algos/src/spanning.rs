@@ -78,7 +78,6 @@ pub fn cluster_spanning_tree(
     cluster_spanning_tree_by(g, members, |v| in_cluster[v as usize])
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;

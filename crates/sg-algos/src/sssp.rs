@@ -129,7 +129,6 @@ pub fn shortest_path_length(g: &CsrGraph, u: VertexId, v: VertexId) -> f64 {
     dijkstra(g, u)[v as usize]
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,7 +157,8 @@ mod tests {
 
     #[test]
     fn delta_stepping_matches_dijkstra() {
-        let g = generators::with_random_weights(&generators::erdos_renyi(300, 1500, 7), 1.0, 10.0, 8);
+        let g =
+            generators::with_random_weights(&generators::erdos_renyi(300, 1500, 7), 1.0, 10.0, 8);
         let a = dijkstra(&g, 0);
         let b = delta_stepping(&g, 0, 2.0);
         for (x, y) in a.iter().zip(&b) {

@@ -50,14 +50,7 @@ pub fn for_each_triangle(g: &CsrGraph, f: impl Fn(Triangle) + Sync) {
                     std::cmp::Ordering::Less => a += 1,
                     std::cmp::Ordering::Greater => b += 1,
                     std::cmp::Ordering::Equal => {
-                        f(Triangle {
-                            u,
-                            v,
-                            w: nu[a],
-                            e_uv,
-                            e_vw: ev[b],
-                            e_uw: eu[a],
-                        });
+                        f(Triangle { u, v, w: nu[a], e_uv, e_vw: ev[b], e_uw: eu[a] });
                         a += 1;
                         b += 1;
                     }
@@ -102,11 +95,11 @@ pub fn doulion_estimate(g: &CsrGraph, q: f64, seed: u64) -> f64 {
 /// Collects all triangles into a vector (sorted for determinism). Intended
 /// for kernel scheduling at moderate T; counting paths never materialize.
 pub fn list_triangles(g: &CsrGraph) -> Vec<Triangle> {
-    let out = parking_lot::Mutex::new(Vec::new());
+    let out = std::sync::Mutex::new(Vec::new());
     // Thread-local buffers flushed once would be faster; a mutex push per
     // triangle is acceptable at evaluation scale and keeps the code obvious.
-    for_each_triangle(g, |t| out.lock().push(t));
-    let mut v = out.into_inner();
+    for_each_triangle(g, |t| out.lock().expect("no poisoned lock").push(t));
+    let mut v = out.into_inner().expect("no poisoned lock");
     v.par_sort_unstable_by_key(|t| (t.u, t.v, t.w));
     v
 }

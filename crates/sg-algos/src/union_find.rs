@@ -13,11 +13,7 @@ pub struct UnionFind {
 impl UnionFind {
     /// Creates `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        Self {
-            parent: (0..n as VertexId).collect(),
-            size: vec![1; n],
-            components: n,
-        }
+        Self { parent: (0..n as VertexId).collect(), size: vec![1; n], components: n }
     }
 
     /// Finds the representative of `x`, halving paths along the way.
@@ -36,11 +32,8 @@ impl UnionFind {
         if ra == rb {
             return false;
         }
-        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
-            (ra, rb)
-        } else {
-            (rb, ra)
-        };
+        let (big, small) =
+            if self.size[ra as usize] >= self.size[rb as usize] { (ra, rb) } else { (rb, ra) };
         self.parent[small as usize] = big;
         self.size[big as usize] += self.size[small as usize];
         self.components -= 1;

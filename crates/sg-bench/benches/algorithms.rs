@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sg_algos::{bfs, cc, pagerank, tc};
-use sg_core::Scheme;
+use sg_core::CompressionScheme;
 use sg_graph::generators;
 use sg_graph::CsrGraph;
 use std::hint::black_box;
@@ -14,7 +14,7 @@ fn workload() -> CsrGraph {
 
 fn bench_algorithms(c: &mut Criterion) {
     let g = workload();
-    let compressed = Scheme::Uniform { p: 0.5 }.apply(&g, 9).graph;
+    let compressed = sg_core::scheme::Uniform { p: 0.5 }.apply(&g, 9).graph;
     let mut group = c.benchmark_group("stage2");
     group.sample_size(10);
     for (label, graph) in [("original", &g), ("uniform_p0.5", &compressed)] {

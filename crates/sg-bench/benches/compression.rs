@@ -4,8 +4,8 @@
 //! sampling <= spectral < spanner < TR < summarization.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sg_core::schemes::{TrConfig, UpsilonVariant};
-use sg_core::Scheme;
+use sg_bench::scheme;
+use sg_core::{CompressionScheme, SchemeRegistry};
 use sg_graph::generators;
 use sg_graph::CsrGraph;
 use std::hint::black_box;
@@ -16,21 +16,19 @@ fn workload() -> CsrGraph {
 
 fn bench_schemes(c: &mut Criterion) {
     let g = workload();
+    let registry = SchemeRegistry::with_defaults();
     let mut group = c.benchmark_group("compression");
     group.sample_size(10);
-    let schemes = [
-        ("uniform", Scheme::Uniform { p: 0.5 }),
-        (
-            "spectral",
-            Scheme::Spectral { p: 0.5, variant: UpsilonVariant::LogN, reweight: false },
-        ),
-        ("spanner_k8", Scheme::Spanner { k: 8.0 }),
-        ("tr_plain", Scheme::TriangleReduction(TrConfig::plain_1(0.5))),
-        ("tr_eo", Scheme::TriangleReduction(TrConfig::edge_once_1(0.5))),
-        ("summarization", Scheme::Summarization { epsilon: 0.1 }),
+    let schemes: [(&str, Box<dyn CompressionScheme>); 6] = [
+        ("uniform", scheme(&registry, "uniform", &[("p", "0.5")])),
+        ("spectral", scheme(&registry, "spectral", &[("p", "0.5")])),
+        ("spanner_k8", scheme(&registry, "spanner", &[("k", "8")])),
+        ("tr_plain", scheme(&registry, "tr", &[("p", "0.5")])),
+        ("tr_eo", scheme(&registry, "tr-eo", &[("p", "0.5")])),
+        ("summarization", scheme(&registry, "summary", &[("epsilon", "0.1")])),
     ];
-    for (name, scheme) in schemes {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &scheme, |b, s| {
+    for (name, scheme) in &schemes {
+        group.bench_with_input(BenchmarkId::from_parameter(name), scheme, |b, s| {
             b.iter(|| black_box(s.apply(&g, 42)));
         });
     }

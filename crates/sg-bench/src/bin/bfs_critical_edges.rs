@@ -46,10 +46,7 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(
-            &["graph", "k", "edges removed", "critical edges kept", "root spread"],
-            &rows
-        )
+        render_table(&["graph", "k", "edges removed", "critical edges kept", "root spread"], &rows)
     );
     println!("(paper s-pok reference: 21/73/89/95% removed -> 96/75/57/27% kept)");
 }

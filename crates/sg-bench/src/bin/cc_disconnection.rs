@@ -10,32 +10,35 @@
 //! Run: `cargo run --release -p sg-bench --bin cc_disconnection`
 
 use sg_algos::cc::connected_components;
-use sg_bench::render_table;
-use sg_core::schemes::{TrConfig, UpsilonVariant};
-use sg_core::Scheme;
+use sg_bench::{render_table, scheme};
+use sg_core::{CompressionScheme, SchemeRegistry};
 use sg_graph::generators::presets;
 
 fn main() {
     let seed = 0xCC14;
+    let registry = SchemeRegistry::with_defaults();
     println!("== Components after compression (schemes at comparable budgets) ==\n");
     let mut rows = Vec::new();
     for (name, g) in [("s-pok", presets::s_pok_like()), ("s-you", presets::s_you_like())] {
         let base_cc = connected_components(&g).num_components;
         // Fix the budget with spectral; match uniform & summarization to it.
-        let spec = Scheme::Spectral { p: 0.4, variant: UpsilonVariant::LogN, reweight: false }
-            .apply(&g, seed);
+        let spec = scheme(&registry, "spectral", &[("p", "0.4")]).apply(&g, seed);
         let budget = (spec.edge_reduction() * 1000.0).round() / 1000.0;
         let schemes: Vec<(String, usize, f64)> = vec![
-            scheme_row(&g, Scheme::Uniform { p: budget }, seed),
+            scheme_row(&g, &*scheme(&registry, "uniform", &[("p", &budget.to_string())]), seed),
             (
                 format!("Spectral (matched, -{:.0}%)", budget * 100.0),
                 connected_components(&spec.graph).num_components,
                 spec.edge_reduction(),
             ),
-            scheme_row(&g, Scheme::Summarization { epsilon: budget / 2.0 }, seed),
-            scheme_row(&g, Scheme::TriangleReduction(TrConfig::edge_once_1(1.0)), seed),
-            scheme_row(&g, Scheme::Spanner { k: 8.0 }, seed),
-            scheme_row(&g, Scheme::CutSparsifier { k: 2 }, seed),
+            scheme_row(
+                &g,
+                &*scheme(&registry, "summary", &[("epsilon", &(budget / 2.0).to_string())]),
+                seed,
+            ),
+            scheme_row(&g, &*scheme(&registry, "tr-eo", &[("p", "1.0")]), seed),
+            scheme_row(&g, &*scheme(&registry, "spanner", &[("k", "8")]), seed),
+            scheme_row(&g, &*scheme(&registry, "cut", &[("k", "2")]), seed),
         ];
         for (label, comps, removed) in schemes {
             rows.push(vec![
@@ -50,20 +53,17 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(
-            &["graph", "scheme", "removed", "#CC before", "#CC after", "delta"],
-            &rows
-        )
+        render_table(&["graph", "scheme", "removed", "#CC before", "#CC after", "delta"], &rows)
     );
     println!("(expected: uniform/summary disconnect most; spectral far less; EO-TR,");
     println!(" spanner and cut sparsifier keep the count exactly)");
 }
 
-fn scheme_row(g: &sg_graph::CsrGraph, scheme: Scheme, seed: u64) -> (String, usize, f64) {
+fn scheme_row(
+    g: &sg_graph::CsrGraph,
+    scheme: &dyn CompressionScheme,
+    seed: u64,
+) -> (String, usize, f64) {
     let r = scheme.apply(g, seed);
-    (
-        scheme.label(),
-        connected_components(&r.graph).num_components,
-        r.edge_reduction(),
-    )
+    (scheme.label(), connected_components(&r.graph).num_components, r.edge_reduction())
 }

@@ -8,42 +8,37 @@
 //!
 //! Run: `cargo run --release -p sg-bench --bin fig5_tradeoffs`
 
-use sg_bench::{f3, relative_runtime_diff, render_table, run_algorithm, FIG5_ALGORITHMS};
-use sg_core::schemes::{TrConfig, UpsilonVariant};
-use sg_core::Scheme;
+use sg_bench::{f3, relative_runtime_diff, render_table, run_algorithm, scheme, FIG5_ALGORITHMS};
+use sg_core::{CompressionScheme, SchemeRegistry};
 use sg_graph::generators::presets;
 
 #[allow(clippy::vec_init_then_push)]
 fn main() {
     let suite = presets::fig5_suite();
     let seed = 0xF15;
+    let registry = SchemeRegistry::with_defaults();
+    let sweep = |name: &str, key: &str, values: &[f64]| -> Vec<Box<dyn CompressionScheme>> {
+        values.iter().map(|v| scheme(&registry, name, &[(key, &v.to_string())])).collect()
+    };
 
-    let mut sections: Vec<(&str, Vec<Scheme>)> = Vec::new();
+    let mut sections: Vec<(&str, Vec<Box<dyn CompressionScheme>>)> = Vec::new();
     sections.push((
         "Edge kernels: spectral sparsification (p log(n) variant)",
-        [0.005, 0.01, 0.05, 0.1, 0.5]
-            .into_iter()
-            .map(|p| Scheme::Spectral { p, variant: UpsilonVariant::LogN, reweight: false })
-            .collect(),
+        sweep("spectral", "p", &[0.005, 0.01, 0.05, 0.1, 0.5]),
     ));
     sections.push((
         "Edge kernels: random uniform sampling",
-        [0.1, 0.3, 0.5, 0.7, 0.9].into_iter().map(|p| Scheme::Uniform { p }).collect(),
+        sweep("uniform", "p", &[0.1, 0.3, 0.5, 0.7, 0.9]),
     ));
     sections.push((
         "Triangle kernels: Triangle p-1-Reduction",
-        [0.1, 0.3, 0.5, 0.7, 0.9]
-            .into_iter()
-            .map(|p| Scheme::TriangleReduction(TrConfig::plain_1(p)))
-            .collect(),
+        sweep("tr", "p", &[0.1, 0.3, 0.5, 0.7, 0.9]),
     ));
-    sections.push((
-        "Subgraph kernels: O(k)-spanners",
-        [2.0, 8.0, 32.0, 128.0].into_iter().map(|k| Scheme::Spanner { k }).collect(),
-    ));
+    sections
+        .push(("Subgraph kernels: O(k)-spanners", sweep("spanner", "k", &[2.0, 8.0, 32.0, 128.0])));
     sections.push((
         "Subgraph kernels: lossy summarization (error bound eps)",
-        [0.0, 0.1, 0.4, 0.7].into_iter().map(|epsilon| Scheme::Summarization { epsilon }).collect(),
+        sweep("summary", "epsilon", &[0.0, 0.1, 0.4, 0.7]),
     ));
 
     for (title, schemes) in sections {
@@ -64,10 +59,7 @@ fn main() {
         }
         println!(
             "{}",
-            render_table(
-                &["graph", "scheme", "m'/m", "dBFS", "dCC", "dPR", "dTC"],
-                &rows
-            )
+            render_table(&["graph", "scheme", "m'/m", "dBFS", "dCC", "dPR", "dTC"], &rows)
         );
     }
     println!("(d<alg> = relative runtime difference vs the uncompressed graph; positive = faster)");

@@ -14,7 +14,15 @@ fn main() {
     let seed = 0xF16;
     println!("== Figure 6 (left): spectral sparsification variants, p = 0.5 ==\n");
     let graphs = [
-        "h-dbp", "h-dit", "h-hud", "l-cit", "m-twt", "s-frs", "s-lib", "s-ljn-sub", "s-ork-sub",
+        "h-dbp",
+        "h-dit",
+        "h-hud",
+        "l-cit",
+        "m-twt",
+        "s-frs",
+        "s-lib",
+        "s-ljn-sub",
+        "s-ork-sub",
         "v-skt",
     ];
     let mut rows = Vec::new();
@@ -27,16 +35,9 @@ fn main() {
         };
         let avg = spectral_sparsify(&g, 0.5, UpsilonVariant::AvgDegree, false, seed);
         let logn = spectral_sparsify(&g, 0.5, UpsilonVariant::LogN, false, seed);
-        rows.push(vec![
-            name.to_string(),
-            f3(avg.edge_reduction()),
-            f3(logn.edge_reduction()),
-        ]);
+        rows.push(vec![name.to_string(), f3(avg.edge_reduction()), f3(logn.edge_reduction())]);
     }
-    println!(
-        "{}",
-        render_table(&["graph", "spectral-avgdeg", "spectral-logn"], &rows)
-    );
+    println!("{}", render_table(&["graph", "spectral-avgdeg", "spectral-logn"], &rows));
 
     println!("\n== Figure 6 (right): Triangle Reduction variants, p = 0.5 ==\n");
     let tr_graphs = ["s-you", "s-pok", "s-flc", "h-hud", "v-ewk"];
@@ -53,10 +54,7 @@ fn main() {
             f3(eo.edge_reduction()),
         ]);
     }
-    println!(
-        "{}",
-        render_table(&["graph", "0.5-1-TR", "CT-0.5-1-TR", "EO-0.5-1-TR"], &rows)
-    );
+    println!("{}", render_table(&["graph", "0.5-1-TR", "CT-0.5-1-TR", "EO-0.5-1-TR"], &rows));
     println!("(edge reduction = fraction of edges removed; Fig. 6's y-axis)");
     println!("note: EO here is the protective edge-disjoint variant that realizes the");
     println!("paper's §6.1 guarantees; it trades some reduction for them (see EXPERIMENTS.md)");

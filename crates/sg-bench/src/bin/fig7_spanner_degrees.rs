@@ -46,10 +46,7 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(
-            &["graph", "variant", "m", "max_deg", "#degrees", "pl_exp", "pl_R2"],
-            &rows
-        )
+        render_table(&["graph", "variant", "m", "max_deg", "#degrees", "pl_exp", "pl_R2"], &rows)
     );
     println!("(pl_R2 closer to 1 under larger k = the power law 'strengthens', Fig. 7)");
 

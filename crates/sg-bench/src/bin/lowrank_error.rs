@@ -47,10 +47,7 @@ fn main() {
             format!("{:.2}x", r.storage_overhead()),
         ]);
     }
-    println!(
-        "{}",
-        render_table(&["rank", "#clusters", "error rate", "storage vs CSR"], &rows)
-    );
+    println!("{}", render_table(&["rank", "#clusters", "error rate", "storage vs CSR"], &rows));
 
     // Slim Graph reference point at a comparable "loss budget".
     let u = uniform_sample(&g, 0.5, seed);
@@ -59,5 +56,7 @@ fn main() {
         u.edge_reduction(),
         u.graph.storage_bytes() as f64 / g.storage_bytes() as f64
     );
-    println!("(low-rank error rates should far exceed the sampling loss at any comparable storage)");
+    println!(
+        "(low-rank error rates should far exceed the sampling loss at any comparable storage)"
+    );
 }

@@ -3,9 +3,9 @@
 //!
 //! Run: `cargo run --release -p sg-bench --bin tab2_overview`
 
-use sg_bench::render_table;
-use sg_core::schemes::{summarize, SummarizationConfig, TrConfig, UpsilonVariant};
-use sg_core::Scheme;
+use sg_bench::{render_table, scheme};
+use sg_core::schemes::{summarize, SummarizationConfig};
+use sg_core::{CompressionScheme, SchemeRegistry};
 use sg_graph::generators;
 
 fn main() {
@@ -19,19 +19,29 @@ fn main() {
     let p = 0.4;
     let k = 8.0;
     let eps = 0.1;
-    let rows: Vec<(Scheme, String)> = vec![
+    let registry = SchemeRegistry::with_defaults();
+    let p_s = p.to_string();
+    let k_s = k.to_string();
+    let eps_s = eps.to_string();
+    let rows: Vec<(Box<dyn CompressionScheme>, String)> = vec![
         (
-            Scheme::Spectral { p, variant: UpsilonVariant::LogN, reweight: true },
+            scheme(&registry, "spectral", &[("p", &p_s), ("reweight", "true")]),
             "prop. to max(log n, ...) * n".to_string(),
         ),
-        (Scheme::Uniform { p }, format!("(1-p)m = {:.0}", (1.0 - p) * m)),
+        (scheme(&registry, "uniform", &[("p", &p_s)]), format!("(1-p)m = {:.0}", (1.0 - p) * m)),
         (
-            Scheme::TriangleReduction(TrConfig::plain_1(p)),
+            scheme(&registry, "tr", &[("p", &p_s)]),
             // §6.1: at least pT/(3d) edges deleted in expectation.
             format!("<= m - pT/(3d) = {:.0}", m - p * t / (3.0 * g.max_degree() as f64)),
         ),
-        (Scheme::Spanner { k }, format!("O(n^(1+1/k) log k) ~ {:.0}", n.powf(1.0 + 1.0 / k))),
-        (Scheme::Summarization { epsilon: eps }, format!("m +/- 2 eps m = {:.0}±{:.0}", m, 2.0 * eps * m)),
+        (
+            scheme(&registry, "spanner", &[("k", &k_s)]),
+            format!("O(n^(1+1/k) log k) ~ {:.0}", n.powf(1.0 + 1.0 / k)),
+        ),
+        (
+            scheme(&registry, "summary", &[("epsilon", &eps_s)]),
+            format!("m +/- 2 eps m = {:.0}±{:.0}", m, 2.0 * eps * m),
+        ),
     ];
 
     let mut table = Vec::new();

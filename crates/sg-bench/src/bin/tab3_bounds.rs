@@ -9,11 +9,11 @@
 
 use sg_algos::{cc, coloring, diameter, matching, mis, mst, sssp, tc};
 use sg_bench::render_table;
-use sg_core::schemes::{
-    remove_low_degree, spanner, spectral_sparsify, summarize, triangle_reduce,
-    SummarizationConfig, TrConfig, UpsilonVariant,
-};
 use sg_core::schemes::uniform_sample;
+use sg_core::schemes::{
+    remove_low_degree, spanner, spectral_sparsify, summarize, triangle_reduce, SummarizationConfig,
+    TrConfig, UpsilonVariant,
+};
 use sg_graph::generators;
 use sg_graph::CsrGraph;
 
@@ -67,9 +67,10 @@ fn main() {
         // Shortest path stretch <= 2 (here: from a fixed root).
         let d0 = sssp::dijkstra(&g, 0);
         let d1 = sssp::dijkstra(h, 0);
-        let stretch_ok = d0.iter().zip(&d1).all(|(a, b)| {
-            !a.is_finite() || (b.is_finite() && *b <= 2.0 * *a + 1e-9)
-        });
+        let stretch_ok = d0
+            .iter()
+            .zip(&d1)
+            .all(|(a, b)| !a.is_finite() || (b.is_finite() && *b <= 2.0 * *a + 1e-9));
         check(&mut checks, "EO p-1-TR", "s-t path", "<= 2P", "all pairs from root", stretch_ok);
         // Diameter <= 2D (via double sweep lower bounds both sides).
         let dd0 = diameter::diameter_double_sweep(&g, 0);
@@ -352,10 +353,7 @@ fn main() {
             ]
         })
         .collect();
-    println!(
-        "{}",
-        render_table(&["scheme", "property", "bound", "measured", "verdict"], &rows)
-    );
+    println!("{}", render_table(&["scheme", "property", "bound", "measured", "verdict"], &rows));
     let violations = checks.iter().filter(|c| !c.holds).count();
     println!("{} checks, {} violations", checks.len(), violations);
     if violations > 0 {
@@ -368,10 +366,6 @@ fn main() {
 fn weighted_degree_ok(g: &CsrGraph, h: &CsrGraph) -> bool {
     let v = sg_bench::densest_vertex(g);
     let orig = g.degree(v) as f64;
-    let weighted: f64 = h
-        .neighbor_edge_ids(v)
-        .iter()
-        .map(|&e| h.edge_weight(e) as f64)
-        .sum();
+    let weighted: f64 = h.neighbor_edge_ids(v).iter().map(|&e| h.edge_weight(e) as f64).sum();
     weighted >= orig / 2.5 && weighted <= orig * 2.5
 }

@@ -9,22 +9,22 @@
 //! Run: `cargo run --release -p sg-bench --bin tab5_kl_pagerank`
 
 use sg_algos::pagerank::pagerank_default;
-use sg_bench::render_table;
-use sg_core::schemes::TrConfig;
-use sg_core::Scheme;
+use sg_bench::{render_table, scheme};
+use sg_core::SchemeRegistry;
 use sg_graph::generators::presets;
 use sg_metrics::kl_divergence;
 
 fn main() {
     let seed = 0x7AB5;
+    let registry = SchemeRegistry::with_defaults();
     let schemes = [
-        Scheme::TriangleReduction(TrConfig::edge_once_1(0.8)),
-        Scheme::TriangleReduction(TrConfig::edge_once_1(1.0)),
-        Scheme::Uniform { p: 0.2 },
-        Scheme::Uniform { p: 0.5 },
-        Scheme::Spanner { k: 2.0 },
-        Scheme::Spanner { k: 16.0 },
-        Scheme::Spanner { k: 128.0 },
+        scheme(&registry, "tr-eo", &[("p", "0.8")]),
+        scheme(&registry, "tr-eo", &[("p", "1.0")]),
+        scheme(&registry, "uniform", &[("p", "0.2")]),
+        scheme(&registry, "uniform", &[("p", "0.5")]),
+        scheme(&registry, "spanner", &[("k", "2")]),
+        scheme(&registry, "spanner", &[("k", "16")]),
+        scheme(&registry, "spanner", &[("k", "128")]),
     ];
     let headers: Vec<&str> = std::iter::once("graph")
         .chain([

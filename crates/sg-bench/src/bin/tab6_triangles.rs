@@ -8,9 +8,8 @@
 //! Run: `cargo run --release -p sg-bench --bin tab6_triangles`
 
 use sg_algos::tc::count_triangles;
-use sg_bench::render_table;
-use sg_core::schemes::{TrConfig, UpsilonVariant};
-use sg_core::Scheme;
+use sg_bench::{render_table, scheme};
+use sg_core::{CompressionScheme, SchemeRegistry};
 use sg_graph::generators::presets;
 use sg_graph::CsrGraph;
 
@@ -20,18 +19,19 @@ fn tpv(g: &CsrGraph) -> f64 {
 
 fn main() {
     let seed = 0x7AB6;
-    let schemes: Vec<(&str, Scheme)> = vec![
-        ("0.2-1-TR", Scheme::TriangleReduction(TrConfig::plain_1(0.2))),
-        ("0.9-1-TR", Scheme::TriangleReduction(TrConfig::plain_1(0.9))),
-        ("Unif(0.8)", Scheme::Uniform { p: 0.8 }),
-        ("Unif(0.5)", Scheme::Uniform { p: 0.5 }),
-        ("Unif(0.2)", Scheme::Uniform { p: 0.2 }),
-        ("Span(k=2)", Scheme::Spanner { k: 2.0 }),
-        ("Span(k=16)", Scheme::Spanner { k: 16.0 }),
-        ("Span(k=128)", Scheme::Spanner { k: 128.0 }),
-        ("Spec(0.5)", Scheme::Spectral { p: 0.5, variant: UpsilonVariant::LogN, reweight: false }),
-        ("Spec(0.05)", Scheme::Spectral { p: 0.05, variant: UpsilonVariant::LogN, reweight: false }),
-        ("Spec(0.005)", Scheme::Spectral { p: 0.005, variant: UpsilonVariant::LogN, reweight: false }),
+    let registry = SchemeRegistry::with_defaults();
+    let schemes: Vec<(&str, Box<dyn CompressionScheme>)> = vec![
+        ("0.2-1-TR", scheme(&registry, "tr", &[("p", "0.2")])),
+        ("0.9-1-TR", scheme(&registry, "tr", &[("p", "0.9")])),
+        ("Unif(0.8)", scheme(&registry, "uniform", &[("p", "0.8")])),
+        ("Unif(0.5)", scheme(&registry, "uniform", &[("p", "0.5")])),
+        ("Unif(0.2)", scheme(&registry, "uniform", &[("p", "0.2")])),
+        ("Span(k=2)", scheme(&registry, "spanner", &[("k", "2")])),
+        ("Span(k=16)", scheme(&registry, "spanner", &[("k", "16")])),
+        ("Span(k=128)", scheme(&registry, "spanner", &[("k", "128")])),
+        ("Spec(0.5)", scheme(&registry, "spectral", &[("p", "0.5")])),
+        ("Spec(0.05)", scheme(&registry, "spectral", &[("p", "0.05")])),
+        ("Spec(0.005)", scheme(&registry, "spectral", &[("p", "0.005")])),
     ];
     let mut headers: Vec<&str> = vec!["graph", "Original"];
     headers.extend(schemes.iter().map(|&(n, _)| n));

@@ -7,25 +7,21 @@
 //!
 //! Run: `cargo run --release -p sg-bench --bin timing_compression`
 
-use sg_bench::render_table;
-use sg_core::schemes::{TrConfig, UpsilonVariant};
-use sg_core::Scheme;
+use sg_bench::{render_table, scheme};
+use sg_core::SchemeRegistry;
 use sg_graph::generators::presets;
 
 fn main() {
     let seed = 0x71E;
     let g = presets::v_ewk_like();
-    println!(
-        "workload: v-ewk-like, n = {}, m = {}\n",
-        g.num_vertices(),
-        g.num_edges()
-    );
+    println!("workload: v-ewk-like, n = {}, m = {}\n", g.num_vertices(), g.num_edges());
+    let registry = SchemeRegistry::with_defaults();
     let schemes = [
-        Scheme::Uniform { p: 0.5 },
-        Scheme::Spectral { p: 0.5, variant: UpsilonVariant::LogN, reweight: false },
-        Scheme::Spanner { k: 8.0 },
-        Scheme::TriangleReduction(TrConfig::plain_1(0.5)),
-        Scheme::Summarization { epsilon: 0.1 },
+        scheme(&registry, "uniform", &[("p", "0.5")]),
+        scheme(&registry, "spectral", &[("p", "0.5")]),
+        scheme(&registry, "spanner", &[("k", "8")]),
+        scheme(&registry, "tr", &[("p", "0.5")]),
+        scheme(&registry, "summary", &[("epsilon", "0.1")]),
     ];
     let mut rows = Vec::new();
     let mut base_ms: Option<f64> = None;
@@ -50,9 +46,6 @@ fn main() {
             format!("{:.3}", r.compression_ratio()),
         ]);
     }
-    println!(
-        "{}",
-        render_table(&["scheme", "median ms", "vs sampling", "m'/m"], &rows)
-    );
+    println!("{}", render_table(&["scheme", "median ms", "vs sampling", "m'/m"], &rows));
     println!("(expected ordering: sampling <= spectral < spanner < TR < summarization)");
 }

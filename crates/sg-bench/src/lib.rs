@@ -6,8 +6,21 @@
 //! runtime differences (Figure 5's y-axis), and plain-text table rendering.
 
 use sg_algos::{bfs, cc, pagerank, tc};
+use sg_core::{CompressionScheme, SchemeParams, SchemeRegistry};
 use sg_graph::CsrGraph;
 use std::time::{Duration, Instant};
+
+/// Instantiates a registry scheme for an experiment binary, panicking on
+/// unknown names or bad parameters (harness code wants loud failures).
+pub fn scheme(
+    registry: &SchemeRegistry,
+    name: &str,
+    params: &[(&str, &str)],
+) -> Box<dyn CompressionScheme> {
+    registry
+        .create(name, &SchemeParams::from_pairs(params))
+        .unwrap_or_else(|e| panic!("building scheme '{name}': {e}"))
+}
 
 /// Times a closure.
 pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
@@ -65,9 +78,7 @@ pub fn run_algorithm(name: &str, g: &CsrGraph) -> Duration {
 /// Root choice for BFS runs: the highest-degree vertex (stable across
 /// compression, reached component is large).
 pub fn densest_vertex(g: &CsrGraph) -> u32 {
-    (0..g.num_vertices() as u32)
-        .max_by_key(|&v| g.degree(v))
-        .unwrap_or(0)
+    (0..g.num_vertices() as u32).max_by_key(|&v| g.degree(v)).unwrap_or(0)
 }
 
 /// Figure 5's y-axis: relative difference between runtimes over the
@@ -130,10 +141,7 @@ mod tests {
     fn table_renders_aligned() {
         let t = render_table(
             &["name", "value"],
-            &[
-                vec!["a".into(), "1".into()],
-                vec!["long-name".into(), "22".into()],
-            ],
+            &[vec!["a".into(), "1".into()], vec!["long-name".into(), "22".into()]],
         );
         assert!(t.contains("long-name"));
         assert_eq!(t.lines().count(), 4);
@@ -146,6 +154,20 @@ mod tests {
             let d = run_algorithm(a, &g);
             assert!(d.as_nanos() > 0);
         }
+    }
+
+    #[test]
+    fn scheme_helper_builds_from_registry() {
+        let registry = SchemeRegistry::with_defaults();
+        let s = scheme(&registry, "uniform", &[("p", "0.3")]);
+        assert_eq!(s.name(), "uniform");
+        assert_eq!(s.label(), "uniform (p=0.3)");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scheme")]
+    fn scheme_helper_panics_loudly_on_unknown_names() {
+        scheme(&SchemeRegistry::with_defaults(), "nope", &[]);
     }
 
     #[test]

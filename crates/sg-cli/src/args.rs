@@ -16,15 +16,12 @@ impl Args {
         let command = it.next().cloned().unwrap_or_else(|| "help".to_string());
         let mut options = BTreeMap::new();
         while let Some(tok) = it.next() {
-            let key = tok
-                .strip_prefix("--")
-                .ok_or_else(|| format!("expected --flag, got '{tok}'"))?;
+            let key =
+                tok.strip_prefix("--").ok_or_else(|| format!("expected --flag, got '{tok}'"))?;
             if key.is_empty() {
                 return Err("empty flag name".to_string());
             }
-            let value = it
-                .next()
-                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            let value = it.next().ok_or_else(|| format!("flag --{key} needs a value"))?;
             if options.insert(key.to_string(), value.clone()).is_some() {
                 return Err(format!("flag --{key} given twice"));
             }
@@ -41,7 +38,6 @@ impl Args {
     }
 
     /// Optional string option.
-    #[allow(dead_code)] // exercised by tests; kept for future subcommands
     pub fn get(&self, key: &str) -> Option<&str> {
         self.options.get(key).map(String::as_str)
     }
@@ -50,9 +46,7 @@ impl Args {
     pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.options.get(key) {
             None => Ok(default),
-            Some(raw) => raw
-                .parse()
-                .map_err(|_| format!("flag --{key}: cannot parse '{raw}'")),
+            Some(raw) => raw.parse().map_err(|_| format!("flag --{key}: cannot parse '{raw}'")),
         }
     }
 
@@ -60,10 +54,8 @@ impl Args {
     #[allow(dead_code)] // exercised by tests; kept for future subcommands
     pub fn require_as<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
         let raw = self.require(key)?;
-        raw.parse()
-            .map_err(|_| format!("flag --{key}: cannot parse '{raw}'"))
+        raw.parse().map_err(|_| format!("flag --{key}: cannot parse '{raw}'"))
     }
-
 }
 
 #[cfg(test)]

@@ -2,8 +2,7 @@
 
 use crate::args::Args;
 use sg_algos::{cc, pagerank, tc};
-use sg_core::schemes::{TrConfig, UpsilonVariant};
-use sg_core::Scheme;
+use sg_core::{Pipeline, SchemeParams, SchemeRegistry};
 use sg_graph::{generators, io, CsrGraph};
 use sg_metrics::kl_divergence;
 
@@ -16,8 +15,7 @@ USAGE:
 COMMANDS:
   compress   Compress a graph and write the result
              --input FILE (.txt edge list or .bin)  --output FILE
-             --scheme uniform|spectral|tr|tr-eo|tr-ct|spanner|summary|cut|lowdeg
-             [--p F] [--k F] [--epsilon F] [--seed N]
+             --scheme SPEC  [--p F] [--k F] [--epsilon F] [--seed N]
   analyze    Compress, then report accuracy metrics vs the original
              (same flags as compress, no --output needed)
   stats      Print structural statistics of a graph
@@ -25,7 +23,20 @@ COMMANDS:
   generate   Produce a synthetic workload
              --kind rmat|er|ba|ws|grid  --output FILE
              [--scale N] [--n N] [--m N] [--k N] [--seed N]
+  schemes    List every scheme registered in the compression registry
   help       Show this message
+
+SCHEME SPEC:
+  A comma-separated chain of registry names; stages run left to right over
+  the previous stage's output (the paper's kernel-chaining model). Each
+  stage may override parameters with :key=value suffixes.
+
+    --scheme uniform --p 0.3
+    --scheme spanner,lowdeg,uniform --p 0.5
+    --scheme spanner:k=4,uniform:p=0.3
+
+  Registered names: uniform, spectral, tr, tr-eo, tr-ct, tr-mw, collapse,
+  lowdeg, spanner, summary, cut (see `slimgraph schemes`).
 ";
 
 /// Entry point shared with tests.
@@ -36,6 +47,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "analyze" => analyze(&args),
         "stats" => stats(&args),
         "generate" => generate(&args),
+        "schemes" => schemes(),
         "help" | "--help" | "-h" => {
             println!("{HELP}");
             Ok(())
@@ -45,11 +57,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
 }
 
 fn load(path: &str) -> Result<CsrGraph, String> {
-    let res = if path.ends_with(".bin") {
-        io::load_binary(path)
-    } else {
-        io::load_text(path)
-    };
+    let res = if path.ends_with(".bin") { io::load_binary(path) } else { io::load_text(path) };
     res.map_err(|e| format!("loading {path}: {e}"))
 }
 
@@ -62,32 +70,38 @@ fn save(g: &CsrGraph, path: &str) -> Result<(), String> {
     res.map_err(|e| format!("writing {path}: {e}"))
 }
 
-fn scheme_from(args: &Args) -> Result<Scheme, String> {
-    let p: f64 = args.get_or("p", 0.5)?;
-    let k: f64 = args.get_or("k", 8.0)?;
-    let epsilon: f64 = args.get_or("epsilon", 0.1)?;
-    Ok(match args.require("scheme")? {
-        "uniform" => Scheme::Uniform { p },
-        "spectral" => Scheme::Spectral { p, variant: UpsilonVariant::LogN, reweight: false },
-        "tr" => Scheme::TriangleReduction(TrConfig::plain_1(p)),
-        "tr-eo" => Scheme::TriangleReduction(TrConfig::edge_once_1(p)),
-        "tr-ct" => Scheme::TriangleReduction(TrConfig::count_triangles(p)),
-        "spanner" => Scheme::Spanner { k },
-        "summary" => Scheme::Summarization { epsilon },
-        "cut" => Scheme::CutSparsifier { k: k.max(1.0) as u32 },
-        "lowdeg" => Scheme::LowDegree,
-        other => return Err(format!("unknown scheme '{other}'")),
-    })
+/// Builds the compression pipeline from `--scheme` plus shared parameter
+/// flags (`--p`, `--k`, `--epsilon`, `--variant`, `--reweight`, `--x`).
+fn pipeline_from(args: &Args) -> Result<Pipeline, String> {
+    let mut base = SchemeParams::new();
+    for key in ["p", "k", "epsilon", "variant", "reweight", "x"] {
+        if let Some(value) = args.get(key) {
+            base.set(key, value);
+        }
+    }
+    SchemeRegistry::with_defaults().parse_pipeline(args.require("scheme")?, &base)
 }
 
 fn compress(args: &Args) -> Result<(), String> {
     let g = load(args.require("input")?)?;
-    let scheme = scheme_from(args)?;
+    let pipeline = pipeline_from(args)?;
     let seed: u64 = args.get_or("seed", 42)?;
-    let r = scheme.apply(&g, seed);
+    let out = pipeline.apply(&g, seed);
+    for (i, stage) in out.stages.iter().enumerate() {
+        println!(
+            "stage {}: {}: m {} -> {} ({:.1}% kept) in {:.1} ms",
+            i + 1,
+            stage.label,
+            stage.input_edges,
+            stage.output_edges,
+            stage.compression_ratio() * 100.0,
+            stage.elapsed.as_secs_f64() * 1e3
+        );
+    }
+    let r = &out.result;
     println!(
-        "{}: m {} -> {} ({:.1}% kept) in {:.1} ms",
-        scheme.label(),
+        "total: {}: m {} -> {} ({:.1}% kept) in {:.1} ms",
+        pipeline.label(),
         r.original_edges,
         r.graph.num_edges(),
         r.compression_ratio() * 100.0,
@@ -98,11 +112,12 @@ fn compress(args: &Args) -> Result<(), String> {
 
 fn analyze(args: &Args) -> Result<(), String> {
     let g = load(args.require("input")?)?;
-    let scheme = scheme_from(args)?;
+    let pipeline = pipeline_from(args)?;
     let seed: u64 = args.get_or("seed", 42)?;
-    let r = scheme.apply(&g, seed);
+    let out = pipeline.apply(&g, seed);
+    let r = &out.result;
 
-    println!("scheme:            {}", scheme.label());
+    println!("pipeline:          {}", pipeline.label());
     println!("edges kept:        {:.1}%", r.compression_ratio() * 100.0);
     let cc0 = cc::connected_components(&g).num_components;
     let cc1 = cc::connected_components(&r.graph).num_components;
@@ -138,6 +153,16 @@ fn stats(args: &Args) -> Result<(), String> {
     println!("triangles:    {}", tc::count_triangles(&g));
     if let Some(fit) = sg_graph::properties::DegreeDistribution::of(&g).power_law_fit() {
         println!("power law:    exponent {:.2}, R2 {:.3}", fit.exponent, fit.r2);
+    }
+    Ok(())
+}
+
+fn schemes() -> Result<(), String> {
+    let registry = SchemeRegistry::with_defaults();
+    println!("registered compression schemes (chain with commas):");
+    for name in registry.names() {
+        let scheme = registry.create(name, &SchemeParams::new())?;
+        println!("  {name:<10} defaults: {}", scheme.label());
     }
     Ok(())
 }
@@ -208,24 +233,86 @@ mod tests {
     }
 
     #[test]
-    fn all_schemes_parse() {
-        for s in ["uniform", "spectral", "tr", "tr-eo", "tr-ct", "spanner", "summary", "cut", "lowdeg"] {
-            let a = Args::parse(&sv(&["compress", "--scheme", s])).expect("parse");
-            scheme_from(&a).expect("scheme");
+    fn binary_and_text_io_paths_roundtrip() {
+        // generate → compress → stats across both serialization formats:
+        // .bin in / .txt out, then .txt in / .bin out.
+        let gbin = tmp("io.bin");
+        run(&sv(&["generate", "--kind", "er", "--n", "300", "--m", "900", "--output", &gbin]))
+            .expect("generate binary");
+        let gtxt = tmp("io-compressed.txt");
+        run(&sv(&[
+            "compress", "--input", &gbin, "--scheme", "uniform", "--p", "0.2", "--output", &gtxt,
+        ]))
+        .expect("compress bin->txt");
+        run(&sv(&["stats", "--input", &gtxt])).expect("stats on txt");
+        let back = tmp("io-back.bin");
+        run(&sv(&["compress", "--input", &gtxt, "--scheme", "lowdeg", "--output", &back]))
+            .expect("compress txt->bin");
+        run(&sv(&["stats", "--input", &back])).expect("stats on bin");
+        assert!(load(&back).expect("load").num_edges() <= load(&gtxt).expect("load").num_edges());
+    }
+
+    #[test]
+    fn chained_scheme_compresses_and_is_deterministic() {
+        let gpath = tmp("chain.txt");
+        run(&sv(&["generate", "--kind", "ws", "--n", "400", "--k", "4", "--output", &gpath]))
+            .expect("generate");
+        let out_a = tmp("chain-a.bin");
+        let out_b = tmp("chain-b.bin");
+        for out in [&out_a, &out_b] {
+            run(&sv(&[
+                "compress",
+                "--input",
+                &gpath,
+                "--scheme",
+                "spanner,lowdeg,uniform",
+                "--p",
+                "0.5",
+                "--seed",
+                "7",
+                "--output",
+                out,
+            ]))
+            .expect("chained compress");
         }
+        let a = load(&out_a).expect("load a");
+        let b = load(&out_b).expect("load b");
+        assert_eq!(a.edge_slice(), b.edge_slice(), "same seed must be bit-identical");
+        assert!(a.num_edges() < load(&gpath).expect("orig").num_edges());
+        // Per-stage parameter overrides parse too.
+        run(&sv(&["analyze", "--input", &gpath, "--scheme", "spanner:k=4,uniform:p=0.2"]))
+            .expect("per-stage overrides");
+    }
+
+    #[test]
+    fn all_registry_schemes_parse_into_pipelines() {
+        let registry = SchemeRegistry::with_defaults();
+        for name in registry.names() {
+            let a = Args::parse(&sv(&["compress", "--scheme", name])).expect("parse");
+            pipeline_from(&a).expect("pipeline");
+        }
+        // And the full zoo as one chain.
+        let chain: Vec<&str> = registry.names().collect();
+        let a = Args::parse(&sv(&["compress", "--scheme", &chain.join(",")])).expect("parse");
+        assert_eq!(pipeline_from(&a).expect("pipeline").len(), chain.len());
     }
 
     #[test]
     fn unknown_command_and_scheme_error() {
         assert!(run(&sv(&["frobnicate"])).is_err());
         let a = Args::parse(&sv(&["compress", "--scheme", "nope"])).expect("parse");
-        assert!(scheme_from(&a).is_err());
+        assert!(pipeline_from(&a).is_err());
+        let b = Args::parse(&sv(&["compress", "--scheme", "uniform,,lowdeg"])).expect("parse");
+        assert!(pipeline_from(&b).is_err());
+        let c = Args::parse(&sv(&["compress", "--scheme", "uniform:p"])).expect("parse");
+        assert!(pipeline_from(&c).is_err());
     }
 
     #[test]
-    fn help_runs() {
+    fn help_and_schemes_run() {
         run(&sv(&["help"])).expect("help");
         run(&[]).expect("implicit help");
+        run(&sv(&["schemes"])).expect("schemes listing");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! slimgraph compress --input g.txt --scheme uniform --p 0.3 --output out.bin
+//! slimgraph compress --input g.txt --scheme spanner,lowdeg,uniform --p 0.5 --output out.bin
 //! slimgraph analyze  --input g.txt --scheme spanner --k 8
 //! slimgraph stats    --input g.txt
 //! slimgraph generate --kind rmat --scale 12 --output g.txt

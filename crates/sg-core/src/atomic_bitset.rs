@@ -93,10 +93,8 @@ mod tests {
     fn concurrent_test_and_set_claims_once() {
         let bs = AtomicBitset::new(1000);
         // 8 threads race to claim each bit; exactly one wins per bit.
-        let claims: usize = (0..8)
-            .into_par_iter()
-            .map(|_| (0..1000).filter(|&i| !bs.set(i)).count())
-            .sum();
+        let claims: usize =
+            (0..8).into_par_iter().map(|_| (0..1000).filter(|&i| !bs.set(i)).count()).sum();
         assert_eq!(claims, 1000);
         assert_eq!(bs.count_ones(), 1000);
     }

@@ -32,12 +32,21 @@ pub struct CompressionResult {
 }
 
 impl CompressionResult {
-    /// Number of removed edges.
+    /// Number of removed edges; 0 when the scheme *added* edges (an
+    /// ϵ-summary reconstruction or a future densifying kernel) — use
+    /// [`CompressionResult::edge_delta`] for the signed count.
     pub fn edges_removed(&self) -> usize {
-        self.original_edges - self.graph.num_edges()
+        self.original_edges.saturating_sub(self.graph.num_edges())
     }
 
-    /// Remaining-edge ratio `m' / m` (the color scale of Figure 5).
+    /// Signed edge delta: positive when edges were removed, negative when
+    /// the scheme added edges.
+    pub fn edge_delta(&self) -> i64 {
+        self.original_edges as i64 - self.graph.num_edges() as i64
+    }
+
+    /// Remaining-edge ratio `m' / m` (the color scale of Figure 5). Can
+    /// exceed 1 when the scheme added edges.
     pub fn compression_ratio(&self) -> f64 {
         if self.original_edges == 0 {
             1.0
@@ -46,7 +55,8 @@ impl CompressionResult {
         }
     }
 
-    /// Removed-edge fraction `1 - m'/m` (the y-axis of Figure 6).
+    /// Removed-edge fraction `1 - m'/m` (the y-axis of Figure 6); negative
+    /// when the scheme added edges.
     pub fn edge_reduction(&self) -> f64 {
         1.0 - self.compression_ratio()
     }
@@ -86,9 +96,7 @@ impl Engine {
                 kernel.process(view, &sg)
             })
             .collect();
-        let any_reweight = decisions
-            .par_iter()
-            .any(|d| matches!(d, EdgeDecision::Reweight(_)));
+        let any_reweight = decisions.par_iter().any(|d| matches!(d, EdgeDecision::Reweight(_)));
         let graph = if any_reweight {
             g.filter_reweight(|e| match decisions[e as usize] {
                 EdgeDecision::Keep => Some(g.edge_weight(e)),
@@ -111,7 +119,11 @@ impl Engine {
     /// Deleted vertices take their incident edges with them; survivors are
     /// relabelled compactly (Table 3's `remove k deg-1 vertices` row changes
     /// `n`).
-    pub fn run_vertex_kernel<K: VertexKernel>(&self, g: &CsrGraph, kernel: &K) -> CompressionResult {
+    pub fn run_vertex_kernel<K: VertexKernel>(
+        &self,
+        g: &CsrGraph,
+        kernel: &K,
+    ) -> CompressionResult {
         let start = Instant::now();
         let sg = SgContext::new(g, self.seed);
         let removed: Vec<bool> = (0..g.num_vertices() as VertexId)
@@ -135,7 +147,11 @@ impl Engine {
     /// declare `parallel()` stream triangles concurrently; order-sensitive
     /// disciplines (Edge-Once, Count-Triangles) run over the deterministic
     /// sorted triangle list so results are reproducible.
-    pub fn run_triangle_kernel<K: TriangleKernel>(&self, g: &CsrGraph, kernel: &K) -> CompressionResult {
+    pub fn run_triangle_kernel<K: TriangleKernel>(
+        &self,
+        g: &CsrGraph,
+        kernel: &K,
+    ) -> CompressionResult {
         let start = Instant::now();
         let sg = SgContext::new(g, self.seed);
         if kernel.parallel() {
@@ -167,18 +183,10 @@ impl Engine {
     ) -> CompressionResult {
         let start = Instant::now();
         let sg = SgContext::new(g, self.seed);
-        mapping
-            .clusters
-            .par_iter()
-            .enumerate()
-            .for_each(|(cid, members)| {
-                let view = SubgraphView {
-                    cluster_id: cid,
-                    members,
-                    assignment: &mapping.assignment,
-                };
-                kernel.process(view, &sg);
-            });
+        mapping.clusters.par_iter().enumerate().for_each(|(cid, members)| {
+            let view = SubgraphView { cluster_id: cid, members, assignment: &mapping.assignment };
+            kernel.process(view, &sg);
+        });
         let graph = g.filter_edges(|e| !sg.edge_deleted(e));
         CompressionResult {
             graph,
@@ -189,7 +197,6 @@ impl Engine {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -207,7 +214,7 @@ mod tests {
     struct DropEven;
     impl EdgeKernel for DropEven {
         fn process(&self, e: EdgeView, _sg: &SgContext<'_>) -> EdgeDecision {
-            if e.id % 2 == 0 {
+            if e.id.is_multiple_of(2) {
                 EdgeDecision::Delete
             } else {
                 EdgeDecision::Keep
@@ -309,6 +316,24 @@ mod tests {
         let mapping = VertexMapping::from_assignment(vec![0, 0, 0, 1, 1, 1]);
         let r = Engine::new(0).run_subgraph_kernel(&g, &mapping, &DropIntraCluster);
         assert_eq!(r.graph.num_edges(), 9);
+    }
+
+    #[test]
+    fn edge_growth_does_not_underflow() {
+        // Regression: `original_edges - num_edges()` panicked in debug
+        // builds whenever a stage *added* edges (e.g. an ϵ-summary
+        // reconstruction feeding a later pipeline stage).
+        let grown = CompressionResult {
+            graph: generators::complete(5), // 10 edges
+            original_edges: 4,
+            original_vertices: 5,
+            elapsed: std::time::Duration::ZERO,
+            vertex_mapping: None,
+        };
+        assert_eq!(grown.edges_removed(), 0);
+        assert_eq!(grown.edge_delta(), -6);
+        assert!(grown.edge_reduction() < 0.0);
+        assert!((grown.compression_ratio() - 2.5).abs() < 1e-12);
     }
 
     #[test]

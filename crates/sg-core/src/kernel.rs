@@ -9,8 +9,8 @@
 //! which need the paper's `atomic` semantics).
 
 use crate::context::SgContext;
-use sg_graph::{EdgeId, VertexId, Weight};
 pub use sg_algos::tc::Triangle;
+use sg_graph::{EdgeId, VertexId, Weight};
 
 /// Local view of an edge handed to an [`EdgeKernel`] (the paper's `E e`
 /// argument plus the degree fields kernels like `spectral_sparsify` read).

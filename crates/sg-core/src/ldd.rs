@@ -40,9 +40,8 @@ pub fn low_diameter_decomposition(g: &CsrGraph, beta: f64, seed: u64) -> VertexM
         return VertexMapping::from_assignment(Vec::new());
     }
     // Exponential shifts: δ = -ln(1 - U) / β, deterministic per vertex.
-    let shifts: Vec<f64> = (0..n as u64)
-        .map(|v| -(1.0 - unit_f64(seed ^ 0x1dd, v)).ln() / beta)
-        .collect();
+    let shifts: Vec<f64> =
+        (0..n as u64).map(|v| -(1.0 - unit_f64(seed ^ 0x1dd, v)).ln() / beta).collect();
     let delta_max = shifts.iter().copied().fold(0.0f64, f64::max);
 
     let mut owner: Vec<u32> = vec![u32::MAX; n];
@@ -106,8 +105,7 @@ mod tests {
             for &v in members {
                 in_cluster[v as usize] = true;
             }
-            let (tree, _) =
-                sg_algos::spanning::cluster_spanning_tree(&g, members, &in_cluster);
+            let (tree, _) = sg_algos::spanning::cluster_spanning_tree(&g, members, &in_cluster);
             assert_eq!(tree.len(), members.len() - 1, "cluster not connected");
         }
     }

@@ -19,18 +19,22 @@
 //!    max-weight, collapse), low-degree vertex removal, O(k)-spanners, and
 //!    SWeG-style lossy ϵ-summarization with corrections.
 //!
-//! The [`config`] module offers a uniform [`config::Scheme`] enum so harness
-//! code can sweep schemes generically.
+//! The scheme layer is *open*: [`scheme::CompressionScheme`] is an
+//! object-safe trait, [`scheme::SchemeRegistry`] resolves schemes by name,
+//! and [`pipeline::Pipeline`] chains them into multi-stage compression
+//! runs — the paper's kernel-combining model.
 
 pub mod atomic_bitset;
-pub mod config;
 pub mod context;
 pub mod engine;
 pub mod kernel;
 pub mod ldd;
 pub mod mapping;
+pub mod pipeline;
+pub mod scheme;
 pub mod schemes;
 
-pub use config::Scheme;
 pub use context::SgContext;
 pub use engine::{CompressionResult, Engine};
+pub use pipeline::{Pipeline, PipelineResult, StageReport};
+pub use scheme::{CompressionScheme, SchemeParams, SchemeRegistry};

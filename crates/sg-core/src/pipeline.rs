@@ -1,0 +1,274 @@
+//! Chained compression pipelines — the paper's kernel-combining model.
+//!
+//! Slim Graph kernels are designed to compose: a spanner can strip long
+//! cycles, low-degree removal can then delete the exposed leaves, and a
+//! final uniform sample can trim the rest. [`Pipeline`] runs a sequence of
+//! [`CompressionScheme`] stages, feeding each stage the previous stage's
+//! output, composing old→new vertex relabellings across stages, and
+//! recording a per-stage [`StageReport`].
+//!
+//! Determinism: stage `i` derives its seed from `(seed, i)`, so a pipeline
+//! run is bit-reproducible, and a single-stage pipeline is bit-identical to
+//! calling the scheme's `apply` directly.
+
+use crate::engine::CompressionResult;
+use crate::scheme::CompressionScheme;
+use sg_graph::prng::mix64;
+use sg_graph::{CsrGraph, VertexId};
+use std::time::Duration;
+
+/// Per-stage statistics recorded by [`Pipeline::apply`].
+#[derive(Clone, Debug)]
+pub struct StageReport {
+    /// Registry name of the stage's scheme.
+    pub name: String,
+    /// Human-readable label of the stage's scheme.
+    pub label: String,
+    /// Vertices entering the stage.
+    pub input_vertices: usize,
+    /// Edges entering the stage.
+    pub input_edges: usize,
+    /// Vertices leaving the stage.
+    pub output_vertices: usize,
+    /// Edges leaving the stage.
+    pub output_edges: usize,
+    /// Stage wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl StageReport {
+    /// Remaining-edge ratio of this stage.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.input_edges == 0 {
+            1.0
+        } else {
+            self.output_edges as f64 / self.input_edges as f64
+        }
+    }
+
+    /// Signed edge delta (positive = edges removed).
+    pub fn edge_delta(&self) -> i64 {
+        self.input_edges as i64 - self.output_edges as i64
+    }
+}
+
+/// Outcome of a pipeline run: the end-to-end [`CompressionResult`]
+/// (original counts refer to the *pipeline input*; `vertex_mapping` is the
+/// composition of every stage's relabelling) plus per-stage reports.
+#[derive(Clone, Debug)]
+pub struct PipelineResult {
+    /// Composed end-to-end result.
+    pub result: CompressionResult,
+    /// One report per stage, in execution order.
+    pub stages: Vec<StageReport>,
+}
+
+/// An ordered chain of compression schemes.
+pub struct Pipeline {
+    stages: Vec<Box<dyn CompressionScheme>>,
+}
+
+impl Pipeline {
+    /// An empty pipeline (applies as the identity).
+    pub fn new() -> Self {
+        Self { stages: Vec::new() }
+    }
+
+    /// A pipeline over the given stages.
+    pub fn from_stages(stages: Vec<Box<dyn CompressionScheme>>) -> Self {
+        Self { stages }
+    }
+
+    /// Appends a stage (builder style).
+    pub fn then(mut self, scheme: Box<dyn CompressionScheme>) -> Self {
+        self.stages.push(scheme);
+        self
+    }
+
+    /// Appends a stage.
+    pub fn push(&mut self, scheme: Box<dyn CompressionScheme>) {
+        self.stages.push(scheme);
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the pipeline has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// The stages, in execution order.
+    pub fn stages(&self) -> &[Box<dyn CompressionScheme>] {
+        &self.stages
+    }
+
+    /// Stage labels joined with `->`.
+    pub fn label(&self) -> String {
+        self.stages.iter().map(|s| s.label()).collect::<Vec<_>>().join(" -> ")
+    }
+
+    /// The deterministic seed handed to stage `index` of a run seeded with
+    /// `seed`. Stage 0 receives `seed` itself, so one-stage pipelines are
+    /// bit-identical to a direct `scheme.apply(g, seed)`.
+    pub fn stage_seed(seed: u64, index: usize) -> u64 {
+        if index == 0 {
+            seed
+        } else {
+            mix64(seed ^ mix64(index as u64))
+        }
+    }
+
+    /// Runs every stage in order over `g`.
+    pub fn apply(&self, g: &CsrGraph, seed: u64) -> PipelineResult {
+        let mut current: Option<CsrGraph> = None;
+        let mut mapping: Option<Vec<Option<VertexId>>> = None;
+        let mut stages = Vec::with_capacity(self.stages.len());
+        let mut elapsed = Duration::ZERO;
+        for (index, scheme) in self.stages.iter().enumerate() {
+            let input = current.as_ref().unwrap_or(g);
+            let (input_vertices, input_edges) = (input.num_vertices(), input.num_edges());
+            let r = scheme.apply(input, Self::stage_seed(seed, index));
+            stages.push(StageReport {
+                name: scheme.name().to_string(),
+                label: scheme.label(),
+                input_vertices,
+                input_edges,
+                output_vertices: r.graph.num_vertices(),
+                output_edges: r.graph.num_edges(),
+                elapsed: r.elapsed,
+            });
+            elapsed += r.elapsed;
+            mapping = compose_mappings(mapping, r.vertex_mapping);
+            current = Some(r.graph);
+        }
+        PipelineResult {
+            result: CompressionResult {
+                graph: current.unwrap_or_else(|| g.clone()),
+                original_edges: g.num_edges(),
+                original_vertices: g.num_vertices(),
+                elapsed,
+                vertex_mapping: mapping,
+            },
+            stages,
+        }
+    }
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Composes two old→new relabellings: `so_far` maps pipeline-input ids to
+/// the previous stage's ids, `next` maps those to the new stage's ids.
+/// `None` means "identity" (the stage kept the vertex set).
+fn compose_mappings(
+    so_far: Option<Vec<Option<VertexId>>>,
+    next: Option<Vec<Option<VertexId>>>,
+) -> Option<Vec<Option<VertexId>>> {
+    match (so_far, next) {
+        (None, next) => next,
+        (so_far, None) => so_far,
+        (Some(first), Some(second)) => {
+            Some(first.into_iter().map(|mid| mid.and_then(|m| second[m as usize])).collect())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::{LowDegree, Spanner, Uniform};
+    use sg_graph::generators;
+
+    fn three_stage() -> Pipeline {
+        Pipeline::new()
+            .then(Box::new(Spanner { k: 4.0 }))
+            .then(Box::new(LowDegree))
+            .then(Box::new(Uniform { p: 0.3 }))
+    }
+
+    #[test]
+    fn empty_pipeline_is_identity() {
+        let g = generators::erdos_renyi(100, 400, 1);
+        let out = Pipeline::new().apply(&g, 7);
+        assert_eq!(out.result.graph.edge_slice(), g.edge_slice());
+        assert!(out.stages.is_empty());
+        assert_eq!(out.result.compression_ratio(), 1.0);
+    }
+
+    #[test]
+    fn single_stage_matches_direct_apply() {
+        let g = generators::rmat_graph500(10, 8, 3);
+        let direct = crate::scheme::CompressionScheme::apply(&Uniform { p: 0.4 }, &g, 99);
+        let piped = Pipeline::new().then(Box::new(Uniform { p: 0.4 })).apply(&g, 99);
+        assert_eq!(direct.graph.edge_slice(), piped.result.graph.edge_slice());
+    }
+
+    #[test]
+    fn stages_chain_and_reports_are_consistent() {
+        let g = generators::planted_triangles(&generators::erdos_renyi(400, 1200, 5), 400, 6);
+        let out = three_stage().apply(&g, 11);
+        assert_eq!(out.stages.len(), 3);
+        assert_eq!(out.stages[0].input_edges, g.num_edges());
+        for pair in out.stages.windows(2) {
+            assert_eq!(pair[0].output_edges, pair[1].input_edges);
+            assert_eq!(pair[0].output_vertices, pair[1].input_vertices);
+        }
+        let last = out.stages.last().expect("three stages");
+        assert_eq!(last.output_edges, out.result.graph.num_edges());
+        assert!(out.result.graph.num_edges() < g.num_edges());
+        assert_eq!(out.result.original_edges, g.num_edges());
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let g = generators::rmat_graph500(10, 8, 13);
+        let a = three_stage().apply(&g, 42);
+        let b = three_stage().apply(&g, 42);
+        assert_eq!(a.result.graph.edge_slice(), b.result.graph.edge_slice());
+        let c = three_stage().apply(&g, 43);
+        assert_ne!(
+            a.result.graph.edge_slice(),
+            c.result.graph.edge_slice(),
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn vertex_mappings_compose_across_stages() {
+        // star(6): lowdeg removes the 5 leaves, leaving the hub; a second
+        // lowdeg stage then removes the now-isolated hub.
+        let g = generators::star(6);
+        let one = Pipeline::new().then(Box::new(LowDegree)).apply(&g, 1);
+        let mapping = one.result.vertex_mapping.expect("vertex scheme maps");
+        assert_eq!(mapping[0], Some(0));
+        assert!(mapping[1..].iter().all(Option::is_none));
+
+        let two = Pipeline::new().then(Box::new(LowDegree)).then(Box::new(LowDegree)).apply(&g, 1);
+        let mapping = two.result.vertex_mapping.expect("composed mapping");
+        assert_eq!(mapping.len(), 6, "mapping is indexed by pipeline-input ids");
+        assert!(mapping.iter().all(Option::is_none), "everything removed");
+        assert_eq!(two.result.graph.num_vertices(), 0);
+    }
+
+    #[test]
+    fn stage_seeds_differ_between_stages() {
+        let seeds: Vec<u64> = (0..4).map(|i| Pipeline::stage_seed(7, i)).collect();
+        assert_eq!(seeds[0], 7);
+        for i in 0..seeds.len() {
+            for j in (i + 1)..seeds.len() {
+                assert_ne!(seeds[i], seeds[j], "stage seeds {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn label_joins_stages() {
+        assert_eq!(three_stage().label(), "spanner (k=4) -> lowdeg -> uniform (p=0.3)");
+    }
+}

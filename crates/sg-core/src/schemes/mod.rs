@@ -18,11 +18,11 @@ pub mod summarization;
 pub mod triangle_reduction;
 pub mod uniform;
 
-pub use cut_sparsify::{cut_sparsify, CutSparsifyKernel};
+pub use cut_sparsify::{cut_sparsify, forest_indices, CutSparsifyKernel};
 pub use low_degree::{remove_low_degree, LowDegreeKernel};
 pub use spanner::{spanner, SpannerKernel};
 pub use spectral::{spectral_sparsify, SpectralKernel, UpsilonVariant};
-pub use summarization::{summarize, summarize_to_graph, Summary, SummarizationConfig};
+pub use summarization::{summarize, summarize_to_graph, SummarizationConfig, Summary};
 pub use triangle_reduction::{
     triangle_collapse, triangle_reduce, Discipline, EdgeChoice, TrConfig, TriangleReductionKernel,
 };

@@ -38,9 +38,8 @@ impl SubgraphKernel for SpannerKernel<'_> {
 
         // (a) Replace "subgraph" with a spanning tree: delete intra-cluster
         // edges that are not part of the BFS tree.
-        let (tree_edges, _depth) = cluster_spanning_tree_by(g, sgv.members, |u| {
-            self.assignment[u as usize] == my
-        });
+        let (tree_edges, _depth) =
+            cluster_spanning_tree_by(g, sgv.members, |u| self.assignment[u as usize] == my);
         let tree: rustc_hash::FxHashSet<EdgeId> = tree_edges.into_iter().collect();
         for &v in sgv.members {
             let row = g.neighbors(v);

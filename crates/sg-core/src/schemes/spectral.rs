@@ -127,10 +127,7 @@ mod tests {
         let r_uni = crate::schemes::uniform::uniform_sample(&g, removed, 8);
         let cc_spec = connected_components(&r_spec.graph).num_components;
         let cc_uni = connected_components(&r_uni.graph).num_components;
-        assert!(
-            cc_spec < cc_uni,
-            "spectral {cc_spec} components vs uniform {cc_uni}"
-        );
+        assert!(cc_spec < cc_uni, "spectral {cc_spec} components vs uniform {cc_uni}");
     }
 
     #[test]

@@ -182,15 +182,14 @@ pub fn summarize(g: &CsrGraph, cfg: SummarizationConfig) -> Summary {
     let mut sv_of: Vec<u32> = (0..n as u32).collect();
     let mut members: FxHashMap<u32, Vec<VertexId>> =
         (0..n as u32).map(|v| (v, vec![v as VertexId])).collect();
-    let mut neigh: FxHashMap<u32, Vec<VertexId>> = (0..n as u32)
-        .map(|v| (v, g.neighbors(v as VertexId).to_vec()))
-        .collect();
+    let mut neigh: FxHashMap<u32, Vec<VertexId>> =
+        (0..n as u32).map(|v| (v, g.neighbors(v as VertexId).to_vec())).collect();
 
     let mut iterations = 0;
     for t in 0..cfg.max_iterations {
         iterations = t + 1;
         let threshold = 1.0 / (1.0 + t as f64); // SWeG schedule
-        // Group current supervertices by a minhash of their neighborhoods.
+                                                // Group current supervertices by a minhash of their neighborhoods.
         let mut groups: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
         let mut sv_ids: Vec<u32> = members.keys().copied().collect();
         sv_ids.sort_unstable();
@@ -276,11 +275,7 @@ pub fn summarize(g: &CsrGraph, cfg: SummarizationConfig) -> Summary {
     for (a, b) in pairs {
         let present: &Vec<(VertexId, VertexId)> = &pair_edges[&(a, b)];
         let (ma, mb) = (&supervertices[a as usize], &supervertices[b as usize]);
-        let potential = if a == b {
-            ma.len() * (ma.len() - 1) / 2
-        } else {
-            ma.len() * mb.len()
-        };
+        let potential = if a == b { ma.len() * (ma.len() - 1) / 2 } else { ma.len() * mb.len() };
         if 2 * present.len() > potential {
             // Dense: superedge + minus-corrections for the missing pairs
             // (SG.superedge returning (se, inter)).
@@ -338,10 +333,8 @@ pub fn summarize(g: &CsrGraph, cfg: SummarizationConfig) -> Summary {
     }
     let dropped_plus = dropped_plus + (budget - dropped_plus - superedge_budget);
     let superedges: Vec<(u32, u32)> = codes.iter().map(|c| c.pair).collect();
-    let mut corrections_minus: Vec<(VertexId, VertexId)> = codes
-        .iter_mut()
-        .flat_map(|c| c.minus.take().unwrap_or_default())
-        .collect();
+    let mut corrections_minus: Vec<(VertexId, VertexId)> =
+        codes.iter_mut().flat_map(|c| c.minus.take().unwrap_or_default()).collect();
     corrections_minus.sort_unstable();
     let dropped_minus = drop_corrections(&mut corrections_minus, budget, cfg.seed ^ 0xA);
 

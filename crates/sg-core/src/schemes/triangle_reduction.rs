@@ -123,8 +123,8 @@ impl TriangleReductionKernel {
     /// choice needs them.
     pub fn new(g: &CsrGraph, cfg: TrConfig) -> Self {
         cfg.validate();
-        let tri_counts = (cfg.choice == EdgeChoice::FewestTriangles)
-            .then(|| edge_triangle_counts(g));
+        let tri_counts =
+            (cfg.choice == EdgeChoice::FewestTriangles).then(|| edge_triangle_counts(g));
         Self { cfg, tri_counts }
     }
 
@@ -149,10 +149,7 @@ impl TriangleReductionKernel {
             }
             EdgeChoice::MaxWeight => {
                 edges.sort_unstable_by(|&a, &b| {
-                    sg.graph
-                        .edge_weight(b)
-                        .total_cmp(&sg.graph.edge_weight(a))
-                        .then(b.cmp(&a))
+                    sg.graph.edge_weight(b).total_cmp(&sg.graph.edge_weight(a)).then(b.cmp(&a))
                 });
             }
             EdgeChoice::FewestTriangles => {
@@ -384,10 +381,7 @@ mod tests {
         let r = triangle_reduce(&g, TrConfig::max_weight(1.0), 11);
         assert!(r.edges_removed() > 0);
         let after = minimum_spanning_forest(&r.graph).total_weight;
-        assert!(
-            (before - after).abs() < 1e-3,
-            "MST weight changed: {before} -> {after}"
-        );
+        assert!((before - after).abs() < 1e-3, "MST weight changed: {before} -> {after}");
     }
 
     #[test]
@@ -443,11 +437,7 @@ mod tests {
         assert!(after <= before);
         // Vertices drop but components of the *collapsed* graph match the
         // originals (contraction is connectivity-preserving).
-        assert_eq!(
-            before - after,
-            0,
-            "collapse changed component count"
-        );
+        assert_eq!(before - after, 0, "collapse changed component count");
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use crossbeam::channel;
 use sg_core::kernel::{EdgeDecision, EdgeKernel, EdgeView};
-use sg_core::{CompressionResult, SgContext};
+use sg_core::{CompressionResult, CompressionScheme, SgContext};
 use sg_graph::partition::{partition_edges, EdgeShard};
 use sg_graph::{CsrGraph, EdgeId, VertexId};
 use std::time::Instant;
@@ -44,7 +44,7 @@ pub struct DistResult {
 }
 
 /// Runs an edge kernel over `ranks` simulated distributed ranks.
-pub fn distributed_edge_kernel<K: EdgeKernel>(
+pub fn distributed_edge_kernel<K: EdgeKernel + ?Sized>(
     g: &CsrGraph,
     kernel: &K,
     ranks: usize,
@@ -123,6 +123,30 @@ pub fn distributed_uniform_sample(g: &CsrGraph, p: f64, ranks: usize, seed: u64)
     distributed_edge_kernel(g, &kernel, ranks, seed)
 }
 
+/// Runs any registry scheme with an edge-kernel form (`uniform`,
+/// `spectral`, `cut`) over the simulated distributed pipeline. Schemes
+/// whose kernels need shared state (triangle, vertex, subgraph classes)
+/// report an error — the paper's distributed implementation covers edge
+/// compression kernels only.
+///
+/// Because kernel decisions are deterministic in `(seed, edge id)`, the
+/// result is bit-identical to `scheme.apply(g, seed)` for delete-only
+/// kernels, for any rank count.
+pub fn distributed_compress(
+    g: &CsrGraph,
+    scheme: &dyn CompressionScheme,
+    ranks: usize,
+    seed: u64,
+) -> Result<DistResult, String> {
+    let kernel = scheme.edge_kernel(g).ok_or_else(|| {
+        format!(
+            "scheme '{}' has no pure edge-kernel form; only edge compression kernels run distributed",
+            scheme.name()
+        )
+    })?;
+    Ok(distributed_edge_kernel(g, kernel.as_ref(), ranks, seed))
+}
+
 /// Computes the degree histogram with per-rank partial histograms merged at
 /// the root (each rank owns a contiguous vertex range — the reduction the
 /// paper performs with RMA accumulate).
@@ -167,11 +191,7 @@ mod rustc_lite {
             self.counts[degree] += 1;
         }
         pub fn into_sorted(self) -> Vec<(usize, usize)> {
-            self.counts
-                .into_iter()
-                .enumerate()
-                .filter(|&(_, c)| c > 0)
-                .collect()
+            self.counts.into_iter().enumerate().filter(|&(_, c)| c > 0).collect()
         }
     }
 }
@@ -222,6 +242,21 @@ mod tests {
         let dist = distributed_uniform_sample(&g, 0.7, 4, 6);
         let total: usize = dist.degree_histogram.iter().map(|&(_, c)| c).sum();
         assert_eq!(total, g.num_vertices());
+    }
+
+    #[test]
+    fn registry_schemes_run_distributed_when_edge_shaped() {
+        use sg_core::{SchemeParams, SchemeRegistry};
+        let g = generators::barabasi_albert(1500, 4, 9);
+        let registry = SchemeRegistry::with_defaults();
+        let params = SchemeParams::from_pairs(&[("p", "0.4")]);
+        let uniform = registry.create("uniform", &params).expect("known");
+        let dist = distributed_compress(&g, uniform.as_ref(), 5, 17).expect("edge kernel");
+        let shared = uniform.apply(&g, 17);
+        assert_eq!(dist.result.graph.edge_slice(), shared.graph.edge_slice());
+        // Triangle-class kernels have no shard-independent edge form.
+        let tr = registry.create("tr", &params).expect("known");
+        assert!(distributed_compress(&g, tr.as_ref(), 5, 17).is_err());
     }
 
     #[test]

@@ -53,7 +53,10 @@ impl CsrGraph {
     }
 
     /// Convenience constructor from weighted triples (undirected).
-    pub fn from_weighted_pairs(num_vertices: usize, triples: &[(VertexId, VertexId, Weight)]) -> Self {
+    pub fn from_weighted_pairs(
+        num_vertices: usize,
+        triples: &[(VertexId, VertexId, Weight)],
+    ) -> Self {
         Self::from_edge_list(EdgeList::from_weighted(num_vertices, triples.iter().copied()))
     }
 
@@ -305,16 +308,12 @@ impl CsrGraph {
     /// which `keep(e)` is true. Vertex set (and ids) are unchanged — this is
     /// the engine's compaction step after kernels marked deletions.
     pub fn filter_edges(&self, keep: impl Fn(EdgeId) -> bool + Sync) -> CsrGraph {
-        let kept_ids: Vec<u32> = (0..self.edges.len() as EdgeId)
-            .into_par_iter()
-            .filter(|&e| keep(e))
-            .collect();
+        let kept_ids: Vec<u32> =
+            (0..self.edges.len() as EdgeId).into_par_iter().filter(|&e| keep(e)).collect();
         let edges: Vec<(VertexId, VertexId)> =
             kept_ids.par_iter().map(|&e| self.edges[e as usize]).collect();
-        let weights = self
-            .weights
-            .as_ref()
-            .map(|w| kept_ids.par_iter().map(|&e| w[e as usize]).collect());
+        let weights =
+            self.weights.as_ref().map(|w| kept_ids.par_iter().map(|&e| w[e as usize]).collect());
         let el = EdgeList { num_vertices: self.num_vertices, edges, weights };
         // Canonical order is preserved by filtering, so rebuild directly.
         Self::from_canonical(el, self.directed)

@@ -32,7 +32,10 @@ impl EdgeList {
     }
 
     /// Creates an unweighted edge list directly from pairs.
-    pub fn from_pairs(num_vertices: usize, pairs: impl IntoIterator<Item = (VertexId, VertexId)>) -> Self {
+    pub fn from_pairs(
+        num_vertices: usize,
+        pairs: impl IntoIterator<Item = (VertexId, VertexId)>,
+    ) -> Self {
         Self { num_vertices, edges: pairs.into_iter().collect(), weights: None }
     }
 
@@ -144,11 +147,7 @@ impl EdgeList {
     /// Largest endpoint id + 1, or 0 when empty. Used to validate
     /// `num_vertices`.
     pub fn max_vertex_bound(&self) -> usize {
-        self.edges
-            .iter()
-            .map(|&(u, v)| u.max(v) as usize + 1)
-            .max()
-            .unwrap_or(0)
+        self.edges.iter().map(|&(u, v)| u.max(v) as usize + 1).max().unwrap_or(0)
     }
 }
 

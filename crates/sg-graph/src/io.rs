@@ -34,8 +34,7 @@ pub fn read_edge_list_text<R: BufRead>(reader: R) -> io::Result<EdgeList> {
         let v = parse(it.next(), "target")? as VertexId;
         match it.next() {
             Some(wtok) => {
-                let w: Weight =
-                    wtok.parse().map_err(|_| bad_line(lineno, "weight"))?;
+                let w: Weight = wtok.parse().map_err(|_| bad_line(lineno, "weight"))?;
                 match weighted {
                     Some(false) => return Err(bad_line(lineno, "mixed weighted/unweighted")),
                     _ => weighted = Some(true),
@@ -118,11 +117,7 @@ pub fn from_binary(mut data: &[u8]) -> io::Result<CsrGraph> {
             el.weights.as_mut().expect("weighted").push(data.get_f32());
         }
     }
-    Ok(if directed {
-        CsrGraph::from_edge_list_directed(el)
-    } else {
-        CsrGraph::from_edge_list(el)
-    })
+    Ok(if directed { CsrGraph::from_edge_list_directed(el) } else { CsrGraph::from_edge_list(el) })
 }
 
 /// Loads a graph from a text edge-list file (undirected).

@@ -67,9 +67,8 @@ mod tests {
 
     #[test]
     fn different_seeds_decorrelate() {
-        let same = (0..10_000u64)
-            .filter(|&e| (unit_f64(1, e) < 0.5) == (unit_f64(2, e) < 0.5))
-            .count();
+        let same =
+            (0..10_000u64).filter(|&e| (unit_f64(1, e) < 0.5) == (unit_f64(2, e) < 0.5)).count();
         // ~50% agreement expected for independent coins.
         assert!((4000..6000).contains(&same), "agreement {same}");
     }

@@ -7,7 +7,6 @@
 
 use crate::types::VertexId;
 use crate::CsrGraph;
-use rayon::prelude::*;
 
 /// Summary statistics over vertex degrees.
 #[derive(Clone, Debug, PartialEq)]
@@ -21,22 +20,20 @@ pub struct DegreeStats {
     pub leaves: usize,
 }
 
-/// Computes degree statistics in parallel.
+/// Computes degree statistics in one pass.
 pub fn degree_stats(g: &CsrGraph) -> DegreeStats {
     let n = g.num_vertices();
     if n == 0 {
         return DegreeStats { min: 0, max: 0, mean: 0.0, isolated: 0, leaves: 0 };
     }
     let (min, max, sum, isolated, leaves) = (0..n as VertexId)
-        .into_par_iter()
         .map(|v| {
             let d = g.degree(v);
             (d, d, d, (d == 0) as usize, (d == 1) as usize)
         })
-        .reduce(
-            || (usize::MAX, 0, 0, 0, 0),
-            |a, b| (a.0.min(b.0), a.1.max(b.1), a.2 + b.2, a.3 + b.3, a.4 + b.4),
-        );
+        .fold((usize::MAX, 0, 0, 0, 0), |a, b| {
+            (a.0.min(b.0), a.1.max(b.1), a.2 + b.2, a.3 + b.3, a.4 + b.4)
+        });
     DegreeStats { min, max, mean: sum as f64 / n as f64, isolated, leaves }
 }
 
@@ -54,11 +51,7 @@ impl DegreeDistribution {
         for v in 0..g.num_vertices() as VertexId {
             counts[g.degree(v)] += 1;
         }
-        let entries = counts
-            .into_iter()
-            .enumerate()
-            .filter(|&(_, c)| c > 0)
-            .collect();
+        let entries = counts.into_iter().enumerate().filter(|&(_, c)| c > 0).collect();
         Self { entries, num_vertices: g.num_vertices() }
     }
 
@@ -98,8 +91,7 @@ impl DegreeDistribution {
         }
         let slope = (n * sxy - sx * sy) / denom;
         let intercept = (sy - slope * sx) / n;
-        let ss_res: f64 =
-            pts.iter().map(|&(x, y)| (y - (slope * x + intercept)).powi(2)).sum();
+        let ss_res: f64 = pts.iter().map(|&(x, y)| (y - (slope * x + intercept)).powi(2)).sum();
         let mean_y = sy / n;
         let ss_tot: f64 = pts.iter().map(|&(_, y)| (y - mean_y).powi(2)).sum();
         let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };

@@ -50,20 +50,17 @@ impl DenseMatrix {
     pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
         assert_eq!(self.cols, other.rows, "inner dimensions must agree");
         let mut out = DenseMatrix::zeros(self.rows, other.cols);
-        out.data
-            .par_chunks_mut(other.cols)
-            .enumerate()
-            .for_each(|(i, out_row)| {
-                for k in 0..self.cols {
-                    let aik = self.get(i, k);
-                    if aik != 0.0 {
-                        let brow = other.row(k);
-                        for (o, &b) in out_row.iter_mut().zip(brow) {
-                            *o += aik * b;
-                        }
+        out.data.par_chunks_mut(other.cols).enumerate().for_each(|(i, out_row)| {
+            for k in 0..self.cols {
+                let aik = self.get(i, k);
+                if aik != 0.0 {
+                    let brow = other.row(k);
+                    for (o, &b) in out_row.iter_mut().zip(brow) {
+                        *o += aik * b;
                     }
                 }
-            });
+            }
+        });
         out
     }
 

@@ -67,14 +67,17 @@ fn rustc_lite_map(members: &[VertexId]) -> Vec<(VertexId, usize)> {
 }
 
 fn index_get(map: &mut [(VertexId, usize)], key: VertexId) -> Option<&usize> {
-    map.binary_search_by_key(&key, |&(m, _)| m)
-        .ok()
-        .map(|i| &map[i].1)
+    map.binary_search_by_key(&key, |&(m, _)| m).ok().map(|i| &map[i].1)
 }
 
 /// Top-`rank` eigenpairs of a symmetric matrix via subspace iteration.
 /// Returns (eigenvalues, eigenvector matrix n×rank).
-pub fn symmetric_eigs(a: &DenseMatrix, rank: usize, iterations: usize, seed: u64) -> (Vec<f64>, DenseMatrix) {
+pub fn symmetric_eigs(
+    a: &DenseMatrix,
+    rank: usize,
+    iterations: usize,
+    seed: u64,
+) -> (Vec<f64>, DenseMatrix) {
     assert_eq!(a.rows, a.cols, "matrix must be square");
     let n = a.rows;
     let r = rank.min(n.max(1));
@@ -96,18 +99,12 @@ pub fn symmetric_eigs(a: &DenseMatrix, rank: usize, iterations: usize, seed: u64
     // Rayleigh quotients per column (off-diagonal residue is small after
     // convergence; adequate for reconstruction thresholds).
     let av = a.matmul(&v);
-    let eigs: Vec<f64> = (0..r)
-        .map(|j| (0..n).map(|i| v.get(i, j) * av.get(i, j)).sum())
-        .collect();
+    let eigs: Vec<f64> = (0..r).map(|j| (0..n).map(|i| v.get(i, j) * av.get(i, j)).sum()).collect();
     (eigs, v)
 }
 
 /// Counts reconstruction errors of `V diag(λ) Vᵀ` against the true block.
-fn reconstruction_errors(
-    a: &DenseMatrix,
-    eigs: &[f64],
-    v: &DenseMatrix,
-) -> (usize, usize) {
+fn reconstruction_errors(a: &DenseMatrix, eigs: &[f64], v: &DenseMatrix) -> (usize, usize) {
     let n = a.rows;
     let mut fp = 0usize;
     let mut fn_ = 0usize;

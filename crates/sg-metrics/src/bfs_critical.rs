@@ -50,17 +50,17 @@ pub fn critical_edges(g: &CsrGraph, root: VertexId) -> CriticalEdges {
             edges.push((u, v));
         }
     }
-    CriticalEdges {
-        edges,
-        tree_edges: r.reached.saturating_sub(1),
-        total_edges: g.num_edges(),
-    }
+    CriticalEdges { edges, tree_edges: r.reached.saturating_sub(1), total_edges: g.num_edges() }
 }
 
 /// The paper's preservation ratio `|Ẽcr| / |Ecr|` for the same root.
 /// Values close to 1 mean the compressed graph retains the structure BFS
 /// (and Graph500 validation) depends on.
-pub fn critical_edge_preservation(original: &CsrGraph, compressed: &CsrGraph, root: VertexId) -> f64 {
+pub fn critical_edge_preservation(
+    original: &CsrGraph,
+    compressed: &CsrGraph,
+    root: VertexId,
+) -> f64 {
     let ecr = critical_edges(original, root).count();
     if ecr == 0 {
         return 1.0;

@@ -60,11 +60,7 @@ pub fn hellinger(p: &[f64], q: &[f64]) -> f64 {
     check_lengths(p, q);
     let ps = smooth(p);
     let qs = smooth(q);
-    let s: f64 = ps
-        .iter()
-        .zip(&qs)
-        .map(|(&a, &b)| (a.sqrt() - b.sqrt()).powi(2))
-        .sum();
+    let s: f64 = ps.iter().zip(&qs).map(|(&a, &b)| (a.sqrt() - b.sqrt()).powi(2)).sum();
     (0.5 * s).sqrt()
 }
 

@@ -6,11 +6,11 @@
 //!   3. stage 2 — run a graph algorithm on the compressed graph,
 //!   4. analytics — quantify the information loss with a Slim Graph metric.
 //!
-//! Run: `cargo run --release -p sg-bench --example quickstart`
+//! Run: `cargo run --release -p slimgraph --example quickstart`
 
 use sg_algos::pagerank::pagerank_default;
-use sg_core::schemes::{uniform_sample, TrConfig};
-use sg_core::Scheme;
+use sg_core::schemes::uniform_sample;
+use sg_core::{SchemeParams, SchemeRegistry};
 use sg_graph::generators;
 use sg_metrics::kl_divergence;
 
@@ -18,11 +18,7 @@ fn main() {
     // 1. A seeded social-network-like workload (use sg_graph::io to load
     //    your own edge lists instead).
     let graph = generators::barabasi_albert(10_000, 5, 42);
-    println!(
-        "input: n = {}, m = {}",
-        graph.num_vertices(),
-        graph.num_edges()
-    );
+    println!("input: n = {}, m = {}", graph.num_vertices(), graph.num_edges());
 
     // 2. Stage 1 — lossy compression. Here: remove 30% of edges uniformly.
     let compressed = uniform_sample(&graph, 0.3, 7);
@@ -41,13 +37,41 @@ fn main() {
     let kl = kl_divergence(&pr_original.scores, &pr_compressed.scores);
     println!("KL(original || compressed) = {kl:.4} bits");
 
-    // The Scheme enum sweeps schemes generically — try Triangle Reduction,
-    // which preserves connected components under the EO discipline:
-    let tr = Scheme::TriangleReduction(TrConfig::edge_once_1(0.8)).apply(&graph, 7);
+    // The SchemeRegistry resolves schemes by name, so harness code sweeps
+    // them generically — try EO Triangle Reduction, which preserves
+    // connected components:
+    let registry = SchemeRegistry::with_defaults();
+    let tr = registry
+        .create("tr-eo", &SchemeParams::from_pairs(&[("p", "0.8")]))
+        .expect("tr-eo is registered")
+        .apply(&graph, 7);
     let pr_tr = pagerank_default(&tr.graph);
     println!(
         "EO-0.8-1-TR: kept {:.1}% of edges, KL = {:.4} bits",
         tr.compression_ratio() * 100.0,
         kl_divergence(&pr_original.scores, &pr_tr.scores)
+    );
+
+    // Schemes chain into pipelines — the paper's kernel-combining model.
+    // Strip long cycles with a spanner, drop the exposed leaves, then trim
+    // uniformly; each stage reports its own statistics.
+    let pipeline = registry
+        .parse_pipeline("spanner:k=8,lowdeg,uniform:p=0.2", &SchemeParams::new())
+        .expect("pipeline spec parses");
+    let out = pipeline.apply(&graph, 7);
+    println!("\npipeline: {}", pipeline.label());
+    for (i, stage) in out.stages.iter().enumerate() {
+        println!(
+            "  stage {}: {} m {} -> {}",
+            i + 1,
+            stage.label,
+            stage.input_edges,
+            stage.output_edges
+        );
+    }
+    println!(
+        "  total: kept {:.1}% of edges in {:.1} ms",
+        out.result.compression_ratio() * 100.0,
+        out.result.elapsed.as_secs_f64() * 1e3
     );
 }

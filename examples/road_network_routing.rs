@@ -6,7 +6,7 @@
 //! grows. It also shows Triangle Reduction's behaviour on a near-planar
 //! graph — almost no compression, exactly as the paper reports for v-usa.
 //!
-//! Run: `cargo run --release -p sg-bench --example road_network_routing`
+//! Run: `cargo run --release -p slimgraph --example road_network_routing`
 
 use sg_algos::sssp;
 use sg_core::schemes::{spanner, triangle_reduce, TrConfig};
@@ -14,11 +14,7 @@ use sg_graph::generators::presets;
 
 fn main() {
     let road = presets::v_usa_like();
-    println!(
-        "road network: n = {}, m = {} (weighted grid)",
-        road.num_vertices(),
-        road.num_edges()
-    );
+    println!("road network: n = {}, m = {} (weighted grid)", road.num_vertices(), road.num_edges());
     let source = 0u32;
     let base = sssp::dijkstra(&road, source);
 

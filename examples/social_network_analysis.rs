@@ -6,13 +6,12 @@
 //! spectral sparsification and Triangle Reduction and reports how well each
 //! preserves the analyst-facing outputs.
 //!
-//! Run: `cargo run --release -p sg-bench --example social_network_analysis`
+//! Run: `cargo run --release -p slimgraph --example social_network_analysis`
 
 use sg_algos::{bc, tc};
-use sg_core::schemes::{TrConfig, UpsilonVariant};
-use sg_core::Scheme;
+use sg_core::{SchemeParams, SchemeRegistry};
 use sg_graph::generators::presets;
-use sg_metrics::{reordered_pair_fraction, relative_change};
+use sg_metrics::{relative_change, reordered_pair_fraction};
 
 fn main() {
     let graph = presets::s_pok_like();
@@ -26,11 +25,13 @@ fn main() {
     let tc_base: Vec<f64> = tc::triangles_per_vertex(&graph).iter().map(|&x| x as f64).collect();
     let bc_base = bc::betweenness_sampled(&graph, 48, 1);
 
-    for scheme in [
-        Scheme::Spectral { p: 0.4, variant: UpsilonVariant::LogN, reweight: false },
-        Scheme::TriangleReduction(TrConfig::edge_once_1(0.8)),
-        Scheme::Uniform { p: 0.4 },
+    let registry = SchemeRegistry::with_defaults();
+    for (name, params) in [
+        ("spectral", SchemeParams::from_pairs(&[("p", "0.4")])),
+        ("tr-eo", SchemeParams::from_pairs(&[("p", "0.8")])),
+        ("uniform", SchemeParams::from_pairs(&[("p", "0.4")])),
     ] {
+        let scheme = registry.create(name, &params).expect("registered scheme");
         let r = scheme.apply(&graph, 99);
         let tc_now: Vec<f64> =
             tc::triangles_per_vertex(&r.graph).iter().map(|&x| x as f64).collect();

@@ -6,7 +6,7 @@
 //! histograms. The binary also shows the storage effect by serializing
 //! both graphs with sg-graph's binary format.
 //!
-//! Run: `cargo run --release -p sg-bench --example web_compression_pipeline`
+//! Run: `cargo run --release -p slimgraph --example web_compression_pipeline`
 
 use sg_dist::distributed_uniform_sample;
 use sg_graph::properties::DegreeDistribution;
@@ -15,11 +15,7 @@ use sg_graph::{generators, io};
 fn main() {
     // A skewed hyperlink-like crawl (scale down of h-wdc).
     let crawl = generators::rmat_graph500(15, 12, 77);
-    println!(
-        "crawl: n = {}, m = {}",
-        crawl.num_vertices(),
-        crawl.num_edges()
-    );
+    println!("crawl: n = {}, m = {}", crawl.num_vertices(), crawl.num_edges());
 
     let ranks = 8;
     for p in [0.4, 0.7] {

@@ -1,0 +1,156 @@
+//! Offline shim for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Provides the macro and builder API the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, `benchmark_group`,
+//! `bench_with_input`, `bench_function`, `Bencher::iter`) with a simple
+//! median-of-N wall-clock harness and plain-text reporting. No statistics,
+//! plots, or baselines — swap in crates.io criterion for those.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` style id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    samples: usize,
+    median: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of samples (first run is
+    /// discarded as warmup) and records the median.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        std::hint::black_box(f()); // warmup
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                std::hint::black_box(f());
+                start.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        self.median = times[times.len() / 2];
+    }
+}
+
+fn run_one(group: Option<&str>, id: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { samples, median: Duration::ZERO };
+    f(&mut b);
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    println!("{full:<50} median {:>12.3} ms ({samples} samples)", b.median.as_secs_f64() * 1e3);
+}
+
+/// A named collection of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut f = f;
+        run_one(Some(&self.name), &id.id, self.samples, |b| f(b, input));
+        self
+    }
+
+    /// Runs one benchmark without input.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut f = f;
+        run_one(Some(&self.name), &id.to_string(), self.samples, |b| f(b));
+        self
+    }
+
+    /// Ends the group (reporting already happened per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// The harness entry point handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = if self.default_samples == 0 { 10 } else { self.default_samples };
+        BenchmarkGroup { name: name.into(), samples, _criterion: self }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut f = f;
+        run_one(None, id, 10, |b| f(b));
+        self
+    }
+}
+
+/// Declares a group function that runs each target with a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_api_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &21u64, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+    }
+}

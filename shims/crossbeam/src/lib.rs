@@ -1,0 +1,36 @@
+//! Offline shim for [`crossbeam`](https://crates.io/crates/crossbeam).
+//!
+//! Only the `channel` module is provided, backed by [`std::sync::mpsc`]:
+//! `unbounded()` channels with cloneable senders and an iterable receiver,
+//! which is all the simulated distributed pipeline (`sg-dist`) needs.
+
+pub mod channel {
+    /// Sending half of an unbounded channel (cloneable, like crossbeam's).
+    pub type Sender<T> = std::sync::mpsc::Sender<T>;
+    /// Receiving half; iterating it drains messages until every sender
+    /// has been dropped.
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+    /// Creates an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fan_in_gather() {
+        let (tx, rx) = super::channel::unbounded::<usize>();
+        std::thread::scope(|scope| {
+            for i in 0..4 {
+                let tx = tx.clone();
+                scope.spawn(move || tx.send(i).expect("receiver alive"));
+            }
+        });
+        drop(tx);
+        let mut got: Vec<usize> = rx.into_iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, [0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Offline shim for [`rayon`](https://crates.io/crates/rayon).
+//!
+//! The build container has no registry access, so this crate provides the
+//! exact `rayon` surface the workspace uses with **sequential** execution:
+//! `par_iter()` hands back the plain `std` iterator, so every adapter
+//! (`map`, `zip`, `enumerate`, `filter`, `sum`, `any`, `collect`,
+//! `for_each`, …) comes from [`std::iter::Iterator`] for free.
+//!
+//! Every kernel decision in the workspace is deterministic in
+//! `(seed, element id)`, so sequential execution is *observably identical*
+//! to the real thread pool — only slower. Restoring true parallelism
+//! (swapping this shim for crates.io rayon, or growing a scoped-thread
+//! backend here) is tracked as a ROADMAP open item.
+
+/// Mirror of `rayon::range`: `into_par_iter()` on a `Range<T>` returns the
+/// range itself, which is already an iterator.
+pub mod range {
+    /// Sequential stand-in for `rayon::range::Iter<T>`.
+    pub type Iter<T> = std::ops::Range<T>;
+}
+
+pub mod iter {
+    /// `into_par_iter()` for any owned iterable (ranges, vectors, …).
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Returns the sequential iterator standing in for the parallel one.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+
+    /// Slice-level `par_*` methods (`Vec` reaches them through deref).
+    pub trait ParallelSliceOps<T> {
+        /// Sequential stand-in for `par_iter`.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// Sequential stand-in for `par_iter_mut`.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        /// Sequential stand-in for `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+        /// Sequential stand-in for `par_sort_unstable`.
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord;
+        /// Sequential stand-in for `par_sort_unstable_by`.
+        fn par_sort_unstable_by<F>(&mut self, compare: F)
+        where
+            F: FnMut(&T, &T) -> std::cmp::Ordering;
+        /// Sequential stand-in for `par_sort_unstable_by_key`.
+        fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+        where
+            K: Ord,
+            F: FnMut(&T) -> K;
+    }
+
+    impl<T> ParallelSliceOps<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord,
+        {
+            self.sort_unstable();
+        }
+
+        fn par_sort_unstable_by<F>(&mut self, compare: F)
+        where
+            F: FnMut(&T, &T) -> std::cmp::Ordering,
+        {
+            self.sort_unstable_by(compare);
+        }
+
+        fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+        where
+            K: Ord,
+            F: FnMut(&T) -> K,
+        {
+            self.sort_unstable_by_key(key);
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, ParallelSliceOps};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_and_slice_paths_work() {
+        let v: Vec<u32> = (0u32..10).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v.len(), 10);
+        assert_eq!(v.par_iter().sum::<u32>(), 90);
+        let mut w = vec![3, 1, 2];
+        w.par_sort_unstable();
+        assert_eq!(w, [1, 2, 3]);
+    }
+}

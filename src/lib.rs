@@ -1,0 +1,24 @@
+//! # slimgraph — umbrella crate for the Slim Graph workspace
+//!
+//! Re-exports every workspace crate under one roof so downstream users (and
+//! the top-level integration tests and examples) can depend on a single
+//! crate. The pieces:
+//!
+//! * [`graph`] — CSR graph, generators, I/O (`sg-graph`)
+//! * [`algos`] — stage-2 graph algorithms (`sg-algos`)
+//! * [`core`] — kernels, engine, schemes, registry, pipelines (`sg-core`)
+//! * [`metrics`] — accuracy metrics and divergences (`sg-metrics`)
+//! * [`lowrank`] — low-rank adjacency approximation (`sg-lowrank`)
+//! * [`dist`] — simulated distributed compression (`sg-dist`)
+
+pub use sg_algos as algos;
+pub use sg_core as core;
+pub use sg_dist as dist;
+pub use sg_graph as graph;
+pub use sg_lowrank as lowrank;
+pub use sg_metrics as metrics;
+
+pub use sg_core::{
+    CompressionResult, CompressionScheme, Pipeline, PipelineResult, SchemeParams, SchemeRegistry,
+};
+pub use sg_graph::CsrGraph;

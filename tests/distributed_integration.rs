@@ -2,7 +2,8 @@
 //! shared-memory engine and the analytics subsystem.
 
 use sg_core::schemes::{uniform_sample, SpectralKernel};
-use sg_dist::{distributed_edge_kernel, distributed_uniform_sample};
+use sg_core::{SchemeParams, SchemeRegistry};
+use sg_dist::{distributed_compress, distributed_edge_kernel, distributed_uniform_sample};
 use sg_graph::generators;
 use sg_graph::properties::DegreeDistribution;
 
@@ -29,6 +30,36 @@ fn distributed_spectral_kernel_runs() {
     // NOTE: reweighting survivors is a shared-memory-only feature for now;
     // the distributed pipeline treats Reweight as Keep (delete decisions
     // only), matching the paper's distributed edge-compression scope.
+}
+
+#[test]
+fn registry_schemes_shard_when_edge_shaped() {
+    // The distributed backend resolves schemes through the same registry as
+    // everything else: edge-kernel schemes shard and match shared memory
+    // bit-for-bit; kernel classes with shared state are rejected.
+    let g = generators::rmat_graph500(11, 8, 30);
+    let registry = SchemeRegistry::with_defaults();
+    let params = SchemeParams::from_pairs(&[("p", "0.35"), ("k", "2")]);
+    for name in ["uniform", "cut"] {
+        let scheme = registry.create(name, &params).expect("registered");
+        let shared = scheme.apply(&g, 77);
+        for ranks in [1, 4, 9] {
+            let dist = distributed_compress(&g, scheme.as_ref(), ranks, 77)
+                .expect("edge-kernel scheme shards");
+            assert_eq!(
+                dist.result.graph.edge_slice(),
+                shared.graph.edge_slice(),
+                "{name} at ranks={ranks}"
+            );
+        }
+    }
+    for name in ["tr", "lowdeg", "spanner", "summary", "collapse"] {
+        let scheme = registry.create(name, &params).expect("registered");
+        assert!(
+            distributed_compress(&g, scheme.as_ref(), 4, 77).is_err(),
+            "{name} should report no distributed form"
+        );
+    }
 }
 
 #[test]

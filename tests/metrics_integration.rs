@@ -2,8 +2,9 @@
 //! outputs (not synthetic score vectors).
 
 use sg_algos::{bc, pagerank, tc};
+use sg_core::scheme::{Spanner, Spectral};
 use sg_core::schemes::{uniform_sample, UpsilonVariant};
-use sg_core::Scheme;
+use sg_core::CompressionScheme;
 use sg_graph::generators;
 use sg_metrics::{
     compare_degree_distributions, critical_edge_preservation, hellinger, jensen_shannon,
@@ -25,10 +26,7 @@ fn all_divergences_agree_on_direction() {
     ] {
         let d_mild = f(&base, &mild);
         let d_harsh = f(&base, &harsh);
-        assert!(
-            d_mild < d_harsh,
-            "{name}: mild {d_mild} should be < harsh {d_harsh}"
-        );
+        assert!(d_mild < d_harsh, "{name}: mild {d_mild} should be < harsh {d_harsh}");
     }
 }
 
@@ -37,8 +35,7 @@ fn reordered_pairs_zero_for_identity_compression() {
     let g = generators::erdos_renyi(400, 1600, 4);
     let r = uniform_sample(&g, 0.0, 5); // keeps everything
     let before: Vec<f64> = tc::triangles_per_vertex(&g).iter().map(|&x| x as f64).collect();
-    let after: Vec<f64> =
-        tc::triangles_per_vertex(&r.graph).iter().map(|&x| x as f64).collect();
+    let after: Vec<f64> = tc::triangles_per_vertex(&r.graph).iter().map(|&x| x as f64).collect();
     assert_eq!(reordered_pair_fraction(&before, &after), 0.0);
     assert_eq!(reordered_neighbor_fraction(&g, &before, &after), 0.0);
 }
@@ -74,7 +71,7 @@ fn bc_ordering_damage_grows_with_compression() {
 #[test]
 fn degree_distribution_comparison_detects_spanner_flattening() {
     let g = generators::rmat_graph500(11, 10, 12);
-    let r = Scheme::Spanner { k: 32.0 }.apply(&g, 13);
+    let r = Spanner { k: 32.0 }.apply(&g, 13);
     let cmp = compare_degree_distributions(&g, &r.graph);
     assert!(cmp.l1_distance > 0.0);
     assert!(cmp.support_after < cmp.support_before);
@@ -83,8 +80,7 @@ fn degree_distribution_comparison_detects_spanner_flattening() {
 #[test]
 fn spectral_beats_uniform_on_critical_edges_too() {
     let g = generators::barabasi_albert(1500, 5, 14);
-    let spec = Scheme::Spectral { p: 0.4, variant: UpsilonVariant::LogN, reweight: false }
-        .apply(&g, 15);
+    let spec = Spectral { p: 0.4, variant: UpsilonVariant::LogN, reweight: false }.apply(&g, 15);
     let unif = uniform_sample(&g, spec.edge_reduction(), 16);
     let root = sg_bench::densest_vertex(&g);
     let p_spec = critical_edge_preservation(&g, &spec.graph, root);

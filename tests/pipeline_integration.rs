@@ -1,31 +1,35 @@
 //! Integration tests: the full generator → compressor → algorithm →
-//! metric pipeline, spanning every crate.
+//! metric pipeline, spanning every crate. Schemes are resolved by name
+//! through the [`SchemeRegistry`] — no hand-written scheme list — and
+//! multi-stage [`Pipeline`]s exercise the paper's kernel-chaining model.
 
 use sg_algos::{bfs, cc, pagerank, tc};
-use sg_core::schemes::{TrConfig, UpsilonVariant};
-use sg_core::Scheme;
+use sg_core::{CompressionScheme, Pipeline, SchemeParams, SchemeRegistry};
 use sg_graph::generators::{self, presets};
 use sg_metrics::{critical_edge_preservation, kl_divergence, reordered_pair_fraction};
 
-fn all_schemes() -> Vec<Scheme> {
-    vec![
-        Scheme::Uniform { p: 0.4 },
-        Scheme::Spectral { p: 0.5, variant: UpsilonVariant::LogN, reweight: false },
-        Scheme::Spectral { p: 0.5, variant: UpsilonVariant::AvgDegree, reweight: true },
-        Scheme::TriangleReduction(TrConfig::plain_1(0.6)),
-        Scheme::TriangleReduction(TrConfig::edge_once_1(0.6)),
-        Scheme::TriangleReduction(TrConfig::count_triangles(0.6)),
-        Scheme::TriangleCollapse { p: 0.3 },
-        Scheme::LowDegree,
-        Scheme::Spanner { k: 8.0 },
-        Scheme::Summarization { epsilon: 0.05 },
-    ]
+/// Every registered scheme, instantiated with moderate test parameters.
+fn registry_schemes() -> Vec<Box<dyn CompressionScheme>> {
+    let registry = SchemeRegistry::with_defaults();
+    let params = SchemeParams::from_pairs(&[("p", "0.5"), ("k", "8"), ("epsilon", "0.05")]);
+    registry
+        .names()
+        .map(|name| registry.create(name, &params).expect("default factories succeed"))
+        .collect()
+}
+
+fn uniform(p: f64) -> Box<dyn CompressionScheme> {
+    SchemeRegistry::with_defaults()
+        .create("uniform", &SchemeParams::from_pairs(&[("p", &p.to_string())]))
+        .expect("uniform is registered")
 }
 
 #[test]
-fn every_scheme_composes_with_every_stage2_algorithm() {
+fn every_registered_scheme_composes_with_every_stage2_algorithm() {
     let g = generators::planted_triangles(&generators::erdos_renyi(600, 1800, 1), 800, 2);
-    for scheme in all_schemes() {
+    let schemes = registry_schemes();
+    assert!(schemes.len() >= 9, "registry shrank to {} schemes", schemes.len());
+    for scheme in &schemes {
         let r = scheme.apply(&g, 3);
         // Stage 2 runs without panicking and produces sane outputs.
         let b = bfs::bfs_parallel(&r.graph, 0);
@@ -49,7 +53,7 @@ fn kl_divergence_grows_with_compression_rate() {
     let base = pagerank::pagerank_default(&g).scores;
     let mut last_kl = -1.0;
     for p in [0.1, 0.4, 0.8] {
-        let r = Scheme::Uniform { p }.apply(&g, 5);
+        let r = uniform(p).apply(&g, 5);
         let scores = pagerank::pagerank_default(&r.graph).scores;
         let kl = kl_divergence(&base, &scores);
         assert!(kl > last_kl, "KL not increasing: {kl} after {last_kl} at p={p}");
@@ -59,11 +63,15 @@ fn kl_divergence_grows_with_compression_rate() {
 
 #[test]
 fn spanner_critical_edge_preservation_decays_with_k() {
+    let registry = SchemeRegistry::with_defaults();
     let g = presets::s_pok_like();
     let root = 0u32;
     let mut last = f64::INFINITY;
     for k in [2.0, 8.0, 32.0, 128.0] {
-        let r = Scheme::Spanner { k }.apply(&g, 7);
+        let spanner = registry
+            .create("spanner", &SchemeParams::from_pairs(&[("k", &k.to_string())]))
+            .expect("spanner is registered");
+        let r = spanner.apply(&g, 7);
         let pres = critical_edge_preservation(&g, &r.graph, root);
         assert!(pres <= last + 0.05, "preservation not decaying at k={k}");
         // A count ratio can slightly exceed 1 at small k (depths shift and
@@ -79,27 +87,27 @@ fn spectral_preserves_tc_ordering_better_than_uniform() {
     // effect needs a *skewed* degree distribution (spectral's per-edge
     // probabilities differentiate by min-degree); on near-regular graphs
     // such as Watts–Strogatz the two schemes coincide.
+    let registry = SchemeRegistry::with_defaults();
     let g = presets::s_pok_like();
     let base: Vec<f64> = tc::triangles_per_vertex(&g).iter().map(|&x| x as f64).collect();
-    let spec = Scheme::Spectral { p: 0.4, variant: UpsilonVariant::LogN, reweight: false }
-        .apply(&g, 11);
-    let unif = Scheme::Uniform { p: spec.edge_reduction() }.apply(&g, 12);
+    let spectral = registry
+        .create("spectral", &SchemeParams::from_pairs(&[("p", "0.4")]))
+        .expect("spectral is registered");
+    let spec = spectral.apply(&g, 11);
+    let unif = uniform(spec.edge_reduction()).apply(&g, 12);
     let tc_spec: Vec<f64> =
         tc::triangles_per_vertex(&spec.graph).iter().map(|&x| x as f64).collect();
     let tc_unif: Vec<f64> =
         tc::triangles_per_vertex(&unif.graph).iter().map(|&x| x as f64).collect();
     let flips_spec = reordered_pair_fraction(&base, &tc_spec);
     let flips_unif = reordered_pair_fraction(&base, &tc_unif);
-    assert!(
-        flips_spec < flips_unif,
-        "spectral {flips_spec} should beat uniform {flips_unif}"
-    );
+    assert!(flips_spec < flips_unif, "spectral {flips_spec} should beat uniform {flips_unif}");
 }
 
 #[test]
 fn io_roundtrip_of_compressed_graph() {
     let g = generators::rmat_graph500(10, 8, 13);
-    let r = Scheme::Uniform { p: 0.5 }.apply(&g, 14);
+    let r = uniform(0.5).apply(&g, 14);
     let bytes = sg_graph::io::to_binary(&r.graph);
     let back = sg_graph::io::from_binary(&bytes).expect("roundtrip");
     assert_eq!(back.edge_slice(), r.graph.edge_slice());
@@ -109,7 +117,7 @@ fn io_roundtrip_of_compressed_graph() {
 #[test]
 fn compression_is_deterministic_end_to_end() {
     let g = presets::v_ewk_like();
-    for scheme in all_schemes() {
+    for scheme in registry_schemes() {
         let a = scheme.apply(&g, 99);
         let b = scheme.apply(&g, 99);
         assert_eq!(
@@ -119,4 +127,53 @@ fn compression_is_deterministic_end_to_end() {
             scheme.label()
         );
     }
+}
+
+#[test]
+fn chained_pipeline_runs_end_to_end_and_composes_stats() {
+    // The acceptance pipeline: spanner -> lowdeg -> uniform, resolved from
+    // a single spec string.
+    let registry = SchemeRegistry::with_defaults();
+    let base = SchemeParams::from_pairs(&[("p", "0.5")]);
+    let pipeline = registry.parse_pipeline("spanner,lowdeg,uniform", &base).expect("spec parses");
+    assert_eq!(pipeline.len(), 3);
+
+    let g = presets::s_pok_like();
+    let out = pipeline.apply(&g, 21);
+    assert_eq!(out.stages.len(), 3);
+    // Stage boundaries agree with each other and with the composed result.
+    assert_eq!(out.stages[0].input_edges, g.num_edges());
+    for pair in out.stages.windows(2) {
+        assert_eq!(pair[0].output_edges, pair[1].input_edges);
+    }
+    assert_eq!(out.stages.last().expect("stages").output_edges, out.result.graph.num_edges());
+    assert!(out.result.graph.num_edges() < g.num_edges());
+    // lowdeg relabels vertices: the composed mapping must be present and
+    // sized by the pipeline input.
+    let mapping = out.result.vertex_mapping.as_ref().expect("lowdeg maps vertices");
+    assert_eq!(mapping.len(), g.num_vertices());
+    // Stage-2 algorithms run on the pipeline output.
+    assert!(cc::connected_components(&out.result.graph).num_components >= 1);
+
+    // Bit-identical across repeated runs with the same seed.
+    let again = registry
+        .parse_pipeline("spanner,lowdeg,uniform", &base)
+        .expect("spec parses")
+        .apply(&g, 21);
+    assert_eq!(out.result.graph.edge_slice(), again.result.graph.edge_slice());
+}
+
+#[test]
+fn pipeline_builder_matches_registry_spec() {
+    let registry = SchemeRegistry::with_defaults();
+    let params = SchemeParams::from_pairs(&[("p", "0.4"), ("k", "4")]);
+    let from_spec = registry.parse_pipeline("spanner,uniform", &params).expect("parses");
+    let built = Pipeline::new()
+        .then(registry.create("spanner", &params).expect("spanner"))
+        .then(registry.create("uniform", &params).expect("uniform"));
+    let g = generators::rmat_graph500(10, 8, 31);
+    assert_eq!(
+        from_spec.apply(&g, 5).result.graph.edge_slice(),
+        built.apply(&g, 5).result.graph.edge_slice()
+    );
 }
