@@ -69,12 +69,33 @@ pub fn betweenness_sampled(g: &CsrGraph, num_sources: usize, seed: u64) -> Vec<f
 }
 
 /// Brandes accumulation over an explicit source set.
+///
+/// Sources are processed in parallel: each split folds its sources into a
+/// private score vector (rayon `fold` semantics — the accumulator only ever
+/// sees one split's items) and the per-split vectors are merged elementwise
+/// by `reduce`. A plain sequential-fold accumulator would silently drop
+/// contributions under real splitting, which is why the identity-closure
+/// form is load-bearing here.
 pub fn betweenness_from_sources(g: &CsrGraph, sources: Vec<VertexId>) -> Vec<f64> {
     let n = g.num_vertices();
-    sources.par_iter().fold(vec![0.0f64; n], |mut acc, &s| {
-        brandes_from(g, s, &mut acc);
-        acc
-    })
+    sources
+        .par_iter()
+        .fold(
+            || vec![0.0f64; n],
+            |mut acc, &s| {
+                brandes_from(g, s, &mut acc);
+                acc
+            },
+        )
+        .reduce(
+            || vec![0.0f64; n],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    *x += y;
+                }
+                a
+            },
+        )
 }
 
 #[cfg(test)]

@@ -108,7 +108,7 @@ pub fn bfs_parallel(g: &CsrGraph, root: VertexId) -> BfsResult {
         level += 1;
         let next: Vec<VertexId> = frontier
             .par_iter()
-            .flat_map(|&u| {
+            .flat_map_iter(|&u| {
                 g.neighbors(u).iter().filter_map(move |&v| {
                     // Claim v if still unvisited; the winner sets the parent.
                     if depth_ref[v as usize]

@@ -61,7 +61,7 @@ pub fn average_path_length_sampled(g: &CsrGraph, samples: usize, seed: u64) -> f
             }
             (sum, cnt)
         })
-        .fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+        .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
     if count == 0 {
         0.0
     } else {

@@ -89,14 +89,63 @@ mod tests {
         assert_eq!(bs.count_ones(), 34);
     }
 
+    /// Runs one contention round: `threads` OS threads race `set` over
+    /// `len` bits, each starting at a different offset so every word is
+    /// hit by several threads at once. Returns the total number of wins.
+    fn contention_round(len: usize, threads: usize) -> (usize, AtomicBitset) {
+        let bs = AtomicBitset::new(len);
+        let total = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let bs = &bs;
+                    scope.spawn(move || {
+                        // Stride through the whole range from a per-thread
+                        // offset: every thread touches every bit, maximizing
+                        // same-word fetch_or collisions.
+                        let offset = t * len / threads;
+                        (0..len).filter(|&i| !bs.set((i + offset) % len)).count()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("no panics")).sum::<usize>()
+        });
+        (total, bs)
+    }
+
     #[test]
-    fn concurrent_test_and_set_claims_once() {
+    fn contended_test_and_set_claims_each_bit_exactly_once() {
+        // Real OS-thread contention (not the rayon facade): 8 threads race
+        // `set` over overlapping ranges; test-and-set must hand out exactly
+        // one win per bit no matter how the stores interleave.
+        let (claims, bs) = contention_round(4096, 8);
+        assert_eq!(claims, 4096);
+        assert_eq!(bs.count_ones(), 4096);
+        assert!(bs.to_vec().iter().all(|&b| b));
+    }
+
+    #[test]
+    fn rayon_backend_contention_claims_once() {
+        // Same invariant through the rayon-shim thread pool the engine
+        // actually uses (worker count follows SG_THREADS).
         let bs = AtomicBitset::new(1000);
-        // 8 threads race to claim each bit; exactly one wins per bit.
         let claims: usize =
-            (0..8).into_par_iter().map(|_| (0..1000).filter(|&i| !bs.set(i)).count()).sum();
+            (0..8u32).into_par_iter().map(|_| (0..1000).filter(|&i| !bs.set(i)).count()).sum();
         assert_eq!(claims, 1000);
         assert_eq!(bs.count_ones(), 1000);
+    }
+
+    #[test]
+    #[ignore = "loom-style stress loop; run with `cargo test -- --ignored`"]
+    fn repeated_contention_stress() {
+        // Loom-style in spirit: hammer many interleavings by re-running the
+        // race with varied sizes (word-aligned and not) and thread counts.
+        for round in 0..200 {
+            let len = 64 * (round % 7 + 1) + round % 13;
+            let threads = 2 + round % 14;
+            let (claims, bs) = contention_round(len, threads);
+            assert_eq!(claims, len, "round {round}: duplicate or lost claim");
+            assert_eq!(bs.count_ones(), len, "round {round}: bit dropped");
+        }
     }
 
     #[test]

@@ -90,7 +90,7 @@ proptest! {
         use rayon::prelude::*;
         let g = generators::erdos_renyi(100, 400, seed);
         let sg = SgContext::new(&g, seed);
-        let winners: usize = (0..8)
+        let winners: usize = (0..8u32)
             .into_par_iter()
             .map(|_| {
                 (0..g.num_edges() as u32)

@@ -106,7 +106,8 @@ pub fn barabasi_albert(n: usize, k: usize, seed: u64) -> CsrGraph {
 pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
     assert!(n > 2 * k, "ring too small for k");
     let pairs: Vec<(VertexId, VertexId)> = (0..n as u64)
-        .flat_map(|u| {
+        .into_par_iter()
+        .flat_map_iter(|u| {
             let n64 = n as u64;
             (1..=k as u64).map(move |d| {
                 let e = u * k as u64 + d;
@@ -184,7 +185,8 @@ pub fn planted_triangles(base: &CsrGraph, extra_triangles: usize, seed: u64) -> 
     assert!(n >= 3);
     let mut el = base.to_edge_list();
     let extra: Vec<(VertexId, VertexId)> = (0..extra_triangles as u64)
-        .flat_map(|t| {
+        .into_par_iter()
+        .flat_map_iter(|t| {
             let a = bounded_u64(seed ^ 0x7001, t, 0, n) as VertexId;
             let mut b = bounded_u64(seed ^ 0x7002, t, 1, n - 1) as VertexId;
             let mut c = bounded_u64(seed ^ 0x7003, t, 2, n - 2) as VertexId;

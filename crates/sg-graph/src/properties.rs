@@ -7,6 +7,7 @@
 
 use crate::types::VertexId;
 use crate::CsrGraph;
+use rayon::prelude::*;
 
 /// Summary statistics over vertex degrees.
 #[derive(Clone, Debug, PartialEq)]
@@ -20,20 +21,24 @@ pub struct DegreeStats {
     pub leaves: usize,
 }
 
-/// Computes degree statistics in one pass.
+/// Computes degree statistics in one parallel pass (min/max/sum/isolated/
+/// leaves all reduce associatively, so the split shape cannot change the
+/// answer).
 pub fn degree_stats(g: &CsrGraph) -> DegreeStats {
     let n = g.num_vertices();
     if n == 0 {
         return DegreeStats { min: 0, max: 0, mean: 0.0, isolated: 0, leaves: 0 };
     }
     let (min, max, sum, isolated, leaves) = (0..n as VertexId)
+        .into_par_iter()
         .map(|v| {
             let d = g.degree(v);
             (d, d, d, (d == 0) as usize, (d == 1) as usize)
         })
-        .fold((usize::MAX, 0, 0, 0, 0), |a, b| {
-            (a.0.min(b.0), a.1.max(b.1), a.2 + b.2, a.3 + b.3, a.4 + b.4)
-        });
+        .reduce(
+            || (usize::MAX, 0, 0, 0, 0),
+            |a, b| (a.0.min(b.0), a.1.max(b.1), a.2 + b.2, a.3 + b.3, a.4 + b.4),
+        );
     DegreeStats { min, max, mean: sum as f64 / n as f64, isolated, leaves }
 }
 

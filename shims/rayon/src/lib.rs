@@ -1,102 +1,126 @@
-//! Offline shim for [`rayon`](https://crates.io/crates/rayon).
+//! Offline shim for [`rayon`](https://crates.io/crates/rayon) with a **real
+//! multi-threaded backend** built on [`std::thread::scope`].
 //!
 //! The build container has no registry access, so this crate provides the
-//! exact `rayon` surface the workspace uses with **sequential** execution:
-//! `par_iter()` hands back the plain `std` iterator, so every adapter
-//! (`map`, `zip`, `enumerate`, `filter`, `sum`, `any`, `collect`,
-//! `for_each`, …) comes from [`std::iter::Iterator`] for free.
+//! exact `rayon` surface the workspace uses. Unlike the original sequential
+//! facade, work is now genuinely parallel: every parallel iterator is an
+//! *indexed* pipeline over a base source (a range, a slice, a zip of
+//! slices). At a terminal operation the base index space is split into
+//! contiguous chunks, scoped worker threads pull chunks off a shared atomic
+//! cursor, each chunk runs the whole adapter pipeline sequentially, and the
+//! per-chunk results are combined **in chunk order**.
 //!
-//! Every kernel decision in the workspace is deterministic in
-//! `(seed, element id)`, so sequential execution is *observably identical*
-//! to the real thread pool — only slower. Restoring true parallelism
-//! (swapping this shim for crates.io rayon, or growing a scoped-thread
-//! backend here) is tracked as a ROADMAP open item.
+//! # Determinism contract
+//!
+//! Chunk boundaries depend only on the *length* of the base source — never
+//! on the thread count (see [`iter::chunk_bounds`]). Because every
+//! combining step (collect concatenation, `sum`, `fold`+`reduce`, `max`)
+//! merges per-chunk results left-to-right in chunk order, the full result —
+//! including the exact floating-point rounding — is **bit-identical at any
+//! thread count**, including the sequential fallback at 1 thread. The
+//! top-level `parallel_equivalence` test suite pins this contract for every
+//! compression scheme and stage-2 algorithm in the workspace.
+//!
+//! The same reasoning makes the slice sorts deterministic: the
+//! `par_sort_unstable*` entry points are backed by a *stable* parallel
+//! merge sort (per-chunk stable sorts, then index merges that prefer the
+//! left run on ties), and a stable sort's output is the unique
+//! stability-preserving permutation regardless of how many runs it was
+//! split into.
+//!
+//! # Thread count
+//!
+//! The worker count comes from, in priority order:
+//!
+//! 1. [`set_num_threads`] (a shim-only programmatic override; pass 0 to
+//!    clear it),
+//! 2. the `SG_THREADS` environment variable,
+//! 3. the `RAYON_NUM_THREADS` environment variable (rayon compatible),
+//! 4. [`std::thread::available_parallelism`].
+//!
+//! At 1 thread no threads are spawned and chunks run inline on the caller.
+//! Threads are scoped per terminal operation rather than pooled; spawn cost
+//! is a few tens of microseconds per call, which the workspace's
+//! coarse-grained kernels amortize easily.
 
-/// Mirror of `rayon::range`: `into_par_iter()` on a `Range<T>` returns the
-/// range itself, which is already an iterator.
-pub mod range {
-    /// Sequential stand-in for `rayon::range::Iter<T>`.
-    pub type Iter<T> = std::ops::Range<T>;
-}
-
-pub mod iter {
-    /// `into_par_iter()` for any owned iterable (ranges, vectors, …).
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        /// Returns the sequential iterator standing in for the parallel one.
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
-        }
-    }
-
-    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
-
-    /// Slice-level `par_*` methods (`Vec` reaches them through deref).
-    pub trait ParallelSliceOps<T> {
-        /// Sequential stand-in for `par_iter`.
-        fn par_iter(&self) -> std::slice::Iter<'_, T>;
-        /// Sequential stand-in for `par_iter_mut`.
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
-        /// Sequential stand-in for `par_chunks_mut`.
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
-        /// Sequential stand-in for `par_sort_unstable`.
-        fn par_sort_unstable(&mut self)
-        where
-            T: Ord;
-        /// Sequential stand-in for `par_sort_unstable_by`.
-        fn par_sort_unstable_by<F>(&mut self, compare: F)
-        where
-            F: FnMut(&T, &T) -> std::cmp::Ordering;
-        /// Sequential stand-in for `par_sort_unstable_by_key`.
-        fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
-        where
-            K: Ord,
-            F: FnMut(&T) -> K;
-    }
-
-    impl<T> ParallelSliceOps<T> for [T] {
-        fn par_iter(&self) -> std::slice::Iter<'_, T> {
-            self.iter()
-        }
-
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-            self.iter_mut()
-        }
-
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(chunk_size)
-        }
-
-        fn par_sort_unstable(&mut self)
-        where
-            T: Ord,
-        {
-            self.sort_unstable();
-        }
-
-        fn par_sort_unstable_by<F>(&mut self, compare: F)
-        where
-            F: FnMut(&T, &T) -> std::cmp::Ordering,
-        {
-            self.sort_unstable_by(compare);
-        }
-
-        fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
-        where
-            K: Ord,
-            F: FnMut(&T) -> K,
-        {
-            self.sort_unstable_by_key(key);
-        }
-    }
-}
+pub mod iter;
+pub mod range;
+pub mod slice;
 
 pub mod prelude {
-    pub use crate::iter::{IntoParallelIterator, ParallelSliceOps};
+    pub use crate::iter::{IntoParallelIterator, ParallelIterator};
+    pub use crate::slice::ParallelSliceOps;
+}
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Programmatic thread-count override; 0 means "unset, use the default".
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+/// Environment/default thread count, resolved once per process.
+static DEFAULT: OnceLock<usize> = OnceLock::new();
+
+fn default_num_threads() -> usize {
+    *DEFAULT.get_or_init(|| {
+        for var in ["SG_THREADS", "RAYON_NUM_THREADS"] {
+            if let Ok(raw) = std::env::var(var) {
+                if let Ok(n) = raw.trim().parse::<usize>() {
+                    if n >= 1 {
+                        return n;
+                    }
+                }
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    })
+}
+
+/// Number of worker threads terminal operations may use (rayon-compatible
+/// entry point).
+pub fn current_num_threads() -> usize {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        0 => default_num_threads(),
+        n => n,
+    }
+}
+
+/// Overrides the worker-thread count for subsequent parallel calls in this
+/// process; `set_num_threads(0)` restores the environment-derived default.
+///
+/// Shim-only API (real rayon sizes its global pool via
+/// `ThreadPoolBuilder`): results never depend on the thread count, so this
+/// is a performance knob and a test hook, not a semantic one.
+pub fn set_num_threads(threads: usize) {
+    OVERRIDE.store(threads, Ordering::Relaxed);
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// The thread-count override is process-global and the test harness
+    /// runs tests concurrently, so every test that touches the knob must
+    /// hold this lock for its whole body.
+    static KNOB: Mutex<()> = Mutex::new(());
+
+    fn lock_knob() -> MutexGuard<'static, ()> {
+        KNOB.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Runs `f` at several thread counts and asserts all results agree.
+    fn invariant<T: PartialEq + std::fmt::Debug>(f: impl Fn() -> T) -> T {
+        let _guard = lock_knob();
+        crate::set_num_threads(1);
+        let base = f();
+        for t in [2, 4, 8] {
+            crate::set_num_threads(t);
+            let got = f();
+            assert_eq!(got, base, "result changed at {t} threads");
+        }
+        crate::set_num_threads(0);
+        base
+    }
 
     #[test]
     fn range_and_slice_paths_work() {
@@ -106,5 +130,182 @@ mod tests {
         let mut w = vec![3, 1, 2];
         w.par_sort_unstable();
         assert_eq!(w, [1, 2, 3]);
+    }
+
+    #[test]
+    fn map_collect_preserves_order_at_any_thread_count() {
+        let out = invariant(|| (0u64..10_000).into_par_iter().map(|x| x * x).collect::<Vec<_>>());
+        assert_eq!(out, (0u64..10_000).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_and_filter_map_keep_base_order() {
+        let out = invariant(|| {
+            (0u32..5_000).into_par_iter().filter(|&x| x % 3 == 0).map(|x| x + 1).collect::<Vec<_>>()
+        });
+        assert_eq!(out, (0u32..5_000).filter(|&x| x % 3 == 0).map(|x| x + 1).collect::<Vec<_>>());
+        let fm = invariant(|| {
+            (0i64..999)
+                .into_par_iter()
+                .filter_map(|x| (x % 7 == 0).then_some(-x))
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(fm.len(), 143);
+    }
+
+    #[test]
+    fn float_sum_is_bit_identical_across_thread_counts() {
+        let data: Vec<f64> = (0..100_000).map(|i| (i as f64).sin() / 3.0).collect();
+        let bits = invariant(|| data.par_iter().map(|&x| x * 1.000001).sum::<f64>().to_bits());
+        assert!(f64::from_bits(bits).is_finite());
+    }
+
+    #[test]
+    fn fold_reduce_matches_sequential_semantics() {
+        // Histogram via per-chunk accumulators merged in order.
+        let hist = invariant(|| {
+            (0usize..10_000)
+                .into_par_iter()
+                .fold(
+                    || vec![0u32; 10],
+                    |mut acc, x| {
+                        acc[x % 10] += 1;
+                        acc
+                    },
+                )
+                .reduce(
+                    || vec![0u32; 10],
+                    |mut a, b| {
+                        for (x, y) in a.iter_mut().zip(&b) {
+                            *x += y;
+                        }
+                        a
+                    },
+                )
+        });
+        assert_eq!(hist, vec![1000u32; 10]);
+    }
+
+    #[test]
+    fn zip_enumerate_and_flat_map_iter() {
+        let a: Vec<u32> = (0..1000).collect();
+        let b: Vec<u32> = (0..1000).map(|x| 2 * x).collect();
+        let dot = invariant(|| a.par_iter().zip(b.par_iter()).map(|(x, y)| x * y).sum::<u32>());
+        assert_eq!(dot, (0..1000u32).map(|x| x * 2 * x).sum());
+        let idx =
+            invariant(|| a.par_iter().enumerate().map(|(i, &x)| i as u32 + x).collect::<Vec<_>>());
+        assert_eq!(idx[999], 1998);
+        let fm =
+            invariant(|| (0u32..100).into_par_iter().flat_map_iter(|x| [x, x]).collect::<Vec<_>>());
+        assert_eq!(fm.len(), 200);
+        assert_eq!(&fm[..4], &[0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn max_min_any_count() {
+        assert_eq!(invariant(|| (0u32..12345).into_par_iter().max()), Some(12344));
+        assert_eq!(invariant(|| (5u32..12345).into_par_iter().min()), Some(5));
+        assert!(invariant(|| (0u32..12345).into_par_iter().any(|x| x == 9999)));
+        assert!(!invariant(|| (0u32..12345).into_par_iter().any(|x| x > 99999)));
+        assert_eq!(
+            invariant(|| (0u32..9999).into_par_iter().filter(|&x| x % 2 == 0).count()),
+            5000
+        );
+    }
+
+    #[test]
+    fn par_iter_mut_and_chunks_mut_cover_all_elements() {
+        let _guard = lock_knob();
+        crate::set_num_threads(4);
+        let mut v = vec![1u64; 10_000];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x += i as u64);
+        assert_eq!(v[9_999], 10_000);
+        let mut m = vec![0u8; 1000];
+        m.par_chunks_mut(7).enumerate().for_each(|(i, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = (i % 251) as u8 + 1;
+            }
+        });
+        assert!(m.iter().all(|&x| x != 0));
+        crate::set_num_threads(0);
+    }
+
+    #[test]
+    fn parallel_sort_is_stable_and_thread_invariant() {
+        // Keys collide heavily; the payload records the original position.
+        let data: Vec<(u8, u32)> =
+            (0..50_000u32).map(|i| ((i.wrapping_mul(2654435761) % 7) as u8, i)).collect();
+        let sorted = invariant(|| {
+            let mut v = data.clone();
+            v.par_sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            v
+        });
+        let mut expect = data.clone();
+        expect.sort_by_key(|a| a.0); // std stable sort = the unique stable order
+        assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn sort_by_key_and_plain_sort() {
+        let _guard = lock_knob();
+        let mut v: Vec<u32> = (0..20_000).map(|i: u32| i.wrapping_mul(48271) % 65536).collect();
+        let mut w = v.clone();
+        crate::set_num_threads(8);
+        v.par_sort_unstable();
+        w.sort_unstable();
+        assert_eq!(v, w);
+        let mut pairs: Vec<(u32, u32)> = (0..9999u32).map(|i| (i % 13, i)).collect();
+        pairs.par_sort_unstable_by_key(|&(k, _)| k);
+        assert!(pairs.windows(2).all(|p| p[0].0 <= p[1].0));
+        crate::set_num_threads(0);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let _guard = lock_knob();
+        crate::set_num_threads(8);
+        let empty: Vec<u32> = (0u32..0).into_par_iter().collect();
+        assert!(empty.is_empty());
+        assert_eq!((0u32..0).into_par_iter().sum::<u32>(), 0);
+        assert_eq!((0u32..0).into_par_iter().max(), None);
+        assert_eq!((0u32..1).into_par_iter().collect::<Vec<_>>(), vec![0]);
+        let mut one = [3u8];
+        one.par_sort_unstable();
+        crate::set_num_threads(0);
+    }
+
+    #[test]
+    fn chunks_run_on_spawned_worker_threads() {
+        let _guard = lock_knob();
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        crate::set_num_threads(4);
+        let caller = std::thread::current().id();
+        let ids = Mutex::new(HashSet::new());
+        (0u32..64).into_par_iter().for_each(|_| {
+            ids.lock().expect("no poison").insert(std::thread::current().id());
+            std::thread::yield_now();
+        });
+        let ids = ids.into_inner().expect("no poison");
+        // With >1 configured workers every chunk runs on a spawned thread,
+        // never inline on the caller (how many workers get scheduled is up
+        // to the OS, so that is all we can assert deterministically).
+        assert!(!ids.is_empty() && !ids.contains(&caller), "chunks ran inline on the caller");
+        crate::set_num_threads(0);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let _guard = lock_knob();
+        crate::set_num_threads(4);
+        let result = std::panic::catch_unwind(|| {
+            (0u32..1000).into_par_iter().for_each(|x| {
+                if x == 777 {
+                    panic!("boom");
+                }
+            });
+        });
+        crate::set_num_threads(0);
+        assert!(result.is_err(), "panic in a worker must reach the caller");
     }
 }

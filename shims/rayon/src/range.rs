@@ -1,0 +1,53 @@
+//! Mirror of `rayon::range`: parallel iterators over integer ranges.
+
+use crate::iter::{IndexedParallelIterator, IntoParallelIterator, ParallelIterator};
+use std::ops::Range;
+
+/// Parallel iterator over `Range<T>` (rayon's `range::Iter<T>`).
+#[derive(Clone, Debug)]
+pub struct Iter<T> {
+    range: Range<T>,
+}
+
+macro_rules! indexed_range_impl {
+    ($($t:ty),* $(,)?) => {$(
+        impl ParallelIterator for Iter<$t> {
+            type Item = $t;
+            type SeqIter<'a>
+                = Range<$t>
+            where
+                Self: 'a;
+
+            fn base_len(&self) -> usize {
+                if self.range.end <= self.range.start {
+                    0
+                } else {
+                    // Widen before subtracting: a signed range can span more
+                    // than its own type's positive half (e.g. i32::MIN..i32::MAX).
+                    (self.range.end as i128 - self.range.start as i128) as usize
+                }
+            }
+
+            unsafe fn seq_chunk(&self, r: Range<usize>) -> Range<$t> {
+                // Offsets can exceed $t::MAX for wide signed ranges; the
+                // widened sums always land back inside start..end.
+                let start = (self.range.start as i128 + r.start as i128) as $t;
+                let end = (self.range.start as i128 + r.end as i128) as $t;
+                start..end
+            }
+        }
+
+        impl IndexedParallelIterator for Iter<$t> {}
+
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = Iter<$t>;
+
+            fn into_par_iter(self) -> Iter<$t> {
+                Iter { range: self }
+            }
+        }
+    )*};
+}
+
+indexed_range_impl!(u8, u16, u32, u64, usize, i32, i64);

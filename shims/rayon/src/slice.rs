@@ -1,0 +1,307 @@
+//! Parallel slice operations: `par_iter[_mut]`, `par_chunks_mut`, and the
+//! `par_sort_unstable*` family.
+//!
+//! The sorts are backed by a **stable** parallel merge sort: the slice is
+//! cut into runs that worker threads sort independently with the std
+//! stable sort, the sorted runs are merged pairwise *by index* (the left
+//! run wins ties, preserving stability), and the resulting permutation is
+//! applied in place with swaps. Because a stable sort's output is the
+//! unique stability-preserving permutation, the result is bit-identical to
+//! the sequential `sort_by` fallback no matter how many runs or threads
+//! participated — slightly stronger than the `unstable` name promises,
+//! and exactly what the workspace's determinism contract needs.
+
+use crate::iter::{IndexedParallelIterator, ParallelIterator};
+use std::cmp::Ordering as CmpOrdering;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Below this length sorting is handed straight to [`slice::sort_by`];
+/// threading overhead would dominate.
+const SEQ_SORT_CUTOFF: usize = 4096;
+
+/// Parallel iterator over `&[T]` (rayon's `slice::Iter<'data, T>`).
+pub struct Iter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParallelIterator for Iter<'data, T> {
+    type Item = &'data T;
+    type SeqIter<'a>
+        = std::slice::Iter<'data, T>
+    where
+        Self: 'a;
+
+    fn base_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    unsafe fn seq_chunk(&self, range: Range<usize>) -> Self::SeqIter<'_> {
+        let whole: &'data [T] = self.slice;
+        whole[range].iter()
+    }
+}
+
+impl<T: Sync> IndexedParallelIterator for Iter<'_, T> {}
+
+/// Parallel iterator over `&mut [T]` (rayon's `slice::IterMut`).
+///
+/// Stored as a raw pointer so disjoint chunks can be reborrowed mutably
+/// from worker threads; the [`ParallelIterator::seq_chunk`] disjointness
+/// contract (upheld by the driver) is what makes that sound.
+pub struct IterMut<'data, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'data mut [T]>,
+}
+
+// Safety: an IterMut owns a unique borrow of the slice; handing disjoint
+// sub-ranges to different threads is the same contract as
+// `slice::split_at_mut`, and `T: Send` makes the elements themselves
+// movable across threads.
+unsafe impl<T: Send> Send for IterMut<'_, T> {}
+unsafe impl<T: Send> Sync for IterMut<'_, T> {}
+
+impl<'data, T: Send + 'data> ParallelIterator for IterMut<'data, T> {
+    type Item = &'data mut T;
+    type SeqIter<'a>
+        = std::slice::IterMut<'data, T>
+    where
+        Self: 'a;
+
+    fn base_len(&self) -> usize {
+        self.len
+    }
+
+    unsafe fn seq_chunk(&self, range: Range<usize>) -> Self::SeqIter<'_> {
+        debug_assert!(range.start <= range.end && range.end <= self.len);
+        // Safety: the driver hands out non-overlapping ranges within
+        // 0..len, so each reborrow aliases nothing.
+        unsafe {
+            std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.end - range.start)
+        }
+        .iter_mut()
+    }
+}
+
+impl<'data, T: Send + 'data> IndexedParallelIterator for IterMut<'data, T> {}
+
+/// Parallel iterator over disjoint mutable chunks (rayon's
+/// `slice::ChunksMut`). The base index space is the *chunk index*.
+pub struct ChunksMut<'data, T> {
+    ptr: *mut T,
+    len: usize,
+    chunk_size: usize,
+    _marker: PhantomData<&'data mut [T]>,
+}
+
+// Safety: as for `IterMut` — chunk indices partition the slice.
+unsafe impl<T: Send> Send for ChunksMut<'_, T> {}
+unsafe impl<T: Send> Sync for ChunksMut<'_, T> {}
+
+/// Sequential iterator over a sub-range of a [`ChunksMut`].
+pub struct ChunksMutSeq<'data, T> {
+    ptr: *mut T,
+    len: usize,
+    chunk_size: usize,
+    cur: usize,
+    end: usize,
+    _marker: PhantomData<&'data mut [T]>,
+}
+
+impl<'data, T> Iterator for ChunksMutSeq<'data, T> {
+    type Item = &'data mut [T];
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cur >= self.end {
+            return None;
+        }
+        let start = self.cur * self.chunk_size;
+        let stop = ((self.cur + 1) * self.chunk_size).min(self.len);
+        self.cur += 1;
+        // Safety: chunk indices address disjoint element ranges, and the
+        // driver hands disjoint chunk-index ranges to each worker.
+        Some(unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), stop - start) })
+    }
+}
+
+impl<'data, T: Send + 'data> ParallelIterator for ChunksMut<'data, T> {
+    type Item = &'data mut [T];
+    type SeqIter<'a>
+        = ChunksMutSeq<'data, T>
+    where
+        Self: 'a;
+
+    fn base_len(&self) -> usize {
+        self.len.div_ceil(self.chunk_size)
+    }
+
+    unsafe fn seq_chunk(&self, range: Range<usize>) -> Self::SeqIter<'_> {
+        ChunksMutSeq {
+            ptr: self.ptr,
+            len: self.len,
+            chunk_size: self.chunk_size,
+            cur: range.start,
+            end: range.end,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<'data, T: Send + 'data> IndexedParallelIterator for ChunksMut<'data, T> {}
+
+/// Slice-level `par_*` methods (`Vec` reaches them through deref); the
+/// union of rayon's `ParallelSlice` + `ParallelSliceMut` +
+/// `IntoParallelRefIterator` surface this workspace uses.
+pub trait ParallelSliceOps<T> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> Iter<'_, T>
+    where
+        T: Sync;
+    /// Parallel iterator over `&mut T`.
+    fn par_iter_mut(&mut self) -> IterMut<'_, T>
+    where
+        T: Send;
+    /// Parallel iterator over disjoint mutable chunks of `chunk_size`
+    /// (the last chunk may be shorter). Panics if `chunk_size == 0`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T>
+    where
+        T: Send;
+    /// Parallel sort by `T: Ord` (stable in this shim; see module docs).
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord + Send;
+    /// Parallel sort with a comparator (stable in this shim).
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        T: Send,
+        F: Fn(&T, &T) -> CmpOrdering + Sync;
+    /// Parallel sort by key (stable in this shim).
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        T: Send,
+        K: Ord,
+        F: Fn(&T) -> K + Sync;
+}
+
+impl<T> ParallelSliceOps<T> for [T] {
+    fn par_iter(&self) -> Iter<'_, T>
+    where
+        T: Sync,
+    {
+        Iter { slice: self }
+    }
+
+    fn par_iter_mut(&mut self) -> IterMut<'_, T>
+    where
+        T: Send,
+    {
+        IterMut { ptr: self.as_mut_ptr(), len: self.len(), _marker: PhantomData }
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T>
+    where
+        T: Send,
+    {
+        assert!(chunk_size != 0, "chunk size must be non-zero");
+        ChunksMut { ptr: self.as_mut_ptr(), len: self.len(), chunk_size, _marker: PhantomData }
+    }
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord + Send,
+    {
+        par_merge_sort(self, &T::cmp);
+    }
+
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        T: Send,
+        F: Fn(&T, &T) -> CmpOrdering + Sync,
+    {
+        par_merge_sort(self, &compare);
+    }
+
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        T: Send,
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        par_merge_sort(self, &|a: &T, b: &T| key(a).cmp(&key(b)));
+    }
+}
+
+/// Stable parallel merge sort (see module docs for why stability is the
+/// determinism anchor).
+fn par_merge_sort<T, C>(v: &mut [T], cmp: &C)
+where
+    T: Send,
+    C: Fn(&T, &T) -> CmpOrdering + Sync,
+{
+    let len = v.len();
+    let threads = crate::current_num_threads();
+    if threads <= 1 || len <= SEQ_SORT_CUTOFF {
+        v.sort_by(|a, b| cmp(a, b));
+        return;
+    }
+    // Cut into one run per thread (capped so runs stay non-trivial) and
+    // sort the runs concurrently — safe disjoint &mut via chunks_mut.
+    let runs = threads.min(len.div_ceil(SEQ_SORT_CUTOFF / 2)).max(2);
+    let run_len = len.div_ceil(runs);
+    std::thread::scope(|scope| {
+        for piece in v.chunks_mut(run_len) {
+            scope.spawn(move || piece.sort_by(|a, b| cmp(a, b)));
+        }
+    });
+    // Merge run index lists pairwise until one permutation remains.
+    let mut index_runs: Vec<Vec<usize>> =
+        (0..len).step_by(run_len).map(|s| (s..(s + run_len).min(len)).collect()).collect();
+    while index_runs.len() > 1 {
+        let mut merged = Vec::with_capacity(index_runs.len().div_ceil(2));
+        let mut it = index_runs.into_iter();
+        while let Some(left) = it.next() {
+            match it.next() {
+                None => merged.push(left),
+                Some(right) => merged.push(merge_index_runs(v, cmp, &left, &right)),
+            }
+        }
+        index_runs = merged;
+    }
+    let perm = index_runs.pop().unwrap_or_default();
+    // dest[s] = final position of the element currently at s; apply with
+    // cycle-following swaps (no clones, no unsafe).
+    let mut dest = vec![0usize; len];
+    for (i, &s) in perm.iter().enumerate() {
+        dest[s] = i;
+    }
+    for i in 0..len {
+        while dest[i] != i {
+            let j = dest[i];
+            v.swap(i, j);
+            dest.swap(i, j);
+        }
+    }
+}
+
+/// Two-pointer merge of sorted index runs; the left run wins ties, which
+/// preserves stability (left indices precede right indices originally).
+fn merge_index_runs<T, C>(v: &[T], cmp: &C, left: &[usize], right: &[usize]) -> Vec<usize>
+where
+    C: Fn(&T, &T) -> CmpOrdering,
+{
+    let mut out = Vec::with_capacity(left.len() + right.len());
+    let (mut i, mut j) = (0, 0);
+    while i < left.len() && j < right.len() {
+        if cmp(&v[right[j]], &v[left[i]]) == CmpOrdering::Less {
+            out.push(right[j]);
+            j += 1;
+        } else {
+            out.push(left[i]);
+            i += 1;
+        }
+    }
+    out.extend_from_slice(&left[i..]);
+    out.extend_from_slice(&right[j..]);
+    out
+}

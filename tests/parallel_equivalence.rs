@@ -1,0 +1,193 @@
+//! Thread-count invariance suite: the determinism contract of the threaded
+//! rayon backend, pinned end-to-end.
+//!
+//! Every kernel decision in the workspace is deterministic in
+//! `(seed, element id)`, and the shim combines per-chunk results over
+//! chunk boundaries that depend only on input *length* — never on the
+//! worker count. Consequence: every scheme and every stage-2 algorithm
+//! must produce **bit-identical** output at `SG_THREADS=1`, `4`, and `8`
+//! (floating point included — the reduction trees have identical shape).
+//! These tests compute each result at 1 thread and re-run it at 4 and 8
+//! via the shim's programmatic knob, comparing floats by raw bits.
+//!
+//! The one documented exception is the `parent` vector of `bfs_parallel`:
+//! equal-depth parent races are resolved by whichever worker claims the
+//! vertex first (any valid parent is acceptable, as in GAPBS), so for BFS
+//! the invariant covers depths and reached counts, and the parents are
+//! checked against the Graph500 tree validator instead.
+
+use slimgraph::algos::{bc, bfs, cc, diameter, pagerank};
+use slimgraph::core::{CompressionScheme, SchemeParams, SchemeRegistry};
+use slimgraph::graph::{generators, CsrGraph};
+use std::sync::Mutex;
+
+/// Thread counts compared against the 1-thread baseline.
+const THREAD_COUNTS: [usize; 2] = [4, 8];
+
+/// The worker-count override is process-global; tests in this binary run
+/// concurrently, so every test serializes on this lock.
+static KNOB: Mutex<()> = Mutex::new(());
+
+/// Computes `compute()` at 1 thread, then at each count in
+/// [`THREAD_COUNTS`], asserting all results are identical. Returns the
+/// baseline.
+fn assert_thread_invariant<T, F>(label: &str, compute: F) -> T
+where
+    T: PartialEq + std::fmt::Debug,
+    F: Fn() -> T,
+{
+    let _guard = KNOB.lock().unwrap_or_else(|e| e.into_inner());
+    rayon::set_num_threads(1);
+    let baseline = compute();
+    for &threads in &THREAD_COUNTS {
+        rayon::set_num_threads(threads);
+        let threaded = compute();
+        rayon::set_num_threads(0);
+        assert_eq!(
+            threaded, baseline,
+            "{label}: result at {threads} threads differs from the 1-thread baseline"
+        );
+    }
+    rayon::set_num_threads(0);
+    baseline
+}
+
+/// Raw IEEE-754 bits — `==` on floats would already be strict enough for
+/// these finite outputs, but bits make the "bit-identical" claim literal.
+fn f64_bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Everything observable about a compressed graph, with weights as bits.
+fn graph_fingerprint(g: &CsrGraph) -> (usize, Vec<(u32, u32)>, Option<Vec<u32>>) {
+    (
+        g.num_vertices(),
+        g.edge_slice().to_vec(),
+        g.weight_slice().map(|w| w.iter().map(|x| x.to_bits()).collect()),
+    )
+}
+
+fn test_graph() -> CsrGraph {
+    generators::planted_triangles(&generators::erdos_renyi(800, 2400, 1), 600, 2)
+}
+
+#[test]
+fn every_registry_scheme_is_thread_count_invariant() {
+    let g = test_graph();
+    let registry = SchemeRegistry::with_defaults();
+    let params = SchemeParams::from_pairs(&[("p", "0.5"), ("k", "8"), ("epsilon", "0.05")]);
+    let mut checked = 0;
+    for name in registry.names() {
+        let scheme: Box<dyn CompressionScheme> =
+            registry.create(name, &params).expect("default factories succeed");
+        assert_thread_invariant(&format!("scheme `{name}`"), || {
+            let r = scheme.apply(&g, 3);
+            (graph_fingerprint(&r.graph), r.vertex_mapping)
+        });
+        checked += 1;
+    }
+    assert!(checked >= 9, "registry shrank to {checked} schemes");
+}
+
+#[test]
+fn chained_pipeline_is_thread_count_invariant() {
+    let g = test_graph();
+    let registry = SchemeRegistry::with_defaults();
+    let params = SchemeParams::from_pairs(&[("p", "0.5")]);
+    assert_thread_invariant("pipeline spanner,lowdeg,uniform", || {
+        let out = registry
+            .parse_pipeline("spanner,lowdeg,uniform", &params)
+            .expect("spec parses")
+            .apply(&g, 21);
+        (graph_fingerprint(&out.result.graph), out.result.vertex_mapping)
+    });
+}
+
+#[test]
+fn bfs_depths_are_thread_count_invariant_and_parents_stay_valid() {
+    let g = generators::rmat_graph500(11, 8, 42);
+    assert_thread_invariant("bfs_parallel depths", || {
+        let r = bfs::bfs_parallel(&g, 0);
+        // Parents may legitimately differ between runs at >1 threads
+        // (equal-depth races), but must always form a valid BFS tree.
+        assert!(bfs::validate_bfs_tree(&g, 0, &r), "invalid BFS tree");
+        (r.depth, r.reached)
+    });
+    // The sequential BFS is deterministic in full, parents included.
+    assert_thread_invariant("sequential bfs", || {
+        let r = bfs::bfs(&g, 0);
+        (r.parent, r.depth, r.reached)
+    });
+}
+
+#[test]
+fn pagerank_scores_are_bit_identical_across_thread_counts() {
+    let g = generators::rmat_graph500(11, 8, 5);
+    assert_thread_invariant("pagerank", || {
+        let r = pagerank::pagerank_default(&g);
+        (f64_bits(&r.scores), r.iterations, r.residual.to_bits())
+    });
+}
+
+#[test]
+fn connected_components_are_thread_count_invariant() {
+    let g = generators::erdos_renyi(2000, 2500, 4); // sparse: many components
+    assert_thread_invariant("cc (label propagation)", || {
+        let r = cc::connected_components_parallel(&g);
+        (r.labels, r.num_components)
+    });
+    assert_thread_invariant("cc (union-find)", || {
+        let r = cc::connected_components(&g);
+        (r.labels, r.num_components)
+    });
+}
+
+#[test]
+fn diameter_and_path_lengths_are_thread_count_invariant() {
+    let g = generators::watts_strogatz(600, 4, 0.05, 11);
+    assert_thread_invariant("diameter family", || {
+        (
+            diameter::diameter_exact(&g),
+            diameter::diameter_double_sweep(&g, 0),
+            diameter::average_path_length_sampled(&g, 64, 9).to_bits(),
+        )
+    });
+}
+
+#[test]
+fn betweenness_fold_reduce_is_bit_identical_across_thread_counts() {
+    // The fold+reduce accumulator merge is float addition — the test that
+    // would catch a thread-count-dependent reduction tree immediately.
+    let g = generators::barabasi_albert(500, 3, 7);
+    assert_thread_invariant("betweenness sampled", || {
+        f64_bits(&bc::betweenness_sampled(&g, 128, 13))
+    });
+    assert_thread_invariant("betweenness exact", || f64_bits(&bc::betweenness_exact(&g)));
+}
+
+#[test]
+#[ignore = "perf smoke; needs a multicore host and release mode: \
+            cargo test --release --test parallel_equivalence -- --ignored"]
+fn pagerank_on_100k_vertices_is_faster_with_4_threads() {
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let g = generators::rmat_graph500(17, 8, 7); // 131k vertices, ~1M edges
+    let _guard = KNOB.lock().unwrap_or_else(|e| e.into_inner());
+    let time_at = |threads: usize| {
+        rayon::set_num_threads(threads);
+        let _warmup = pagerank::pagerank_default(&g);
+        let start = std::time::Instant::now();
+        let r = pagerank::pagerank_default(&g);
+        let elapsed = start.elapsed();
+        rayon::set_num_threads(0);
+        (elapsed, r)
+    };
+    let (t1, r1) = time_at(1);
+    let (t4, r4) = time_at(4);
+    assert_eq!(f64_bits(&r1.scores), f64_bits(&r4.scores), "speed must not change results");
+    eprintln!("pagerank on {} vertices: 1 thread {t1:?}, 4 threads {t4:?}", g.num_vertices());
+    if hw >= 4 {
+        assert!(t4 < t1, "4 threads ({t4:?}) should beat 1 thread ({t1:?}) on a {hw}-core host");
+    } else {
+        eprintln!("only {hw} hardware thread(s): reporting timings without asserting speedup");
+    }
+}
