@@ -5,16 +5,19 @@
 //! kernels (LDD overhead); TR slower than spanners (O(m^{3/2}) vs O(m));
 //! summarization >200% slower than TR (iterations + complex design).
 //!
-//! Run: `cargo run --release -p sg-bench --bin timing_compression`
+//! Run: `cargo run --release -p sg-bench --bin timing_compression [-- --json]`
 
-use sg_bench::{render_table, scheme};
+use sg_bench::{json_requested, render_json, render_table, scheme, BenchRecord};
 use sg_core::SchemeRegistry;
 use sg_graph::generators::presets;
 
 fn main() {
+    let json = json_requested();
     let seed = 0x71E;
     let g = presets::v_ewk_like();
-    println!("workload: v-ewk-like, n = {}, m = {}\n", g.num_vertices(), g.num_edges());
+    if !json {
+        println!("workload: v-ewk-like, n = {}, m = {}\n", g.num_vertices(), g.num_edges());
+    }
     let registry = SchemeRegistry::with_defaults();
     let schemes = [
         scheme(&registry, "uniform", &[("p", "0.5")]),
@@ -24,6 +27,7 @@ fn main() {
         scheme(&registry, "summary", &[("epsilon", "0.1")]),
     ];
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     let mut base_ms: Option<f64> = None;
     for scheme in schemes {
         // Median of 3 runs (first result discarded as warmup inside apply's
@@ -39,12 +43,23 @@ fn main() {
         let med = times[1];
         let base = *base_ms.get_or_insert(med);
         let r = last.expect("ran at least once");
+        records.push(BenchRecord {
+            workload: "v-ewk-like".into(),
+            label: scheme.label(),
+            params: vec![("seed".into(), seed.to_string())],
+            ratio: Some(r.compression_ratio()),
+            timings_ms: vec![("compress".into(), med)],
+        });
         rows.push(vec![
             scheme.label(),
             format!("{med:.1}"),
             format!("{:.1}x", med / base),
             format!("{:.3}", r.compression_ratio()),
         ]);
+    }
+    if json {
+        println!("{}", render_json(&records));
+        return;
     }
     println!("{}", render_table(&["scheme", "median ms", "vs sampling", "m'/m"], &rows));
     println!("(expected ordering: sampling <= spectral < spanner < TR < summarization)");

@@ -122,6 +122,95 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
+/// One benchmark measurement in the machine-readable schema the experiment
+/// binaries emit under `--json` (so CI can track perf/accuracy
+/// trajectories): workload, scheme/pipeline label, parameters, compression
+/// ratio, and per-stage wall times.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Workload identifier (generator preset or input file).
+    pub workload: String,
+    /// Scheme/pipeline label (or the measured operation for non-scheme
+    /// benchmarks, e.g. `load:mmap`).
+    pub label: String,
+    /// Parameters as `(key, value)` strings.
+    pub params: Vec<(String, String)>,
+    /// Compression ratio `m'/m` where applicable.
+    pub ratio: Option<f64>,
+    /// Per-stage wall times in milliseconds, in execution order.
+    pub timings_ms: Vec<(String, f64)>,
+}
+
+impl BenchRecord {
+    /// Serializes the record as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"workload\":\"{}\"", json_escape(&self.workload)));
+        out.push_str(&format!(",\"label\":\"{}\"", json_escape(&self.label)));
+        out.push_str(",\"params\":{");
+        for (i, (k, v)) in self.params.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+        }
+        out.push_str("},\"ratio\":");
+        out.push_str(&json_number(self.ratio));
+        out.push_str(",\"timings_ms\":{");
+        for (i, (stage, ms)) in self.timings_ms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", json_escape(stage), json_number(Some(*ms))));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_number(x: Option<f64>) -> String {
+    match x {
+        Some(v) if v.is_finite() => format!("{v}"),
+        _ => "null".to_string(),
+    }
+}
+
+/// Renders records as a JSON array, one object per line (log-friendly,
+/// still valid JSON for CI consumers).
+pub fn render_json(records: &[BenchRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&r.to_json());
+        out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    out.push(']');
+    out
+}
+
+/// True when the binary was invoked with `--json` (machine-readable output
+/// instead of the plain-text table).
+pub fn json_requested() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
 /// Formats a fraction as a fixed-width value.
 pub fn f3(x: f64) -> String {
     format!("{x:.3}")
@@ -168,6 +257,41 @@ mod tests {
     #[should_panic(expected = "unknown scheme")]
     fn scheme_helper_panics_loudly_on_unknown_names() {
         scheme(&SchemeRegistry::with_defaults(), "nope", &[]);
+    }
+
+    #[test]
+    fn bench_record_serializes_to_stable_json() {
+        let r = BenchRecord {
+            workload: "ba-1k".into(),
+            label: "uniform (p=0.5)".into(),
+            params: vec![("p".into(), "0.5".into()), ("seed".into(), "7".into())],
+            ratio: Some(0.5),
+            timings_ms: vec![("compress".into(), 12.5), ("pagerank".into(), 3.25)],
+        };
+        assert_eq!(
+            r.to_json(),
+            "{\"workload\":\"ba-1k\",\"label\":\"uniform (p=0.5)\",\
+             \"params\":{\"p\":\"0.5\",\"seed\":\"7\"},\"ratio\":0.5,\
+             \"timings_ms\":{\"compress\":12.5,\"pagerank\":3.25}}"
+        );
+        let arr = render_json(&[r.clone(), r]);
+        assert!(arr.starts_with("[\n") && arr.ends_with(']'));
+        assert_eq!(arr.matches("\"workload\"").count(), 2);
+    }
+
+    #[test]
+    fn json_escaping_and_non_finite_numbers() {
+        let r = BenchRecord {
+            workload: "a\"b\\c\nd".into(),
+            label: String::new(),
+            params: vec![],
+            ratio: Some(f64::NAN),
+            timings_ms: vec![],
+        };
+        let j = r.to_json();
+        assert!(j.contains("a\\\"b\\\\c\\nd"));
+        assert!(j.contains("\"ratio\":null"), "non-finite numbers become null: {j}");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 
     #[test]

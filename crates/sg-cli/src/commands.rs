@@ -14,17 +14,28 @@ USAGE:
 
 COMMANDS:
   compress   Compress a graph and write the result
-             --input FILE (.txt edge list or .bin)  --output FILE
+             --input FILE  --output FILE
              --scheme SPEC  [--p F] [--k F] [--epsilon F] [--seed N]
+             [--format text|bin|sgr] [--output-format text|bin|sgr]
   analyze    Compress, then report accuracy metrics vs the original
              (same flags as compress, no --output needed)
   stats      Print structural statistics of a graph
-             --input FILE
+             --input FILE  [--format text|bin|sgr]
+  convert    Convert a graph between storage formats
+             --input FILE --output FILE
+             [--format text|bin|sgr] [--output-format text|bin|sgr]
   generate   Produce a synthetic workload
              --kind rmat|er|ba|ws|grid  --output FILE
              [--scale N] [--n N] [--m N] [--k N] [--seed N]
   schemes    List every scheme registered in the compression registry
   help       Show this message
+
+STORAGE FORMATS (inferred from the file extension, overridable with
+--format for inputs and --output-format for outputs):
+  text   whitespace edge list, `u v [w]` per line  (default)
+  bin    compact binary edge list                  (*.bin)
+  sgr    zero-copy binary CSR container; loaded through a read-only
+         mmap with no rebuild and no copy          (*.sgr)
 
 SCHEME SPEC:
   A comma-separated chain of registry names; stages run left to right over
@@ -46,6 +57,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "compress" => compress(&args),
         "analyze" => analyze(&args),
         "stats" => stats(&args),
+        "convert" => convert(&args),
         "generate" => generate(&args),
         "schemes" => schemes(),
         "help" | "--help" | "-h" => {
@@ -56,16 +68,47 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     }
 }
 
-fn load(path: &str) -> Result<CsrGraph, String> {
-    let res = if path.ends_with(".bin") { io::load_binary(path) } else { io::load_text(path) };
+/// A graph storage format the CLI can read and write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Format {
+    Text,
+    Bin,
+    Sgr,
+}
+
+impl Format {
+    /// Resolves a format from an explicit `--format`/`--output-format`
+    /// override, falling back to the file extension.
+    fn resolve(path: &str, explicit: Option<&str>) -> Result<Format, String> {
+        match explicit {
+            Some("text" | "txt") => Ok(Format::Text),
+            Some("bin") => Ok(Format::Bin),
+            Some("sgr") => Ok(Format::Sgr),
+            Some(other) => Err(format!("unknown format '{other}' (text|bin|sgr)")),
+            None if path.ends_with(".bin") => Ok(Format::Bin),
+            None if path.ends_with(".sgr") => Ok(Format::Sgr),
+            None => Ok(Format::Text),
+        }
+    }
+}
+
+/// Loads a graph honoring `--format`. `.sgr` inputs go through the
+/// zero-copy mmap loader — the CSR arrays stay borrowed from the mapping
+/// for the whole run; the other formats rebuild a CSR in memory.
+fn load_as(path: &str, explicit: Option<&str>) -> Result<CsrGraph, String> {
+    let res = match Format::resolve(path, explicit)? {
+        Format::Text => io::load_text(path),
+        Format::Bin => io::load_binary(path),
+        Format::Sgr => sg_store::MmapGraph::open(path).map(sg_store::MmapGraph::into_graph),
+    };
     res.map_err(|e| format!("loading {path}: {e}"))
 }
 
-fn save(g: &CsrGraph, path: &str) -> Result<(), String> {
-    let res = if path.ends_with(".bin") {
-        io::save_binary(g, path).map(|_| ())
-    } else {
-        io::save_text(g, path)
+fn save_as(g: &CsrGraph, path: &str, explicit: Option<&str>) -> Result<(), String> {
+    let res = match Format::resolve(path, explicit)? {
+        Format::Text => io::save_text(g, path),
+        Format::Bin => io::save_binary(g, path).map(|_| ()),
+        Format::Sgr => sg_store::save_sgr(g, path).map(|_| ()),
     };
     res.map_err(|e| format!("writing {path}: {e}"))
 }
@@ -83,7 +126,7 @@ fn pipeline_from(args: &Args) -> Result<Pipeline, String> {
 }
 
 fn compress(args: &Args) -> Result<(), String> {
-    let g = load(args.require("input")?)?;
+    let g = load_as(args.require("input")?, args.get("format"))?;
     let pipeline = pipeline_from(args)?;
     let seed: u64 = args.get_or("seed", 42)?;
     let out = pipeline.apply(&g, seed);
@@ -107,11 +150,11 @@ fn compress(args: &Args) -> Result<(), String> {
         r.compression_ratio() * 100.0,
         r.elapsed.as_secs_f64() * 1e3
     );
-    save(&r.graph, args.require("output")?)
+    save_as(&r.graph, args.require("output")?, args.get("output-format"))
 }
 
 fn analyze(args: &Args) -> Result<(), String> {
-    let g = load(args.require("input")?)?;
+    let g = load_as(args.require("input")?, args.get("format"))?;
     let pipeline = pipeline_from(args)?;
     let seed: u64 = args.get_or("seed", 42)?;
     let out = pipeline.apply(&g, seed);
@@ -140,8 +183,24 @@ fn analyze(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn convert(args: &Args) -> Result<(), String> {
+    let input = args.require("input")?;
+    let output = args.require("output")?;
+    let from = Format::resolve(input, args.get("format"))?;
+    let to = Format::resolve(output, args.get("output-format"))?;
+    let g = load_as(input, args.get("format"))?;
+    save_as(&g, output, args.get("output-format"))?;
+    let bytes = std::fs::metadata(output).map_err(|e| format!("stat {output}: {e}"))?.len();
+    println!(
+        "converted {input} ({from:?}) -> {output} ({to:?}): n = {}, m = {}, {bytes} bytes",
+        g.num_vertices(),
+        g.num_edges()
+    );
+    Ok(())
+}
+
 fn stats(args: &Args) -> Result<(), String> {
-    let g = load(args.require("input")?)?;
+    let g = load_as(args.require("input")?, args.get("format"))?;
     let s = sg_graph::properties::degree_stats(&g);
     println!("vertices:     {}", g.num_vertices());
     println!("edges:        {}", g.num_edges());
@@ -197,7 +256,7 @@ fn generate(args: &Args) -> Result<(), String> {
         other => return Err(format!("unknown generator '{other}'")),
     };
     println!("generated n = {}, m = {}", g.num_vertices(), g.num_edges());
-    save(&g, args.require("output")?)
+    save_as(&g, args.require("output")?, args.get("output-format"))
 }
 
 #[cfg(test)]
@@ -212,6 +271,11 @@ mod tests {
         let dir = std::env::temp_dir().join("slimgraph-cli-tests");
         std::fs::create_dir_all(&dir).expect("mkdir");
         dir.join(name).to_string_lossy().into_owned()
+    }
+
+    /// Extension-driven load, as the subcommands themselves do it.
+    fn load(path: &str) -> Result<CsrGraph, String> {
+        load_as(path, None)
     }
 
     #[test]
@@ -250,6 +314,67 @@ mod tests {
             .expect("compress txt->bin");
         run(&sv(&["stats", "--input", &back])).expect("stats on bin");
         assert!(load(&back).expect("load").num_edges() <= load(&gtxt).expect("load").num_edges());
+    }
+
+    #[test]
+    fn convert_round_trips_all_formats() {
+        // text -> bin -> sgr -> text: every pairwise hop, ending with a
+        // byte-identical text file (conversion preserves canonical order).
+        let gtxt = tmp("conv.txt");
+        run(&sv(&["generate", "--kind", "er", "--n", "400", "--m", "1200", "--output", &gtxt]))
+            .expect("generate");
+        let gbin = tmp("conv.bin");
+        let gsgr = tmp("conv.sgr");
+        let back = tmp("conv-back.txt");
+        run(&sv(&["convert", "--input", &gtxt, "--output", &gbin])).expect("text->bin");
+        run(&sv(&["convert", "--input", &gbin, "--output", &gsgr])).expect("bin->sgr");
+        run(&sv(&["convert", "--input", &gsgr, "--output", &back])).expect("sgr->text");
+        assert_eq!(
+            std::fs::read(&gtxt).expect("orig"),
+            std::fs::read(&back).expect("back"),
+            "text -> bin -> sgr -> text must be byte-identical"
+        );
+        // And the reverse direction: sgr -> bin and bin -> text.
+        let gbin2 = tmp("conv2.bin");
+        let gtxt2 = tmp("conv2.txt");
+        run(&sv(&["convert", "--input", &gsgr, "--output", &gbin2])).expect("sgr->bin");
+        run(&sv(&["convert", "--input", &gbin2, "--output", &gtxt2])).expect("bin->text");
+        assert_eq!(std::fs::read(&gtxt).expect("orig"), std::fs::read(&gtxt2).expect("back2"));
+    }
+
+    #[test]
+    fn explicit_format_overrides_extension() {
+        // Write an .sgr image into a file with a misleading extension and
+        // load it back with --format sgr.
+        let gtxt = tmp("fmt.txt");
+        run(&sv(&["generate", "--kind", "grid", "--n", "12", "--output", &gtxt]))
+            .expect("generate");
+        let odd = tmp("fmt.graph");
+        run(&sv(&["convert", "--input", &gtxt, "--output", &odd, "--output-format", "sgr"]))
+            .expect("convert to sgr with odd extension");
+        run(&sv(&["stats", "--input", &odd, "--format", "sgr"])).expect("stats via --format");
+        assert!(run(&sv(&["stats", "--input", &odd])).is_err(), "text parse of sgr must fail");
+        assert!(
+            run(&sv(&["stats", "--input", &odd, "--format", "nope"])).is_err(),
+            "unknown format name"
+        );
+    }
+
+    #[test]
+    fn compress_reads_and_writes_sgr() {
+        let gsgr = tmp("pipeline.sgr");
+        run(&sv(&["generate", "--kind", "ba", "--n", "600", "--k", "4", "--output", &gsgr]))
+            .expect("generate straight to .sgr");
+        let out = tmp("pipeline-out.sgr");
+        run(&sv(&[
+            "compress", "--input", &gsgr, "--scheme", "uniform", "--p", "0.5", "--seed", "3",
+            "--output", &out,
+        ]))
+        .expect("compress sgr -> sgr");
+        let g = load(&gsgr).expect("load original");
+        let h = load(&out).expect("load compressed");
+        assert!(h.num_edges() < g.num_edges());
+        run(&sv(&["analyze", "--input", &gsgr, "--scheme", "lowdeg"])).expect("analyze from sgr");
     }
 
     #[test]

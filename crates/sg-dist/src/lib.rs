@@ -147,6 +147,28 @@ pub fn distributed_compress(
     Ok(distributed_edge_kernel(g, kernel.as_ref(), ranks, seed))
 }
 
+/// Runs a registry scheme's edge kernel over `ranks` simulated ranks with
+/// the graph served zero-copy out of one shared read-only `.sgr` mapping —
+/// the paper's setting where every rank reads the node-local graph through
+/// RMA windows without private copies.
+///
+/// `sg_store::MmapGraph` borrows the CSR sections straight from the
+/// mapping, and each rank thread borrows the same `CsrGraph`, so the whole
+/// simulated cluster holds exactly one copy of the graph: the page cache's.
+/// Results are bit-identical to [`distributed_compress`] over a heap-loaded
+/// graph (kernel decisions depend only on `(seed, edge id)`).
+pub fn distributed_compress_sgr(
+    path: impl AsRef<std::path::Path>,
+    scheme: &dyn CompressionScheme,
+    ranks: usize,
+    seed: u64,
+) -> Result<DistResult, String> {
+    let path = path.as_ref();
+    let mapped =
+        sg_store::MmapGraph::open(path).map_err(|e| format!("mapping {}: {e}", path.display()))?;
+    distributed_compress(&mapped, scheme, ranks, seed)
+}
+
 /// Computes the degree histogram with per-rank partial histograms merged at
 /// the root (each rank owns a contiguous vertex range — the reduction the
 /// paper performs with RMA accumulate).
@@ -257,6 +279,35 @@ mod tests {
         // Triangle-class kernels have no shard-independent edge form.
         let tr = registry.create("tr", &params).expect("known");
         assert!(distributed_compress(&g, tr.as_ref(), 5, 17).is_err());
+    }
+
+    #[test]
+    fn ranks_share_one_mapping_and_match_heap_results() {
+        use sg_core::{SchemeParams, SchemeRegistry};
+        let g = generators::erdos_renyi(2000, 9000, 21);
+        let dir = std::env::temp_dir().join("sg-dist-tests");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("shared.sgr");
+        sg_store::save_sgr(&g, &path).expect("save");
+
+        // The mapping really is zero-copy before the ranks start.
+        let mapped = sg_store::MmapGraph::open(&path).expect("map");
+        #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+        assert!(mapped.is_zero_copy());
+        drop(mapped);
+
+        let registry = SchemeRegistry::with_defaults();
+        let uniform = registry
+            .create("uniform", &SchemeParams::from_pairs(&[("p", "0.35")]))
+            .expect("known scheme");
+        let shared = distributed_compress(&g, uniform.as_ref(), 6, 99).expect("heap run");
+        let via_map = distributed_compress_sgr(&path, uniform.as_ref(), 6, 99).expect("mmap run");
+        assert_eq!(
+            shared.result.graph.edge_slice(),
+            via_map.result.graph.edge_slice(),
+            "mmap-served shards must be bit-identical to the heap run"
+        );
+        assert_eq!(shared.degree_histogram, via_map.degree_histogram);
     }
 
     #[test]

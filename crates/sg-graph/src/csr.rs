@@ -8,29 +8,61 @@
 //! then calls [`CsrGraph::filter_edges`] to materialize the compressed graph.
 
 use crate::edge_list::EdgeList;
+use crate::storage::Section;
 use crate::types::{EdgeId, VertexId, Weight};
 use rayon::prelude::*;
 
 /// An immutable CSR graph (undirected or directed), optionally weighted.
+///
+/// Every array is a [`Section`]: owned when the graph was built in memory,
+/// borrowed when it was loaded zero-copy from an `.sgr` mapping (`sg-store`).
+/// Both behave identically; a mapped graph is still `Clone + Send + Sync`.
 #[derive(Clone, Debug)]
 pub struct CsrGraph {
     directed: bool,
     num_vertices: usize,
     /// Out-adjacency offsets (`num_vertices + 1` entries).
-    offsets: Vec<usize>,
+    offsets: Section<usize>,
     /// Out-adjacency targets, sorted within each row.
-    targets: Vec<VertexId>,
+    targets: Section<VertexId>,
     /// Canonical edge id per out-adjacency slot.
-    slot_edge: Vec<EdgeId>,
+    slot_edge: Section<EdgeId>,
     /// Canonical edges: `edges[e] = (u, v)` with `u < v` for undirected
     /// graphs and `(src, dst)` for directed graphs.
-    edges: Vec<(VertexId, VertexId)>,
+    edges: Section<(VertexId, VertexId)>,
     /// Optional canonical edge weights.
-    weights: Option<Vec<Weight>>,
+    weights: Option<Section<Weight>>,
     /// In-adjacency (directed graphs only): offsets, sources, edge id.
-    in_offsets: Option<Vec<usize>>,
-    in_targets: Option<Vec<VertexId>>,
-    in_slot_edge: Option<Vec<EdgeId>>,
+    in_offsets: Option<Section<usize>>,
+    in_targets: Option<Section<VertexId>>,
+    in_slot_edge: Option<Section<EdgeId>>,
+}
+
+/// The raw arrays of a [`CsrGraph`], used by external loaders (the
+/// `sg-store` crate) to assemble a graph around borrowed or owned sections.
+/// Consumed by [`CsrGraph::from_parts`], which validates every structural
+/// invariant before the graph is usable.
+pub struct CsrParts {
+    /// Whether the arrays describe a directed graph.
+    pub directed: bool,
+    /// Number of vertices `n`.
+    pub num_vertices: usize,
+    /// Out-adjacency offsets (`n + 1` entries, `offsets[0] == 0`).
+    pub offsets: Section<usize>,
+    /// Out-adjacency targets (`2m` slots undirected, `m` directed).
+    pub targets: Section<VertexId>,
+    /// Canonical edge id per out-adjacency slot (parallel to `targets`).
+    pub slot_edge: Section<EdgeId>,
+    /// Canonical edges, lexicographically sorted, `u < v` when undirected.
+    pub edges: Section<(VertexId, VertexId)>,
+    /// Optional canonical edge weights (length `m`).
+    pub weights: Option<Section<Weight>>,
+    /// In-adjacency offsets (directed graphs only).
+    pub in_offsets: Option<Section<usize>>,
+    /// In-adjacency sources (directed graphs only).
+    pub in_targets: Option<Section<VertexId>>,
+    /// Canonical edge id per in-adjacency slot (directed graphs only).
+    pub in_slot_edge: Option<Section<EdgeId>>,
 }
 
 impl CsrGraph {
@@ -101,14 +133,14 @@ impl CsrGraph {
             Self {
                 directed,
                 num_vertices: n,
-                offsets,
-                targets,
-                slot_edge,
-                edges,
-                weights,
-                in_offsets: Some(in_offsets),
-                in_targets: Some(in_targets),
-                in_slot_edge: Some(in_slot_edge),
+                offsets: offsets.into(),
+                targets: targets.into(),
+                slot_edge: slot_edge.into(),
+                edges: edges.into(),
+                weights: weights.map(Section::from),
+                in_offsets: Some(in_offsets.into()),
+                in_targets: Some(in_targets.into()),
+                in_slot_edge: Some(in_slot_edge.into()),
             }
         } else {
             // Undirected: both directions in one CSR. Canonical edges have
@@ -146,11 +178,11 @@ impl CsrGraph {
             Self {
                 directed,
                 num_vertices: n,
-                offsets,
-                targets,
-                slot_edge,
-                edges,
-                weights,
+                offsets: offsets.into(),
+                targets: targets.into(),
+                slot_edge: slot_edge.into(),
+                edges: edges.into(),
+                weights: weights.map(Section::from),
                 in_offsets: None,
                 in_targets: None,
                 in_slot_edge: None,
@@ -299,8 +331,8 @@ impl CsrGraph {
     pub fn to_edge_list(&self) -> EdgeList {
         EdgeList {
             num_vertices: self.num_vertices,
-            edges: self.edges.clone(),
-            weights: self.weights.clone(),
+            edges: self.edges.to_vec(),
+            weights: self.weights.as_ref().map(|w| w.to_vec()),
         }
     }
 
@@ -386,6 +418,153 @@ impl CsrGraph {
     /// Parallel iterator over vertex ids.
     pub fn par_vertex_ids(&self) -> rayon::range::Iter<u32> {
         (0..self.num_vertices as VertexId).into_par_iter()
+    }
+
+    /// Raw out-adjacency offsets (`n + 1` entries) — serializer view.
+    #[inline]
+    pub fn csr_offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Raw out-adjacency target array — serializer view.
+    #[inline]
+    pub fn csr_targets(&self) -> &[VertexId] {
+        &self.targets
+    }
+
+    /// Raw canonical-edge-id-per-slot array — serializer view.
+    #[inline]
+    pub fn csr_slot_edges(&self) -> &[EdgeId] {
+        &self.slot_edge
+    }
+
+    /// Raw in-adjacency offsets (directed graphs only) — serializer view.
+    #[inline]
+    pub fn in_csr_offsets(&self) -> Option<&[usize]> {
+        self.in_offsets.as_deref()
+    }
+
+    /// Raw in-adjacency source array (directed graphs only).
+    #[inline]
+    pub fn in_csr_targets(&self) -> Option<&[VertexId]> {
+        self.in_targets.as_deref()
+    }
+
+    /// Raw canonical-edge-id-per-in-slot array (directed graphs only).
+    #[inline]
+    pub fn in_csr_slot_edges(&self) -> Option<&[EdgeId]> {
+        self.in_slot_edge.as_deref()
+    }
+
+    /// True when every CSR array (weights and in-adjacency included, when
+    /// present) borrows from an external mapping instead of owning a `Vec` —
+    /// the zero-copy invariant of `sg-store`'s `MmapGraph` loader.
+    pub fn is_fully_mapped(&self) -> bool {
+        self.offsets.is_mapped()
+            && self.targets.is_mapped()
+            && self.slot_edge.is_mapped()
+            && self.edges.is_mapped()
+            && self.weights.as_ref().is_none_or(Section::is_mapped)
+            && self.in_offsets.as_ref().is_none_or(Section::is_mapped)
+            && self.in_targets.as_ref().is_none_or(Section::is_mapped)
+            && self.in_slot_edge.as_ref().is_none_or(Section::is_mapped)
+    }
+
+    /// Assembles a graph from raw (owned or mapped) CSR arrays, validating
+    /// every structural invariant the rest of the workspace relies on:
+    /// offset monotonicity, array lengths, sorted rows, canonical
+    /// lexicographic edge order, and slot↔edge endpoint consistency. A
+    /// hostile or corrupt `.sgr` file can therefore never build a graph that
+    /// panics or reads out of bounds later — it is rejected here.
+    pub fn from_parts(p: CsrParts) -> Result<Self, String> {
+        let n = p.num_vertices;
+        let m = p.edges.len();
+        if m > EdgeId::MAX as usize {
+            return Err("edge count exceeds EdgeId capacity".into());
+        }
+        if n > 0 && n - 1 > VertexId::MAX as usize {
+            return Err("vertex count exceeds VertexId capacity".into());
+        }
+        let slots = if p.directed { m } else { 2 * m };
+        let rows = n.checked_add(1).ok_or("vertex count overflow")?;
+        if p.offsets.len() != rows {
+            return Err(format!("offsets length {} != n + 1 = {rows}", p.offsets.len()));
+        }
+        if p.offsets[0] != 0 {
+            return Err("offsets[0] != 0".into());
+        }
+        if !p.offsets.windows(2).all(|w| w[0] <= w[1]) {
+            return Err("offsets not monotone".into());
+        }
+        if p.offsets[n] != slots {
+            return Err(format!("offsets[n] = {} != slot count {slots}", p.offsets[n]));
+        }
+        if p.targets.len() != slots || p.slot_edge.len() != slots {
+            return Err("targets/slot_edge length mismatch".into());
+        }
+        if let Some(w) = &p.weights {
+            if w.len() != m {
+                return Err(format!("weights length {} != m = {m}", w.len()));
+            }
+        }
+        let endpoints_ok = p.edges.as_slice().par_iter().all(|&(u, v)| {
+            (u as usize) < n && (v as usize) < n && if p.directed { u != v } else { u < v }
+        });
+        if !endpoints_ok {
+            return Err("edge endpoints out of bounds or non-canonical".into());
+        }
+        if !p.edges.windows(2).all(|w| w[0] < w[1]) {
+            return Err("edges not in strict canonical order".into());
+        }
+        let row_ok = |offsets: &[usize], targets: &[VertexId], slot_edge: &[EdgeId], invert| {
+            (0..n).into_par_iter().all(|v| {
+                let (lo, hi) = (offsets[v], offsets[v + 1]);
+                let (row, ids) = (&targets[lo..hi], &slot_edge[lo..hi]);
+                row.windows(2).all(|w| w[0] < w[1])
+                    && row.iter().zip(ids).all(|(&t, &e)| {
+                        (e as usize) < m && {
+                            let v = v as VertexId;
+                            let want = match (p.directed, invert) {
+                                (false, _) => (v.min(t), v.max(t)),
+                                (true, false) => (v, t),
+                                (true, true) => (t, v),
+                            };
+                            p.edges[e as usize] == want
+                        }
+                    })
+            })
+        };
+        if !row_ok(&p.offsets, &p.targets, &p.slot_edge, false) {
+            return Err("out-adjacency rows inconsistent with canonical edges".into());
+        }
+        match (p.directed, &p.in_offsets, &p.in_targets, &p.in_slot_edge) {
+            (false, None, None, None) => {}
+            (true, Some(io), Some(it), Some(ie)) => {
+                if io.len() != rows || io[0] != 0 || !io.windows(2).all(|w| w[0] <= w[1]) {
+                    return Err("in-offsets malformed".into());
+                }
+                if io[n] != m || it.len() != m || ie.len() != m {
+                    return Err("in-adjacency length mismatch".into());
+                }
+                if !row_ok(io, it, ie, true) {
+                    return Err("in-adjacency rows inconsistent with canonical edges".into());
+                }
+            }
+            (false, ..) => return Err("undirected graph carries in-adjacency".into()),
+            (true, ..) => return Err("directed graph missing in-adjacency".into()),
+        }
+        Ok(Self {
+            directed: p.directed,
+            num_vertices: n,
+            offsets: p.offsets,
+            targets: p.targets,
+            slot_edge: p.slot_edge,
+            edges: p.edges,
+            weights: p.weights,
+            in_offsets: p.in_offsets,
+            in_targets: p.in_targets,
+            in_slot_edge: p.in_slot_edge,
+        })
     }
 
     /// Bytes needed by the CSR arrays (storage-cost accounting for Table 2).

@@ -54,6 +54,12 @@ pub fn read_edge_list_text<R: BufRead>(reader: R) -> io::Result<EdgeList> {
     Ok(el)
 }
 
+/// Converts a file-provided `u64` count to `usize`, rejecting values that do
+/// not fit the platform (32-bit hosts).
+fn u64_to_usize(v: u64) -> Option<usize> {
+    usize::try_from(v).ok()
+}
+
 fn bad_line(lineno: usize, what: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, format!("line {}: bad {what}", lineno + 1))
 }
@@ -99,10 +105,18 @@ pub fn from_binary(mut data: &[u8]) -> io::Result<CsrGraph> {
     }
     let directed = data.get_u8() != 0;
     let weighted = data.get_u8() != 0;
-    let n = data.get_u64() as usize;
-    let m = data.get_u64() as usize;
+    let n = u64_to_usize(data.get_u64()).ok_or_else(|| fail("vertex count overflow"))?;
+    let m = u64_to_usize(data.get_u64()).ok_or_else(|| fail("edge count overflow"))?;
+    // Compared in u64: `VertexId::MAX as usize + 1` would itself overflow
+    // on 32-bit targets.
+    if n as u64 > VertexId::MAX as u64 + 1 {
+        return Err(fail("vertex count exceeds VertexId capacity"));
+    }
     let rec = if weighted { 12 } else { 8 };
-    if data.remaining() < m * rec {
+    // `m * rec` on a hostile header can wrap past the bounds check, so the
+    // multiplication itself must be checked.
+    let edge_bytes = m.checked_mul(rec).ok_or_else(|| fail("edge section size overflow"))?;
+    if data.remaining() < edge_bytes {
         return Err(fail("truncated edge section"));
     }
     let mut el = EdgeList::with_capacity(n, m);
@@ -200,6 +214,33 @@ mod tests {
         let mut bad = bytes.to_vec();
         bad[0] ^= 0xFF;
         assert!(from_binary(&bad).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_hostile_headers() {
+        // A header whose edge count makes `m * record_size` wrap `usize`
+        // must fail cleanly instead of passing the bounds check and reading
+        // past the buffer (regression: the check used unchecked `m * rec`).
+        use bytes::BufMut;
+        let mut hostile = bytes::BytesMut::with_capacity(32);
+        hostile.put_u32(MAGIC);
+        hostile.put_u8(0); // undirected
+        hostile.put_u8(1); // weighted: rec = 12, and 12 * m below wraps
+        hostile.put_u64(4); // n
+        hostile.put_u64(u64::MAX / 6); // m: m * 12 wraps to a tiny value
+        hostile.put_u32(0);
+        let err = from_binary(&hostile).expect_err("hostile m must be rejected");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // A vertex count beyond VertexId range is rejected up front rather
+        // than aborting later in the CSR build.
+        let mut bad_n = bytes::BytesMut::with_capacity(32);
+        bad_n.put_u32(MAGIC);
+        bad_n.put_u8(0);
+        bad_n.put_u8(0);
+        bad_n.put_u64(u64::MAX); // n
+        bad_n.put_u64(0); // m
+        assert!(from_binary(&bad_n).is_err());
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //!   Erdős–Rényi, Barabási–Albert, Watts–Strogatz, grids, planted triangles)
 //!   together with presets mirroring the paper's dataset table,
 //! * [`io`] — plain-text and binary edge-list readers/writers,
+//! * [`storage`] — [`Section`], the borrowed-or-owned array backing that
+//!   lets `sg-store` load graphs zero-copy from a file mapping,
 //! * [`properties`] — degree statistics and histograms,
 //! * [`partition`] — edge partitioning used by the simulated distributed
 //!   pipeline.
@@ -29,8 +31,10 @@ pub mod io;
 pub mod partition;
 pub mod prng;
 pub mod properties;
+pub mod storage;
 pub mod types;
 
-pub use csr::CsrGraph;
+pub use csr::{CsrGraph, CsrParts};
 pub use edge_list::EdgeList;
+pub use storage::Section;
 pub use types::{EdgeId, VertexId, Weight};

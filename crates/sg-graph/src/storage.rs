@@ -1,0 +1,196 @@
+//! Borrowed-or-owned backing storage for CSR arrays.
+//!
+//! [`Section`] is the abstraction that makes zero-copy graph loading
+//! possible: every array inside [`crate::CsrGraph`] is a `Section<T>` that
+//! is either an ordinary owned `Vec<T>` (the result of building a graph in
+//! memory) or a typed window into an externally owned byte buffer — in
+//! practice a read-only `mmap` of an `.sgr` file created by the `sg-store`
+//! crate. A mapped section carries an [`Arc`] *anchor* keeping the backing
+//! buffer alive, so a `CsrGraph` built over a mapping remains `'static`,
+//! `Clone`, `Send`, and `Sync`, and every algorithm, scheme, and pipeline in
+//! the workspace runs over it unchanged.
+//!
+//! The deref target is `[T]`, so call sites index and slice a `Section`
+//! exactly like the `Vec` it replaced. Cloning a mapped section clones the
+//! anchor (one atomic increment), never the data.
+
+use std::any::Any;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Element types a [`Section`] may hold: plain-old-data with no destructor,
+/// readable from any process that can read the bytes. The bound is `Copy +
+/// Send + Sync + 'static` — enough for the CSR scalar types (`u32`, `f32`,
+/// `usize`, `(u32, u32)`).
+pub trait SectionElem: Copy + Send + Sync + 'static {}
+impl<T: Copy + Send + Sync + 'static> SectionElem for T {}
+
+/// A read-only array that either owns its elements or borrows them from an
+/// anchored byte buffer (e.g. a file mapping).
+pub struct Section<T: SectionElem> {
+    repr: Repr<T>,
+}
+
+enum Repr<T: SectionElem> {
+    Owned(Vec<T>),
+    Mapped {
+        /// Keeps the backing buffer (e.g. the `mmap`) alive for as long as
+        /// any section borrows from it.
+        #[allow(dead_code)] // held purely for its drop time
+        anchor: Arc<dyn Any + Send + Sync>,
+        ptr: *const T,
+        len: usize,
+    },
+}
+
+// SAFETY: `Mapped` is an immutable view into a buffer owned by the `Send +
+// Sync` anchor; the raw pointer is never written through and the pointee is
+// `Copy` data, so sharing or moving the view across threads is sound. The
+// `Owned` variant is a plain `Vec<T>` with `T: Send + Sync`.
+unsafe impl<T: SectionElem> Send for Repr<T> {}
+// SAFETY: see the `Send` impl above — the view is read-only.
+unsafe impl<T: SectionElem> Sync for Repr<T> {}
+
+impl<T: SectionElem> Section<T> {
+    /// Wraps an owned vector.
+    pub fn from_vec(v: Vec<T>) -> Self {
+        Self { repr: Repr::Owned(v) }
+    }
+
+    /// Builds a section borrowing `len` elements starting at `ptr`, keeping
+    /// `anchor` alive for the section's lifetime.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee that `ptr` is aligned for `T` and points to
+    /// `len` consecutive initialized `T` values that live inside a buffer
+    /// owned (directly or transitively) by `anchor`, that the buffer is
+    /// never mutated or unmapped while `anchor` has strong references, and
+    /// that `T` has no padding-dependent validity requirements (plain-old
+    /// data). For `len == 0` a dangling-but-aligned pointer is allowed.
+    pub unsafe fn from_raw_parts(
+        anchor: Arc<dyn Any + Send + Sync>,
+        ptr: *const T,
+        len: usize,
+    ) -> Self {
+        Self { repr: Repr::Mapped { anchor, ptr, len } }
+    }
+
+    /// True when the section borrows from an external buffer rather than
+    /// owning a `Vec` (the zero-copy invariant the `sg-store` tests pin).
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.repr, Repr::Mapped { .. })
+    }
+
+    /// Copies the section into an owned `Vec`.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.as_slice().to_vec()
+    }
+
+    /// The underlying elements.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        match &self.repr {
+            Repr::Owned(v) => v,
+            // SAFETY: upheld by the `from_raw_parts` contract — `ptr` is
+            // aligned and valid for `len` initialized elements while the
+            // anchor (owned by `self`) is alive.
+            Repr::Mapped { ptr, len, .. } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+        }
+    }
+}
+
+impl<T: SectionElem> Deref for Section<T> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: SectionElem> AsRef<[T]> for Section<T> {
+    #[inline]
+    fn as_ref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: SectionElem> From<Vec<T>> for Section<T> {
+    fn from(v: Vec<T>) -> Self {
+        Self::from_vec(v)
+    }
+}
+
+impl<T: SectionElem> Default for Section<T> {
+    fn default() -> Self {
+        Self::from_vec(Vec::new())
+    }
+}
+
+impl<T: SectionElem> Clone for Section<T> {
+    fn clone(&self) -> Self {
+        match &self.repr {
+            Repr::Owned(v) => Self { repr: Repr::Owned(v.clone()) },
+            Repr::Mapped { anchor, ptr, len } => {
+                Self { repr: Repr::Mapped { anchor: Arc::clone(anchor), ptr: *ptr, len: *len } }
+            }
+        }
+    }
+}
+
+impl<T: SectionElem + fmt::Debug> fmt::Debug for Section<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_mapped() {
+            write!(f, "Section(mapped, len = {})", self.len())
+        } else {
+            f.debug_tuple("Section").field(&self.as_slice()).finish()
+        }
+    }
+}
+
+impl<T: SectionElem + PartialEq> PartialEq for Section<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_section_behaves_like_a_slice() {
+        let s: Section<u32> = vec![3, 1, 2].into();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[1], 1);
+        assert_eq!(&s[..2], &[3, 1]);
+        assert!(!s.is_mapped());
+        assert_eq!(s.to_vec(), vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn mapped_section_borrows_and_keeps_anchor_alive() {
+        let buf: Arc<Vec<u32>> = Arc::new((0..100).collect());
+        let anchor: Arc<dyn Any + Send + Sync> = buf.clone();
+        // SAFETY: the pointer targets the Arc'd vector held by `anchor`,
+        // aligned and initialized, and outlives the section via the anchor.
+        let s = unsafe { Section::from_raw_parts(anchor, buf.as_ptr().wrapping_add(10), 5) };
+        drop(buf); // section's anchor keeps the allocation alive
+        assert!(s.is_mapped());
+        assert_eq!(s.as_slice(), &[10, 11, 12, 13, 14]);
+        let t = s.clone();
+        drop(s);
+        assert_eq!(t.as_slice(), &[10, 11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn sections_compare_by_contents() {
+        let a: Section<u32> = vec![1, 2].into();
+        let buf: Arc<Vec<u32>> = Arc::new(vec![1, 2]);
+        let anchor: Arc<dyn Any + Send + Sync> = buf.clone();
+        // SAFETY: as above — aligned, initialized, anchored.
+        let b = unsafe { Section::from_raw_parts(anchor, buf.as_ptr(), 2) };
+        assert_eq!(a, b);
+    }
+}

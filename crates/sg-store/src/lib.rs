@@ -1,0 +1,315 @@
+//! # sg-store — zero-copy binary CSR container for Slim Graph
+//!
+//! Slim Graph's evaluation runs at billions-of-edges scale; rebuilding a CSR
+//! from an edge list on every load caps inputs far below that. This crate
+//! defines `.sgr`, an aligned, versioned, checksummed on-disk container
+//! holding the *final* CSR arrays of a [`CsrGraph`] — offsets, targets,
+//! slot→edge ids, canonical edges, optional weights, and the in-adjacency of
+//! directed graphs — so loading is a validation pass, not a rebuild.
+//!
+//! Two loaders are provided:
+//!
+//! * [`load_sgr`] — the owned heap loader: decodes every section into
+//!   ordinary `Vec`s. Works everywhere, costs one copy.
+//! * [`MmapGraph`] — the zero-copy loader: maps the file read-only (direct
+//!   libc FFI on unix, see [`mmap`]) and hands the CSR arrays to
+//!   [`CsrGraph`] as *borrowed* [`sg_graph::Section`]s pointing straight
+//!   into the mapping. No section is copied; the mapping is shared by every
+//!   clone of the graph (and, via `sg-dist`, by every simulated rank) and
+//!   unmapped when the last reference drops. Algorithms, schemes, and
+//!   pipelines observe bit-identical data either way.
+//!
+//! File layout (details in [`format`]):
+//!
+//! ```text
+//! ┌────────────────────────────────────────────┐
+//! │ header: magic "SLIMSGR1" · version · flags │ 48 B
+//! │         n · m · checksum · section count   │
+//! ├────────────────────────────────────────────┤
+//! │ section table: { id, offset, length } × k  │ 24 B each
+//! ├────────────────────────────────────────────┤
+//! │ offsets    u64 × (n+1)   ─ 8-byte aligned  │
+//! │ targets    u32 × slots                     │
+//! │ slot_edge  u32 × slots                     │
+//! │ edges      2×u32 × m                       │
+//! │ weights    f32 × m          (if weighted)  │
+//! │ in_offsets/in_targets/in_slot_edge         │
+//! │                             (if directed)  │
+//! └────────────────────────────────────────────┘
+//! ```
+//!
+//! Integrity: a word-wise FNV-1a checksum over all section payloads is
+//! verified by both loaders (a read-only streaming pass — no copy), and
+//! [`CsrGraph::from_parts`] then validates every structural invariant
+//! (offset monotonicity, sorted rows, canonical edge order, slot↔edge
+//! consistency), so a corrupt or hostile file is rejected at load time
+//! rather than crashing an algorithm later.
+//!
+//! Borrowing is gated on the facts that make it sound — little-endian
+//! target, pointer-width match for the `u64` offset sections, 8-byte file
+//! alignment (mmap bases are page-aligned) — and every section falls back
+//! to an owned decode when a gate fails, so the loaders are correct on any
+//! platform and merely fastest on 64-bit little-endian unix.
+
+pub mod format;
+pub mod mmap;
+
+use format::{RawSection, SectionId, SgrToc};
+use mmap::Mmap;
+use sg_graph::{CsrGraph, CsrParts, Section};
+use std::any::Any;
+use std::borrow::Cow;
+use std::fs::File;
+use std::io::{self, BufWriter, Read, Write};
+use std::ops::Deref;
+use std::path::Path;
+use std::sync::Arc;
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+// --- writer ---------------------------------------------------------------
+
+fn collect_sections(g: &CsrGraph) -> Vec<(SectionId, Cow<'_, [u8]>)> {
+    let mut out = vec![
+        (SectionId::Offsets, format::bytes_of_usizes(g.csr_offsets())),
+        (SectionId::Targets, format::bytes_of_u32s(g.csr_targets())),
+        (SectionId::SlotEdges, format::bytes_of_u32s(g.csr_slot_edges())),
+        (SectionId::Edges, format::bytes_of_pairs(g.edge_slice())),
+    ];
+    if let Some(w) = g.weight_slice() {
+        out.push((SectionId::Weights, format::bytes_of_f32s(w)));
+    }
+    if let (Some(o), Some(t), Some(s)) =
+        (g.in_csr_offsets(), g.in_csr_targets(), g.in_csr_slot_edges())
+    {
+        out.push((SectionId::InOffsets, format::bytes_of_usizes(o)));
+        out.push((SectionId::InTargets, format::bytes_of_u32s(t)));
+        out.push((SectionId::InSlotEdges, format::bytes_of_u32s(s)));
+    }
+    out
+}
+
+/// Serializes `g` into the `.sgr` container format; returns bytes written.
+pub fn write_sgr<W: Write>(g: &CsrGraph, w: &mut W) -> io::Result<u64> {
+    let sections = collect_sections(g);
+    let table_end = format::HEADER_LEN + sections.len() * format::SECTION_ENTRY_LEN;
+
+    // Lay out sections (8-aligned) and fold the checksum in one pass.
+    let mut entries = Vec::with_capacity(sections.len());
+    let mut checksum = format::checksum_seed();
+    let mut off = table_end;
+    for (id, bytes) in &sections {
+        debug_assert_eq!(off % 8, 0);
+        entries.push((*id as u32, off as u64, bytes.len() as u64));
+        checksum = format::checksum_update(checksum, bytes);
+        off += bytes.len() + padding(bytes.len());
+    }
+    let total = off as u64;
+
+    let mut flags = 0u32;
+    if g.is_directed() {
+        flags |= format::FLAG_DIRECTED;
+    }
+    if g.is_weighted() {
+        flags |= format::FLAG_WEIGHTED;
+    }
+    w.write_all(&format::SGR_MAGIC.to_le_bytes())?;
+    w.write_all(&format::SGR_VERSION.to_le_bytes())?;
+    w.write_all(&flags.to_le_bytes())?;
+    w.write_all(&(g.num_vertices() as u64).to_le_bytes())?;
+    w.write_all(&(g.num_edges() as u64).to_le_bytes())?;
+    w.write_all(&checksum.to_le_bytes())?;
+    w.write_all(&(sections.len() as u32).to_le_bytes())?;
+    w.write_all(&0u32.to_le_bytes())?;
+    for (id, off, len) in &entries {
+        w.write_all(&id.to_le_bytes())?;
+        w.write_all(&0u32.to_le_bytes())?;
+        w.write_all(&off.to_le_bytes())?;
+        w.write_all(&len.to_le_bytes())?;
+    }
+    for (_, bytes) in &sections {
+        w.write_all(bytes)?;
+        w.write_all(&[0u8; 8][..padding(bytes.len())])?;
+    }
+    Ok(total)
+}
+
+fn padding(len: usize) -> usize {
+    (8 - len % 8) % 8
+}
+
+/// Saves `g` as an `.sgr` file; returns bytes written.
+pub fn save_sgr(g: &CsrGraph, path: impl AsRef<Path>) -> io::Result<u64> {
+    let mut w = BufWriter::new(File::create(path)?);
+    let n = write_sgr(g, &mut w)?;
+    w.flush()?;
+    Ok(n)
+}
+
+/// Serializes `g` into an in-memory `.sgr` image (tests, network shipping).
+pub fn to_sgr_bytes(g: &CsrGraph) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_sgr(g, &mut buf).expect("Vec<u8> writes are infallible");
+    buf
+}
+
+// --- loaders --------------------------------------------------------------
+
+/// How a section travels from file bytes into a [`Section`]: borrowed
+/// straight out of the anchored mapping when the type-level gates allow,
+/// decoded into an owned `Vec` otherwise.
+fn make_section<T, D>(
+    data: &[u8],
+    raw: RawSection,
+    anchor: Option<&Arc<Mmap>>,
+    borrowable: bool,
+    decode: D,
+) -> io::Result<Section<T>>
+where
+    T: Copy + Send + Sync + 'static,
+    D: FnOnce(&[u8]) -> io::Result<Vec<T>>,
+{
+    let bytes = &data[raw.off..raw.off + raw.len];
+    if let Some(map) = anchor {
+        let size = std::mem::size_of::<T>();
+        if borrowable
+            && raw.len.is_multiple_of(size)
+            && (bytes.as_ptr() as usize).is_multiple_of(std::mem::align_of::<T>())
+        {
+            let count = raw.len / size;
+            let keep = Arc::clone(map);
+            let anchor: Arc<dyn Any + Send + Sync> = keep;
+            // SAFETY: `bytes` lies inside the mapping owned by `anchor`
+            // (read-only for its whole lifetime), the pointer is aligned and
+            // spans exactly `count` elements (checked above), and `T` is
+            // plain-old data whose on-disk width equals `size_of::<T>()`
+            // (the `borrowable` gate).
+            return Ok(unsafe {
+                Section::from_raw_parts(anchor, bytes.as_ptr().cast::<T>(), count)
+            });
+        }
+    }
+    Ok(decode(bytes)?.into())
+}
+
+/// Assembles a [`CsrGraph`] from a parsed, checksum-verified `.sgr` buffer.
+/// With `anchor` set, sections borrow from the mapping wherever sound.
+fn assemble(data: &[u8], toc: &SgrToc, anchor: Option<&Arc<Mmap>>) -> io::Result<CsrGraph> {
+    let le = cfg!(target_endian = "little");
+    let usize_ok = le && std::mem::size_of::<usize>() == 8;
+    let pairs_ok = le && format::pair_layout_is_nominal();
+    let raw = |id: SectionId| -> RawSection {
+        *toc.sections.iter().find(|s| s.id == id).expect("validated toc has the section")
+    };
+    let u32_sec = |id| make_section(data, raw(id), anchor, le, |b| Ok(format::decode_u32s(b)));
+    let usize_sec = |id| make_section(data, raw(id), anchor, usize_ok, format::decode_usizes);
+
+    let parts = CsrParts {
+        directed: toc.directed,
+        num_vertices: toc.n,
+        offsets: usize_sec(SectionId::Offsets)?,
+        targets: u32_sec(SectionId::Targets)?,
+        slot_edge: u32_sec(SectionId::SlotEdges)?,
+        edges: make_section(data, raw(SectionId::Edges), anchor, pairs_ok, |b| {
+            Ok(format::decode_pairs(b))
+        })?,
+        weights: if toc.weighted {
+            Some(make_section(data, raw(SectionId::Weights), anchor, le, |b| {
+                Ok(format::decode_f32s(b))
+            })?)
+        } else {
+            None
+        },
+        in_offsets: toc.directed.then(|| usize_sec(SectionId::InOffsets)).transpose()?,
+        in_targets: toc.directed.then(|| u32_sec(SectionId::InTargets)).transpose()?,
+        in_slot_edge: toc.directed.then(|| u32_sec(SectionId::InSlotEdges)).transpose()?,
+    };
+    CsrGraph::from_parts(parts).map_err(|e| bad(format!("invalid .sgr contents: {e}")))
+}
+
+/// Owned heap loader: decodes an in-memory `.sgr` image into a [`CsrGraph`]
+/// backed by ordinary `Vec`s.
+pub fn load_sgr_bytes(data: &[u8]) -> io::Result<CsrGraph> {
+    let toc = format::parse_toc(data)?;
+    format::verify_checksum(data, &toc)?;
+    assemble(data, &toc, None)
+}
+
+/// Owned heap loader: reads `path` fully and decodes it.
+pub fn load_sgr(path: impl AsRef<Path>) -> io::Result<CsrGraph> {
+    let mut data = Vec::new();
+    File::open(path)?.read_to_end(&mut data)?;
+    load_sgr_bytes(&data)
+}
+
+/// A [`CsrGraph`] served zero-copy out of a read-only file mapping.
+///
+/// The CSR sections borrow directly from the mapping (no full-file copy);
+/// the mapping itself is reference-counted, so the graph — and any clone of
+/// it, including [`MmapGraph::into_graph`]'s result — keeps it alive, and
+/// multiple consumers (e.g. `sg-dist` rank threads) share one mapping.
+///
+/// Derefs to [`CsrGraph`], so it drops into any API taking `&CsrGraph`.
+pub struct MmapGraph {
+    graph: CsrGraph,
+    mapped_bytes: usize,
+}
+
+impl MmapGraph {
+    /// Maps `path` read-only, verifies checksum + structure, and builds the
+    /// borrowed-section graph.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::open(path)?;
+        let map = Arc::new(Mmap::map(&file)?);
+        let toc = format::parse_toc(&map)?;
+        format::verify_checksum(&map, &toc)?;
+        let graph = assemble(&map, &toc, Some(&map))?;
+        Ok(Self { graph, mapped_bytes: map.len() })
+    }
+
+    /// The loaded graph.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// Unwraps into the graph; the mapping stays alive behind the sections.
+    pub fn into_graph(self) -> CsrGraph {
+        self.graph
+    }
+
+    /// Size of the underlying mapping in bytes.
+    pub fn mapped_bytes(&self) -> usize {
+        self.mapped_bytes
+    }
+
+    /// True when every CSR section borrows from the mapping (the zero-copy
+    /// fast path — always taken on 64-bit little-endian unix).
+    pub fn is_zero_copy(&self) -> bool {
+        self.graph.is_fully_mapped()
+    }
+}
+
+impl Deref for MmapGraph {
+    type Target = CsrGraph;
+    fn deref(&self) -> &CsrGraph {
+        &self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_graph::generators;
+
+    #[test]
+    fn bytes_roundtrip_preserves_structure() {
+        let g = generators::erdos_renyi(200, 600, 7);
+        let img = to_sgr_bytes(&g);
+        assert_eq!(img.len() % 8, 0, "file length stays 8-aligned");
+        let h = load_sgr_bytes(&img).expect("load");
+        assert_eq!(g.edge_slice(), h.edge_slice());
+        assert_eq!(g.num_vertices(), h.num_vertices());
+    }
+}

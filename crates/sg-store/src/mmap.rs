@@ -1,0 +1,161 @@
+//! Read-only file mapping.
+//!
+//! On unix targets this is a direct `extern "C"` FFI binding to the
+//! platform's `mmap`/`munmap` — the build environment has no crates
+//! registry, so the workspace cannot depend on `memmap2` (or `libc`); `std`
+//! already links the platform C library, which makes the symbols available
+//! without any extra dependency. On non-unix targets [`Mmap`] degrades to a
+//! sequential read of the whole file into a heap buffer with the same API —
+//! correct, just not zero-copy.
+//!
+//! The mapping is `MAP_PRIVATE` + `PROT_READ`: strictly immutable from this
+//! process. As with every mmap-based loader, truncating the file while it is
+//! mapped is undefined behaviour at the OS level (`SIGBUS` on access);
+//! callers are expected to treat `.sgr` files as immutable while loaded.
+
+use std::fs::File;
+use std::io;
+
+#[cfg(unix)]
+pub use unix::Mmap;
+
+#[cfg(not(unix))]
+pub use fallback::Mmap;
+
+#[cfg(unix)]
+mod unix {
+    use super::*;
+    use std::ffi::{c_int, c_long, c_void};
+    use std::os::unix::io::AsRawFd;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            // `off_t`: `long` on every unix this workspace targets (64-bit
+            // Linux/macOS, 32-bit Linux without LFS). Always 0 here.
+            offset: c_long,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    const PROT_READ: c_int = 1;
+    const MAP_PRIVATE: c_int = 2;
+
+    /// A read-only, page-aligned mapping of an entire file.
+    pub struct Mmap {
+        ptr: *const u8,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is immutable (PROT_READ, never written through)
+    // and lives until drop, so views may be shared and sent across threads.
+    unsafe impl Send for Mmap {}
+    // SAFETY: see `Send` — read-only shared memory.
+    unsafe impl Sync for Mmap {}
+
+    impl Mmap {
+        /// Maps `file` read-only in its entirety.
+        pub fn map(file: &File) -> io::Result<Self> {
+            let len = usize::try_from(file.metadata()?.len())
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to map"))?;
+            if len == 0 {
+                // Zero-length mmap is EINVAL; an empty mapping needs no
+                // backing pages at all.
+                return Ok(Self { ptr: std::ptr::NonNull::<u8>::dangling().as_ptr(), len: 0 });
+            }
+            // SAFETY: plain mmap call with a valid open fd; the result is
+            // checked against MAP_FAILED before use.
+            let ptr = unsafe {
+                mmap(std::ptr::null_mut(), len, PROT_READ, MAP_PRIVATE, file.as_raw_fd(), 0)
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Self { ptr: ptr as *const u8, len })
+        }
+    }
+
+    impl Drop for Mmap {
+        fn drop(&mut self) {
+            if self.len != 0 {
+                // SAFETY: `ptr`/`len` are exactly what mmap returned; the
+                // mapping is unmapped once, here.
+                unsafe {
+                    munmap(self.ptr as *mut c_void, self.len);
+                }
+            }
+        }
+    }
+
+    impl std::ops::Deref for Mmap {
+        type Target = [u8];
+        #[inline]
+        fn deref(&self) -> &[u8] {
+            // SAFETY: the mapping covers `len` readable bytes for the
+            // lifetime of `self` (PROT_READ, unmapped only in drop).
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod fallback {
+    use super::*;
+    use std::io::Read;
+
+    /// Non-unix stand-in: the whole file read into a heap buffer. Same API,
+    /// not zero-copy (section alignment is then checked at runtime and the
+    /// loader copies sections it cannot borrow).
+    pub struct Mmap {
+        buf: Vec<u8>,
+    }
+
+    impl Mmap {
+        /// Reads `file` in its entirety.
+        pub fn map(file: &File) -> io::Result<Self> {
+            let mut buf = Vec::new();
+            let mut reader: &File = file;
+            reader.read_to_end(&mut buf)?;
+            Ok(Self { buf })
+        }
+    }
+
+    impl std::ops::Deref for Mmap {
+        type Target = [u8];
+        #[inline]
+        fn deref(&self) -> &[u8] {
+            &self.buf
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_file_contents() {
+        let dir = std::env::temp_dir().join("sg-store-mmap-tests");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("probe.bin");
+        let payload: Vec<u8> = (0..=255).collect();
+        File::create(&path).and_then(|mut f| f.write_all(&payload)).expect("write");
+        let map = Mmap::map(&File::open(&path).expect("open")).expect("map");
+        assert_eq!(&map[..], &payload[..]);
+    }
+
+    #[test]
+    fn empty_file_maps_empty() {
+        let dir = std::env::temp_dir().join("sg-store-mmap-tests");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("empty.bin");
+        File::create(&path).expect("create");
+        let map = Mmap::map(&File::open(&path).expect("open")).expect("map");
+        assert!(map.is_empty());
+    }
+}

@@ -10,6 +10,7 @@
 //! * [`metrics`] — accuracy metrics and divergences (`sg-metrics`)
 //! * [`lowrank`] — low-rank adjacency approximation (`sg-lowrank`)
 //! * [`dist`] — simulated distributed compression (`sg-dist`)
+//! * [`store`] — `.sgr` zero-copy CSR container + mmap loader (`sg-store`)
 
 pub use sg_algos as algos;
 pub use sg_core as core;
@@ -17,6 +18,7 @@ pub use sg_dist as dist;
 pub use sg_graph as graph;
 pub use sg_lowrank as lowrank;
 pub use sg_metrics as metrics;
+pub use sg_store as store;
 
 pub use sg_core::{
     CompressionResult, CompressionScheme, Pipeline, PipelineResult, SchemeParams, SchemeRegistry,
