@@ -7,15 +7,19 @@
 //!
 //! Run: `cargo run --release -p sg-bench --bin bfs_critical_edges`
 
-use sg_bench::render_table;
+use sg_bench::{json_requested, render_json, render_table, BenchRecord};
 use sg_core::schemes::spanner;
 use sg_graph::generators::presets;
 use sg_graph::prng::bounded_u64;
 use sg_metrics::critical_edge_preservation;
 
 fn main() {
-    println!("== BFS critical-edge preservation under O(k)-spanners ==\n");
+    let json = json_requested();
+    if !json {
+        println!("== BFS critical-edge preservation under O(k)-spanners ==\n");
+    }
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     for (name, g) in [("s-pok", presets::s_pok_like()), ("v-ewk", presets::v_ewk_like())] {
         for k in [2.0, 8.0, 32.0, 128.0] {
             // Average over LDD seeds (single runs vary when an exponential
@@ -35,6 +39,17 @@ fn main() {
             let removed = removed_acc / seeds.len() as f64;
             let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
             let spread = ratios.iter().cloned().fold(0.0f64, |a, b| a.max((b - mean).abs()));
+            records.push(BenchRecord {
+                workload: name.to_string(),
+                label: format!("spanner (k={k})"),
+                params: vec![
+                    ("edges_removed".into(), format!("{removed:.4}")),
+                    ("critical_kept".into(), format!("{mean:.4}")),
+                    ("root_spread".into(), format!("{spread:.4}")),
+                ],
+                ratio: Some(1.0 - removed),
+                timings_ms: Vec::new(),
+            });
             rows.push(vec![
                 name.to_string(),
                 format!("{k}"),
@@ -43,6 +58,10 @@ fn main() {
                 format!("{:.2}", spread),
             ]);
         }
+    }
+    if json {
+        println!("{}", render_json(&records));
+        return;
     }
     println!(
         "{}",

@@ -10,15 +10,19 @@
 //! Run: `cargo run --release -p sg-bench --bin cc_disconnection`
 
 use sg_algos::cc::connected_components;
-use sg_bench::{render_table, scheme};
+use sg_bench::{json_requested, render_json, render_table, scheme, BenchRecord};
 use sg_core::{CompressionScheme, SchemeRegistry};
 use sg_graph::generators::presets;
 
 fn main() {
     let seed = 0xCC14;
     let registry = SchemeRegistry::with_defaults();
-    println!("== Components after compression (schemes at comparable budgets) ==\n");
+    let json = json_requested();
+    if !json {
+        println!("== Components after compression (schemes at comparable budgets) ==\n");
+    }
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     for (name, g) in [("s-pok", presets::s_pok_like()), ("s-you", presets::s_you_like())] {
         let base_cc = connected_components(&g).num_components;
         // Fix the budget with spectral; match uniform & summarization to it.
@@ -41,6 +45,17 @@ fn main() {
             scheme_row(&g, &*scheme(&registry, "cut", &[("k", "2")]), seed),
         ];
         for (label, comps, removed) in schemes {
+            records.push(BenchRecord {
+                workload: name.to_string(),
+                label: label.clone(),
+                params: vec![
+                    ("seed".into(), seed.to_string()),
+                    ("cc_before".into(), base_cc.to_string()),
+                    ("cc_after".into(), comps.to_string()),
+                ],
+                ratio: Some(1.0 - removed),
+                timings_ms: Vec::new(),
+            });
             rows.push(vec![
                 name.to_string(),
                 label,
@@ -50,6 +65,10 @@ fn main() {
                 format!("{:+}", comps as i64 - base_cc as i64),
             ]);
         }
+    }
+    if json {
+        println!("{}", render_json(&records));
+        return;
     }
     println!(
         "{}",

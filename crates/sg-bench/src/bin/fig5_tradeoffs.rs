@@ -8,12 +8,17 @@
 //!
 //! Run: `cargo run --release -p sg-bench --bin fig5_tradeoffs`
 
-use sg_bench::{f3, relative_runtime_diff, render_table, run_algorithm, scheme, FIG5_ALGORITHMS};
+use sg_bench::{
+    f3, json_requested, relative_runtime_diff, render_json, render_table, run_algorithm, scheme,
+    BenchRecord, FIG5_ALGORITHMS,
+};
 use sg_core::{CompressionScheme, SchemeRegistry};
 use sg_graph::generators::presets;
 
 #[allow(clippy::vec_init_then_push)]
 fn main() {
+    let json = json_requested();
+    let mut records = Vec::new();
     let suite = presets::fig5_suite();
     let seed = 0xF15;
     let registry = SchemeRegistry::with_defaults();
@@ -42,7 +47,9 @@ fn main() {
     ));
 
     for (title, schemes) in sections {
-        println!("\n== Figure 5 panel: {title} ==\n");
+        if !json {
+            println!("\n== Figure 5 panel: {title} ==\n");
+        }
         let mut rows = Vec::new();
         for (gname, g) in &suite {
             // Baseline stage-2 runtimes on the original graph.
@@ -50,17 +57,35 @@ fn main() {
             for scheme in &schemes {
                 let r = scheme.apply(g, seed);
                 let mut row = vec![gname.to_string(), scheme.label(), f3(r.compression_ratio())];
+                let mut params = vec![("seed".to_string(), seed.to_string())];
+                let mut timings = vec![("compress".to_string(), r.elapsed.as_secs_f64() * 1e3)];
                 for (i, a) in FIG5_ALGORITHMS.iter().enumerate() {
                     let t = run_algorithm(a, &r.graph);
-                    row.push(f3(relative_runtime_diff(base[i], t)));
+                    let d = relative_runtime_diff(base[i], t);
+                    row.push(f3(d));
+                    params.push((format!("d{a}"), f3(d)));
+                    timings.push((a.to_string(), t.as_secs_f64() * 1e3));
                 }
+                records.push(BenchRecord {
+                    workload: gname.to_string(),
+                    label: scheme.label(),
+                    params,
+                    ratio: Some(r.compression_ratio()),
+                    timings_ms: timings,
+                });
                 rows.push(row);
             }
         }
-        println!(
-            "{}",
-            render_table(&["graph", "scheme", "m'/m", "dBFS", "dCC", "dPR", "dTC"], &rows)
-        );
+        if !json {
+            println!(
+                "{}",
+                render_table(&["graph", "scheme", "m'/m", "dBFS", "dCC", "dPR", "dTC"], &rows)
+            );
+        }
+    }
+    if json {
+        println!("{}", render_json(&records));
+        return;
     }
     println!("(d<alg> = relative runtime difference vs the uncompressed graph; positive = faster)");
 }

@@ -7,7 +7,7 @@
 //!
 //! Run: `cargo run --release -p sg-bench --bin fig7_spanner_degrees`
 
-use sg_bench::render_table;
+use sg_bench::{json_requested, render_json, render_table, BenchRecord};
 use sg_core::schemes::spanner;
 use sg_graph::generators::presets;
 use sg_graph::properties::DegreeDistribution;
@@ -29,20 +29,43 @@ fn describe(name: &str, variant: &str, g: &CsrGraph) -> Vec<String> {
 }
 
 fn main() {
+    let json = json_requested();
     let seed = 0xF17;
-    println!("== Figure 7: spanner impact on degree distributions ==\n");
+    if !json {
+        println!("== Figure 7: spanner impact on degree distributions ==\n");
+    }
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     for (name, g) in presets::fig7_suite() {
         rows.push(describe(name, "original", &g));
         for k in [2.0, 32.0] {
             let r = spanner(&g, k, seed);
             rows.push(describe(name, &format!("spanner k={k}"), &r.graph));
             let cmp = compare_degree_distributions(&g, &r.graph);
+            let fmt_opt = |x: Option<f64>| x.map_or("null".to_string(), |v| format!("{v:.4}"));
+            records.push(BenchRecord {
+                workload: name.to_string(),
+                label: format!("spanner (k={k})"),
+                params: vec![
+                    ("seed".into(), seed.to_string()),
+                    ("degree_l1".into(), format!("{:.4}", cmp.l1_distance)),
+                    ("support_before".into(), cmp.support_before.to_string()),
+                    ("support_after".into(), cmp.support_after.to_string()),
+                    ("pl_r2_before".into(), fmt_opt(cmp.r2_before)),
+                    ("pl_r2_after".into(), fmt_opt(cmp.r2_after)),
+                ],
+                ratio: Some(r.compression_ratio()),
+                timings_ms: Vec::new(),
+            });
             eprintln!(
                 "{name} k={k}: L1 distance {:.3}, R2 {:?} -> {:?}",
                 cmp.l1_distance, cmp.r2_before, cmp.r2_after
             );
         }
+    }
+    if json {
+        println!("{}", render_json(&records));
+        return;
     }
     println!(
         "{}",

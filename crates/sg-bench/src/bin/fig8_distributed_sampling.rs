@@ -9,7 +9,7 @@
 //!
 //! Run: `cargo run --release -p sg-bench --bin fig8_distributed_sampling`
 
-use sg_bench::render_table;
+use sg_bench::{json_requested, render_json, render_table, BenchRecord};
 use sg_dist::distributed_uniform_sample;
 use sg_graph::generators;
 use sg_graph::properties::DegreeDistribution;
@@ -24,8 +24,12 @@ fn main() {
         ("h-clu-like", 15, 12, 5),
         ("h-dgh-like", 15, 8, 4),
     ];
-    println!("== Figure 8: distributed uniform sampling (simulated ranks) ==\n");
+    let json = json_requested();
+    if !json {
+        println!("== Figure 8: distributed uniform sampling (simulated ranks) ==\n");
+    }
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     for (name, scale, ef, ranks) in specs {
         let g = generators::rmat_graph500(scale, ef, seed ^ scale as u64);
         let orig = DegreeDistribution::of(&g);
@@ -40,6 +44,18 @@ fn main() {
             let dist = distributed_uniform_sample(&g, p, ranks, seed);
             let hist_support = dist.degree_histogram.len();
             row.push(format!("{hist_support}"));
+            records.push(BenchRecord {
+                workload: name.to_string(),
+                label: format!("distributed-uniform (p={p})"),
+                params: vec![
+                    ("seed".into(), seed.to_string()),
+                    ("ranks".into(), ranks.to_string()),
+                    ("support_before".into(), orig.support_size().to_string()),
+                    ("support_after".into(), hist_support.to_string()),
+                ],
+                ratio: None,
+                timings_ms: Vec::new(),
+            });
             // Sanity: per-rank ownership balanced.
             let max_owned = dist.ranks.iter().map(|r| r.owned_edges).max().unwrap_or(0);
             let min_owned = dist.ranks.iter().map(|r| r.owned_edges).min().unwrap_or(0);
@@ -47,6 +63,10 @@ fn main() {
         }
         rows.push(row);
         eprintln!("done: {name}");
+    }
+    if json {
+        println!("{}", render_json(&records));
+        return;
     }
     println!(
         "{}",

@@ -7,21 +7,35 @@
 //!
 //! Run: `cargo run --release -p sg-bench --bin lowrank_error`
 
-use sg_bench::render_table;
+use sg_bench::{json_requested, render_json, render_table, BenchRecord};
 use sg_core::ldd::low_diameter_decomposition;
 use sg_core::schemes::uniform_sample;
 use sg_graph::generators;
 use sg_lowrank::{clustered_lowrank, lowrank_approximation};
 
 fn main() {
+    let json = json_requested();
     let seed = 0x10A;
     let g = generators::barabasi_albert(1200, 5, seed);
-    println!("workload: BA graph, n = {}, m = {}\n", g.num_vertices(), g.num_edges());
-
-    println!("== whole-graph truncated decomposition ==\n");
+    if !json {
+        println!("workload: BA graph, n = {}, m = {}\n", g.num_vertices(), g.num_edges());
+        println!("== whole-graph truncated decomposition ==\n");
+    }
+    let mut records = Vec::new();
     let mut rows = Vec::new();
     for rank in [4, 16, 64] {
         let r = lowrank_approximation(&g, rank, seed);
+        records.push(BenchRecord {
+            workload: "ba-1200".into(),
+            label: format!("lowrank (rank={rank})"),
+            params: vec![
+                ("seed".into(), seed.to_string()),
+                ("error_rate".into(), format!("{:.4}", r.error_rate())),
+                ("storage_overhead".into(), format!("{:.4}", r.storage_overhead())),
+            ],
+            ratio: None,
+            timings_ms: Vec::new(),
+        });
         rows.push(vec![
             format!("{rank}"),
             format!("{:.2}", r.error_rate()),
@@ -30,16 +44,29 @@ fn main() {
             format!("{:.2}x", r.storage_overhead()),
         ]);
     }
-    println!(
-        "{}",
-        render_table(&["rank", "error rate", "false+", "false-", "storage vs CSR"], &rows)
-    );
-
-    println!("\n== clustered variant (LDD clusters) ==\n");
+    if !json {
+        println!(
+            "{}",
+            render_table(&["rank", "error rate", "false+", "false-", "storage vs CSR"], &rows)
+        );
+        println!("\n== clustered variant (LDD clusters) ==\n");
+    }
     let mapping = low_diameter_decomposition(&g, 0.2, seed);
     let mut rows = Vec::new();
     for rank in [4, 16] {
         let r = clustered_lowrank(&g, &mapping.clusters, rank, seed);
+        records.push(BenchRecord {
+            workload: "ba-1200".into(),
+            label: format!("lowrank-clustered (rank={rank})"),
+            params: vec![
+                ("seed".into(), seed.to_string()),
+                ("clusters".into(), mapping.num_clusters().to_string()),
+                ("error_rate".into(), format!("{:.4}", r.error_rate())),
+                ("storage_overhead".into(), format!("{:.4}", r.storage_overhead())),
+            ],
+            ratio: None,
+            timings_ms: Vec::new(),
+        });
         rows.push(vec![
             format!("{rank}"),
             format!("{}", mapping.num_clusters()),
@@ -47,10 +74,26 @@ fn main() {
             format!("{:.2}x", r.storage_overhead()),
         ]);
     }
-    println!("{}", render_table(&["rank", "#clusters", "error rate", "storage vs CSR"], &rows));
-
     // Slim Graph reference point at a comparable "loss budget".
     let u = uniform_sample(&g, 0.5, seed);
+    records.push(BenchRecord {
+        workload: "ba-1200".into(),
+        label: "uniform (p=0.5) reference".into(),
+        params: vec![
+            ("seed".into(), seed.to_string()),
+            (
+                "storage_overhead".into(),
+                format!("{:.4}", u.graph.storage_bytes() as f64 / g.storage_bytes() as f64),
+            ),
+        ],
+        ratio: Some(u.compression_ratio()),
+        timings_ms: Vec::new(),
+    });
+    if json {
+        println!("{}", render_json(&records));
+        return;
+    }
+    println!("{}", render_table(&["rank", "#clusters", "error rate", "storage vs CSR"], &rows));
     println!(
         "\nreference: uniform sampling p=0.5 -> edge 'error' = {:.2} of m, storage {:.2}x CSR",
         u.edge_reduction(),

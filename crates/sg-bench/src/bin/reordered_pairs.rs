@@ -8,15 +8,19 @@
 //! Run: `cargo run --release -p sg-bench --bin reordered_pairs`
 
 use sg_algos::{bc, tc};
-use sg_bench::render_table;
+use sg_bench::{json_requested, render_json, render_table, BenchRecord};
 use sg_core::schemes::{spectral_sparsify, uniform_sample, UpsilonVariant};
 use sg_graph::generators::presets;
 use sg_metrics::{reordered_neighbor_fraction, reordered_pair_fraction};
 
 fn main() {
+    let json = json_requested();
     let seed = 0x12E0;
-    println!("== Reordered pairs after equal-budget compression ==\n");
+    if !json {
+        println!("== Reordered pairs after equal-budget compression ==\n");
+    }
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     for (name, g) in [("s-pok", presets::s_pok_like()), ("l-dbl", presets::l_dbl_like())] {
         // Fix the edge budget with spectral, then match uniform to it.
         let spec = spectral_sparsify(&g, 0.4, UpsilonVariant::LogN, false, seed);
@@ -36,6 +40,27 @@ fn main() {
         let bc_spec = bc::betweenness_sampled(&spec.graph, sources, seed);
         let bc_unif = bc::betweenness_sampled(&unif.graph, sources, seed);
 
+        for (label, r, tc_after, bc_after) in [
+            ("spectral (matched budget)", &spec, &tc_spec, &bc_spec),
+            ("uniform (matched budget)", &unif, &tc_unif, &bc_unif),
+        ] {
+            records.push(BenchRecord {
+                workload: name.to_string(),
+                label: label.to_string(),
+                params: vec![
+                    ("seed".into(), seed.to_string()),
+                    ("budget_removed".into(), format!("{budget:.4}")),
+                    ("tc_flips".into(), format!("{:.4}", reordered_pair_fraction(&tc0, tc_after))),
+                    ("bc_flips".into(), format!("{:.4}", reordered_pair_fraction(&bc0, bc_after))),
+                    (
+                        "tc_nbr_flips".into(),
+                        format!("{:.4}", reordered_neighbor_fraction(&g, &tc0, tc_after)),
+                    ),
+                ],
+                ratio: Some(r.compression_ratio()),
+                timings_ms: Vec::new(),
+            });
+        }
         rows.push(vec![
             name.to_string(),
             format!("{:.0}%", budget * 100.0),
@@ -47,6 +72,10 @@ fn main() {
             format!("{:.4}", reordered_neighbor_fraction(&g, &tc0, &tc_unif)),
         ]);
         eprintln!("done: {name}");
+    }
+    if json {
+        println!("{}", render_json(&records));
+        return;
     }
     println!(
         "{}",

@@ -3,18 +3,21 @@
 //!
 //! Run: `cargo run --release -p sg-bench --bin tab2_overview`
 
-use sg_bench::{render_table, scheme};
+use sg_bench::{json_requested, render_json, render_table, scheme, BenchRecord};
 use sg_core::schemes::{summarize, SummarizationConfig};
 use sg_core::{CompressionScheme, SchemeRegistry};
 use sg_graph::generators;
 
 fn main() {
+    let json = json_requested();
     let seed = 0x7AB2;
     let g = generators::planted_triangles(&generators::rmat_graph500(13, 10, seed), 20_000, seed);
     let n = g.num_vertices() as f64;
     let m = g.num_edges() as f64;
     let t = sg_algos::tc::count_triangles(&g) as f64;
-    println!("workload: n = {n}, m = {m}, T = {t}\n");
+    if !json {
+        println!("workload: n = {n}, m = {m}, T = {t}\n");
+    }
 
     let p = 0.4;
     let k = 8.0;
@@ -45,8 +48,20 @@ fn main() {
     ];
 
     let mut table = Vec::new();
+    let mut records = Vec::new();
     for (scheme, formula) in rows {
         let r = scheme.apply(&g, seed);
+        records.push(BenchRecord {
+            workload: "planted-rmat13".into(),
+            label: scheme.label(),
+            params: vec![
+                ("seed".into(), seed.to_string()),
+                ("paper_form".into(), formula.clone()),
+                ("storage_bytes".into(), r.graph.storage_bytes().to_string()),
+            ],
+            ratio: Some(r.compression_ratio()),
+            timings_ms: vec![("compress".into(), r.elapsed.as_secs_f64() * 1e3)],
+        });
         table.push(vec![
             scheme.label(),
             formula,
@@ -55,6 +70,10 @@ fn main() {
             format!("{:.1}", r.elapsed.as_secs_f64() * 1e3),
             format!("{}", r.graph.storage_bytes()),
         ]);
+    }
+    if json {
+        println!("{}", render_json(&records));
+        return;
     }
     println!(
         "{}",

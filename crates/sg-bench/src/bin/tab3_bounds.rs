@@ -8,7 +8,7 @@
 //! Run: `cargo run --release -p sg-bench --bin tab3_bounds`
 
 use sg_algos::{cc, coloring, diameter, matching, mis, mst, sssp, tc};
-use sg_bench::render_table;
+use sg_bench::{json_requested, render_json, render_table, BenchRecord};
 use sg_core::schemes::uniform_sample;
 use sg_core::schemes::{
     remove_low_degree, spanner, spectral_sparsify, summarize, triangle_reduce, SummarizationConfig,
@@ -340,6 +340,28 @@ fn main() {
     }
 
     // ---------------- Render -------------------------------------------------
+    if json_requested() {
+        let records: Vec<BenchRecord> = checks
+            .iter()
+            .map(|c| BenchRecord {
+                workload: "tab3-suite".into(),
+                label: format!("{} / {}", c.scheme, c.property),
+                params: vec![
+                    ("bound".into(), c.bound.clone()),
+                    ("measured".into(), c.measured.clone()),
+                    ("verdict".into(), if c.holds { "OK".into() } else { "VIOLATED".into() }),
+                ],
+                ratio: None,
+                timings_ms: Vec::new(),
+            })
+            .collect();
+        println!("{}", render_json(&records));
+        let violations = checks.iter().filter(|c| !c.holds).count();
+        if violations > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
     println!("== Table 3: bound validation ==\n");
     let rows: Vec<Vec<String>> = checks
         .iter()

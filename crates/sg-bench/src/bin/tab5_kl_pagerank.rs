@@ -9,12 +9,13 @@
 //! Run: `cargo run --release -p sg-bench --bin tab5_kl_pagerank`
 
 use sg_algos::pagerank::pagerank_default;
-use sg_bench::{render_table, scheme};
+use sg_bench::{json_requested, render_json, render_table, scheme, BenchRecord};
 use sg_core::SchemeRegistry;
 use sg_graph::generators::presets;
 use sg_metrics::kl_divergence;
 
 fn main() {
+    let json = json_requested();
     let seed = 0x7AB5;
     let registry = SchemeRegistry::with_defaults();
     let schemes = [
@@ -38,17 +39,32 @@ fn main() {
         ])
         .collect();
 
-    println!("== Table 5: KL divergence of PageRank distributions ==\n");
+    if !json {
+        println!("== Table 5: KL divergence of PageRank distributions ==\n");
+    }
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     for (name, g) in presets::table5_suite() {
         let base = pagerank_default(&g).scores;
         let mut row = vec![name.to_string()];
         for scheme in &schemes {
             let r = scheme.apply(&g, seed);
             let compressed = pagerank_default(&r.graph).scores;
-            row.push(format!("{:.4}", kl_divergence(&base, &compressed)));
+            let kl = kl_divergence(&base, &compressed);
+            row.push(format!("{kl:.4}"));
+            records.push(BenchRecord {
+                workload: name.to_string(),
+                label: scheme.label(),
+                params: vec![("seed".into(), seed.to_string()), ("kl_bits".into(), kl.to_string())],
+                ratio: Some(r.compression_ratio()),
+                timings_ms: Vec::new(),
+            });
         }
         rows.push(row);
+    }
+    if json {
+        println!("{}", render_json(&records));
+        return;
     }
     println!("{}", render_table(&headers, &rows));
     println!("(lower = closer to the original PageRank distribution)");

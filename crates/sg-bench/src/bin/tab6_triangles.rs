@@ -8,7 +8,7 @@
 //! Run: `cargo run --release -p sg-bench --bin tab6_triangles`
 
 use sg_algos::tc::count_triangles;
-use sg_bench::{render_table, scheme};
+use sg_bench::{json_requested, render_json, render_table, scheme, BenchRecord};
 use sg_core::{CompressionScheme, SchemeRegistry};
 use sg_graph::generators::presets;
 use sg_graph::CsrGraph;
@@ -18,6 +18,7 @@ fn tpv(g: &CsrGraph) -> f64 {
 }
 
 fn main() {
+    let json = json_requested();
     let seed = 0x7AB6;
     let registry = SchemeRegistry::with_defaults();
     let schemes: Vec<(&str, Box<dyn CompressionScheme>)> = vec![
@@ -36,16 +37,36 @@ fn main() {
     let mut headers: Vec<&str> = vec!["graph", "Original"];
     headers.extend(schemes.iter().map(|&(n, _)| n));
 
-    println!("== Table 6: average triangles per vertex ==\n");
+    if !json {
+        println!("== Table 6: average triangles per vertex ==\n");
+    }
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     for (name, g) in presets::table6_suite() {
-        let mut row = vec![name.to_string(), format!("{:.3}", tpv(&g))];
+        let original = tpv(&g);
+        let mut row = vec![name.to_string(), format!("{original:.3}")];
         for (_, scheme) in &schemes {
             let r = scheme.apply(&g, seed);
-            row.push(format!("{:.3}", tpv(&r.graph)));
+            let after = tpv(&r.graph);
+            row.push(format!("{after:.3}"));
+            records.push(BenchRecord {
+                workload: name.to_string(),
+                label: scheme.label(),
+                params: vec![
+                    ("seed".into(), seed.to_string()),
+                    ("tpv_before".into(), format!("{original:.3}")),
+                    ("tpv_after".into(), format!("{after:.3}")),
+                ],
+                ratio: Some(r.compression_ratio()),
+                timings_ms: Vec::new(),
+            });
         }
         rows.push(row);
         eprintln!("done: {name}");
+    }
+    if json {
+        println!("{}", render_json(&records));
+        return;
     }
     println!("{}", render_table(&headers, &rows));
 }

@@ -1,0 +1,125 @@
+//! Auto-tuning search benchmark: wall time and outcome of an `sg-tune`
+//! run, in the same `BenchRecord` schema the other harness binaries emit —
+//! so CI can track the search's cost *and* the quality of the frontier it
+//! finds over time.
+//!
+//! Run: `cargo run --release -p sg-bench --bin tune_search
+//!       [-- --n N] [--k N] [--depth N] [--rounds N] [--json]`
+
+use sg_bench::{json_requested, render_json, render_table, BenchRecord};
+use sg_core::SchemeRegistry;
+use sg_graph::generators;
+use sg_tune::{tune, Target, TuneConfig};
+use std::time::Instant;
+
+fn main() {
+    let mut n: usize = 5_000;
+    let mut k: usize = 4;
+    let mut depth: usize = 2;
+    let mut rounds: usize = 1;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut grab = |what: &str| -> usize {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("--{what} needs an integer value"))
+        };
+        match flag.as_str() {
+            "--n" => n = grab("n"),
+            "--k" => k = grab("k"),
+            "--depth" => depth = grab("depth"),
+            "--rounds" => rounds = grab("rounds"),
+            "--json" => {}
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    let json = json_requested();
+    let workload = format!("ba-n{n}-k{k}");
+
+    let g = generators::barabasi_albert(n, k, 0x70E);
+    let registry = SchemeRegistry::with_defaults();
+    let target = Target::parse("pagerank-kl<=0.1").expect("valid target");
+    let mut cfg = TuneConfig::new(g.num_edges() / 2, target, 0x70E);
+    cfg.max_depth = depth;
+    cfg.rounds = rounds;
+    // A tractable chain alphabet for a recurring benchmark: one scheme per
+    // kernel class that PageRank responds to.
+    cfg.schemes = Some(vec!["uniform".into(), "spanner".into(), "lowdeg".into()]);
+
+    let start = Instant::now();
+    let outcome = tune(&g, &registry, &cfg).expect("search runs");
+    let search_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let mut records = vec![BenchRecord {
+        workload: workload.clone(),
+        label: "tune:search".into(),
+        params: vec![
+            ("target".into(), target.render()),
+            ("budget_edges".into(), cfg.budget_edges.to_string()),
+            ("depth".into(), depth.to_string()),
+            ("rounds".into(), rounds.to_string()),
+            ("evaluated".into(), outcome.evaluated.to_string()),
+            (
+                "winner".into(),
+                outcome.winner.as_ref().map_or("none".into(), |w| w.rendered.clone()),
+            ),
+        ],
+        ratio: outcome.winner.as_ref().map(|w| w.ratio),
+        timings_ms: vec![("search".into(), search_ms)],
+    }];
+    for p in outcome.frontier.points() {
+        records.push(BenchRecord {
+            workload: workload.clone(),
+            label: format!("tune:frontier:{}", p.rendered),
+            params: vec![
+                ("metric".into(), target.metric.to_string()),
+                ("value".into(), format!("{}", p.metric)),
+                ("edges".into(), p.edges.to_string()),
+            ],
+            ratio: Some(p.ratio),
+            timings_ms: Vec::new(),
+        });
+    }
+
+    if json {
+        println!("{}", render_json(&records));
+        return;
+    }
+    println!(
+        "workload: {workload}, m = {}, target {}, budget {} edges\n",
+        g.num_edges(),
+        target.render(),
+        cfg.budget_edges
+    );
+    println!(
+        "evaluated {} candidates in {search_ms:.0} ms; frontier has {} points\n",
+        outcome.evaluated,
+        outcome.frontier.len()
+    );
+    let rows: Vec<Vec<String>> = outcome
+        .frontier
+        .points()
+        .iter()
+        .map(|p| {
+            vec![
+                p.rendered.clone(),
+                p.edges.to_string(),
+                format!("{:.3}", p.ratio),
+                format!("{:.5}", p.metric),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["spec", "edges", "m'/m", "pagerank-kl"], &rows));
+    match &outcome.winner {
+        Some(w) => println!(
+            "winner: {} -> {} edges ({:.1}% kept), KL {:.5} bits, seed {}",
+            w.rendered,
+            w.edges,
+            w.ratio * 100.0,
+            w.metric,
+            w.seed
+        ),
+        None => println!("winner: none (target infeasible within the budget)"),
+    }
+}

@@ -9,7 +9,7 @@
 //! Run: `cargo run --release -p sg-bench --bin weighted_tr`
 
 use sg_algos::{mst, sssp};
-use sg_bench::{f3, median_time, render_table};
+use sg_bench::{f3, json_requested, median_time, render_json, render_table, BenchRecord};
 use sg_core::schemes::{triangle_reduce, TrConfig};
 use sg_graph::generators::{self, presets};
 
@@ -22,8 +22,12 @@ fn main() {
             generators::with_random_weights(&presets::v_ewk_like(), 1.0, 100.0, seed),
         ),
     ];
-    println!("== Triangle Reduction on weighted graphs ==\n");
+    let json = json_requested();
+    if !json {
+        println!("== Triangle Reduction on weighted graphs ==\n");
+    }
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     for (name, g) in workloads {
         for p in [0.5, 0.9] {
             let r = triangle_reduce(&g, TrConfig::max_weight(p), seed);
@@ -42,6 +46,21 @@ fn main() {
             let t_sssp1 = median_time(3, || {
                 sssp::delta_stepping_auto(&r.graph, root);
             });
+            records.push(BenchRecord {
+                workload: name.to_string(),
+                label: format!("maxw-{p}-1-TR"),
+                params: vec![
+                    ("seed".into(), seed.to_string()),
+                    ("mst_weight_err".into(), format!("{:.6}", (w1 - w0).abs() / w0.max(1.0))),
+                ],
+                ratio: Some(r.compression_ratio()),
+                timings_ms: vec![
+                    ("mst_before".into(), t_mst0.as_secs_f64() * 1e3),
+                    ("mst_after".into(), t_mst1.as_secs_f64() * 1e3),
+                    ("sssp_before".into(), t_sssp0.as_secs_f64() * 1e3),
+                    ("sssp_after".into(), t_sssp1.as_secs_f64() * 1e3),
+                ],
+            });
             rows.push(vec![
                 name.to_string(),
                 format!("maxw-{p}-1-TR"),
@@ -52,6 +71,10 @@ fn main() {
             ]);
         }
         eprintln!("done: {name}");
+    }
+    if json {
+        println!("{}", render_json(&records));
+        return;
     }
     println!(
         "{}",

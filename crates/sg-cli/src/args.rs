@@ -2,6 +2,10 @@
 
 use std::collections::BTreeMap;
 
+/// Flags that take no value: present means `true`. Everything else is
+/// `--flag value`.
+const BOOLEAN_FLAGS: [&str; 2] = ["json", "no-verify"];
+
 /// Parsed command line: a subcommand plus `--key value` options.
 #[derive(Debug, Default)]
 pub struct Args {
@@ -21,12 +25,21 @@ impl Args {
             if key.is_empty() {
                 return Err("empty flag name".to_string());
             }
-            let value = it.next().ok_or_else(|| format!("flag --{key} needs a value"))?;
-            if options.insert(key.to_string(), value.clone()).is_some() {
+            let value = if BOOLEAN_FLAGS.contains(&key) {
+                "true".to_string()
+            } else {
+                it.next().ok_or_else(|| format!("flag --{key} needs a value"))?.clone()
+            };
+            if options.insert(key.to_string(), value).is_some() {
                 return Err(format!("flag --{key} given twice"));
             }
         }
         Ok(Self { command, options })
+    }
+
+    /// Whether a boolean flag (e.g. `--json`) was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.get(key).map(String::as_str) == Some("true")
     }
 
     /// Required string option.
@@ -86,6 +99,18 @@ mod tests {
         assert!(Args::parse(&sv(&["x", "oops"])).is_err());
         assert!(Args::parse(&sv(&["x", "--flag"])).is_err());
         assert!(Args::parse(&sv(&["x", "--a", "1", "--a", "2"])).is_err());
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let a = Args::parse(&sv(&["tune", "--json", "--seed", "7", "--no-verify"])).expect("ok");
+        assert!(a.flag("json"));
+        assert!(a.flag("no-verify"));
+        assert_eq!(a.get_or::<u64>("seed", 0).expect("typed"), 7);
+        let b = Args::parse(&sv(&["tune", "--seed", "7"])).expect("ok");
+        assert!(!b.flag("json"));
+        // A boolean flag never consumes the next token.
+        assert!(Args::parse(&sv(&["x", "--json", "true"])).is_err());
     }
 
     #[test]

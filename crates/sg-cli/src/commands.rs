@@ -19,6 +19,14 @@ COMMANDS:
              [--format text|bin|sgr] [--output-format text|bin|sgr]
   analyze    Compress, then report accuracy metrics vs the original
              (same flags as compress, no --output needed)
+  tune       Search (scheme chain, parameters) for the smallest graph
+             meeting a quality target
+             --input FILE  --target METRIC<=BOUND  [--budget-edges N]
+             [--depth N] [--rounds N] [--keep N] [--grid N] [--seed N]
+             [--schemes a,b,c] [--output FILE] [--json]
+             Metrics: pagerank-kl, reordered-tc, degree-l1,
+             triangles-rel, components-rel.
+             Example: --target pagerank-kl<=0.05 --budget-edges 50000
   stats      Print structural statistics of a graph
              --input FILE  [--format text|bin|sgr]
   convert    Convert a graph between storage formats
@@ -36,6 +44,8 @@ STORAGE FORMATS (inferred from the file extension, overridable with
   bin    compact binary edge list                  (*.bin)
   sgr    zero-copy binary CSR container; loaded through a read-only
          mmap with no rebuild and no copy          (*.sgr)
+         --no-verify skips the checksum pass on trusted .sgr inputs
+         (structural validation still runs)
 
 SCHEME SPEC:
   A comma-separated chain of registry names; stages run left to right over
@@ -56,6 +66,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     match args.command.as_str() {
         "compress" => compress(&args),
         "analyze" => analyze(&args),
+        "tune" => tune(&args),
         "stats" => stats(&args),
         "convert" => convert(&args),
         "generate" => generate(&args),
@@ -94,14 +105,24 @@ impl Format {
 
 /// Loads a graph honoring `--format`. `.sgr` inputs go through the
 /// zero-copy mmap loader — the CSR arrays stay borrowed from the mapping
-/// for the whole run; the other formats rebuild a CSR in memory.
-fn load_as(path: &str, explicit: Option<&str>) -> Result<CsrGraph, String> {
+/// for the whole run; the other formats rebuild a CSR in memory. With
+/// `trusted` (`--no-verify`), `.sgr` opens skip the checksum pass —
+/// structural validation still rejects corrupt files.
+fn load_as(path: &str, explicit: Option<&str>, trusted: bool) -> Result<CsrGraph, String> {
+    let verify = if trusted { sg_store::Verify::Trusted } else { sg_store::Verify::Checksum };
     let res = match Format::resolve(path, explicit)? {
         Format::Text => io::load_text(path),
         Format::Bin => io::load_binary(path),
-        Format::Sgr => sg_store::MmapGraph::open(path).map(sg_store::MmapGraph::into_graph),
+        Format::Sgr => {
+            sg_store::MmapGraph::open_with(path, verify).map(sg_store::MmapGraph::into_graph)
+        }
     };
     res.map_err(|e| format!("loading {path}: {e}"))
+}
+
+/// [`load_as`] wired to a command's `--input`/`--format`/`--no-verify`.
+fn load_input(args: &Args) -> Result<CsrGraph, String> {
+    load_as(args.require("input")?, args.get("format"), args.flag("no-verify"))
 }
 
 fn save_as(g: &CsrGraph, path: &str, explicit: Option<&str>) -> Result<(), String> {
@@ -126,7 +147,7 @@ fn pipeline_from(args: &Args) -> Result<Pipeline, String> {
 }
 
 fn compress(args: &Args) -> Result<(), String> {
-    let g = load_as(args.require("input")?, args.get("format"))?;
+    let g = load_input(args)?;
     let pipeline = pipeline_from(args)?;
     let seed: u64 = args.get_or("seed", 42)?;
     let out = pipeline.apply(&g, seed);
@@ -154,7 +175,7 @@ fn compress(args: &Args) -> Result<(), String> {
 }
 
 fn analyze(args: &Args) -> Result<(), String> {
-    let g = load_as(args.require("input")?, args.get("format"))?;
+    let g = load_input(args)?;
     let pipeline = pipeline_from(args)?;
     let seed: u64 = args.get_or("seed", 42)?;
     let out = pipeline.apply(&g, seed);
@@ -183,12 +204,92 @@ fn analyze(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `tune`: search the (chain, parameters) space for the smallest graph
+/// meeting `--target`, report the Pareto frontier and the re-validated
+/// winner (or honest infeasibility), and optionally write the winner's
+/// compressed graph to `--output`.
+fn tune(args: &Args) -> Result<(), String> {
+    let g = load_input(args)?;
+    let target = sg_tune::Target::parse(args.require("target")?)?;
+    let budget: usize = args.get_or("budget-edges", g.num_edges())?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let mut cfg = sg_tune::TuneConfig::new(budget, target, seed);
+    cfg.max_depth = args.get_or("depth", cfg.max_depth)?;
+    cfg.rounds = args.get_or("rounds", cfg.rounds)?;
+    cfg.keep = args.get_or("keep", cfg.keep)?;
+    cfg.grid = args.get_or("grid", cfg.grid)?;
+    cfg.max_candidates = args.get_or("max-candidates", cfg.max_candidates)?;
+    if let Some(list) = args.get("schemes") {
+        let names: Vec<String> =
+            list.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect();
+        cfg.schemes = Some(names);
+    }
+    let registry = SchemeRegistry::with_defaults();
+    let outcome = sg_tune::tune(&g, &registry, &cfg)?;
+
+    if args.flag("json") {
+        println!("{}", outcome.to_json());
+    } else {
+        println!("target:      {}", target.render());
+        println!("budget:      {budget} edges (input m = {})", g.num_edges());
+        println!("evaluated:   {} candidates", outcome.evaluated);
+        println!("frontier ({} non-dominated points, * = feasible):", outcome.frontier.len());
+        for p in outcome.frontier.points() {
+            let feasible = p.edges <= budget && p.metric <= target.max;
+            println!(
+                "  {} {:>9} edges  ratio {:.3}  {} {:.5}  {}",
+                if feasible { "*" } else { " " },
+                p.edges,
+                p.ratio,
+                target.metric,
+                p.metric,
+                p.rendered
+            );
+        }
+        match &outcome.winner {
+            Some(w) => {
+                println!("winner:      {}", w.rendered);
+                println!(
+                    "  m {} -> {} ({:.1}% kept), {} = {:.5} <= {}, pipeline seed {}",
+                    g.num_edges(),
+                    w.edges,
+                    w.ratio * 100.0,
+                    target.metric,
+                    w.metric,
+                    target.max,
+                    w.seed
+                );
+                println!(
+                    "  re-run:    slimgraph compress --input <in> --scheme '{}' --seed {}",
+                    w.rendered, w.seed
+                );
+            }
+            None => println!(
+                "winner:      none — no candidate met {} within {budget} edges \
+                 (closest trade-offs listed above)",
+                target.render()
+            ),
+        }
+    }
+
+    if let Some(output) = args.get("output") {
+        match &outcome.winner {
+            Some(w) => {
+                let out = w.spec.build(&registry)?.apply(&g, w.seed);
+                save_as(&out.result.graph, output, args.get("output-format"))?;
+            }
+            None => return Err("no feasible winner to write to --output".to_string()),
+        }
+    }
+    Ok(())
+}
+
 fn convert(args: &Args) -> Result<(), String> {
     let input = args.require("input")?;
     let output = args.require("output")?;
     let from = Format::resolve(input, args.get("format"))?;
     let to = Format::resolve(output, args.get("output-format"))?;
-    let g = load_as(input, args.get("format"))?;
+    let g = load_as(input, args.get("format"), args.flag("no-verify"))?;
     save_as(&g, output, args.get("output-format"))?;
     let bytes = std::fs::metadata(output).map_err(|e| format!("stat {output}: {e}"))?.len();
     println!(
@@ -200,7 +301,7 @@ fn convert(args: &Args) -> Result<(), String> {
 }
 
 fn stats(args: &Args) -> Result<(), String> {
-    let g = load_as(args.require("input")?, args.get("format"))?;
+    let g = load_input(args)?;
     let s = sg_graph::properties::degree_stats(&g);
     println!("vertices:     {}", g.num_vertices());
     println!("edges:        {}", g.num_edges());
@@ -275,7 +376,7 @@ mod tests {
 
     /// Extension-driven load, as the subcommands themselves do it.
     fn load(path: &str) -> Result<CsrGraph, String> {
-        load_as(path, None)
+        load_as(path, None, false)
     }
 
     #[test]
@@ -420,6 +521,140 @@ mod tests {
         let chain: Vec<&str> = registry.names().collect();
         let a = Args::parse(&sv(&["compress", "--scheme", &chain.join(",")])).expect("parse");
         assert_eq!(pipeline_from(&a).expect("pipeline").len(), chain.len());
+    }
+
+    #[test]
+    fn tune_winner_revalidates_standalone_on_two_graphs() {
+        // The acceptance bar for the tuner: the winning spec, re-run as a
+        // plain `compress` with the reported seed, must satisfy both the
+        // edge budget and the metric target — on two different generated
+        // graph families.
+        for (kind, n, extra, extra_val) in [("ba", "500", "k", "3"), ("ws", "400", "k", "4")] {
+            let gpath = tmp(&format!("tune-{kind}.txt"));
+            run(&sv(&[
+                "generate",
+                "--kind",
+                kind,
+                "--n",
+                n,
+                &format!("--{extra}"),
+                extra_val,
+                "--output",
+                &gpath,
+            ]))
+            .expect("generate");
+            let g = load(&gpath).expect("load");
+            let budget = g.num_edges() * 4 / 5;
+            let target = sg_tune::Target::parse("degree-l1<=0.75").expect("target");
+            let out = tmp(&format!("tune-{kind}-winner.txt"));
+            run(&sv(&[
+                "tune",
+                "--input",
+                &gpath,
+                "--budget-edges",
+                &budget.to_string(),
+                "--target",
+                "degree-l1<=0.75",
+                "--schemes",
+                "uniform,spanner,lowdeg",
+                "--rounds",
+                "1",
+                "--seed",
+                "9",
+                "--output",
+                &out,
+            ]))
+            .expect("tune finds a feasible winner under a generous target");
+
+            // Re-derive the winner independently and re-run it standalone.
+            let mut cfg = sg_tune::TuneConfig::new(budget, target, 9);
+            cfg.rounds = 1;
+            cfg.schemes = Some(vec!["uniform".into(), "spanner".into(), "lowdeg".into()]);
+            let registry = SchemeRegistry::with_defaults();
+            let outcome = sg_tune::tune(&g, &registry, &cfg).expect("tune");
+            let w = outcome.winner.expect("feasible");
+            let standalone = registry
+                .parse_pipeline(&w.rendered, &SchemeParams::new())
+                .expect("winner spec parses as a --scheme spec")
+                .apply(&g, w.seed);
+            assert_eq!(standalone.result.graph.num_edges(), w.edges, "standalone re-run matches");
+            assert!(w.edges <= budget, "budget respected");
+            assert!(w.metric <= target.max, "target respected");
+            // And the graph `tune --output` wrote is exactly that graph.
+            let written = load(&out).expect("winner graph written");
+            assert_eq!(written.edge_slice(), standalone.result.graph.edge_slice());
+        }
+    }
+
+    #[test]
+    fn tune_reports_infeasibility_honestly() {
+        let gpath = tmp("tune-infeasible.txt");
+        run(&sv(&["generate", "--kind", "er", "--n", "200", "--m", "800", "--output", &gpath]))
+            .expect("generate");
+        // Budget 1 edge with a zero-distortion requirement: infeasible.
+        run(&sv(&[
+            "tune",
+            "--input",
+            &gpath,
+            "--budget-edges",
+            "1",
+            "--target",
+            "degree-l1<=0",
+            "--schemes",
+            "uniform",
+            "--rounds",
+            "0",
+        ]))
+        .expect("infeasible searches still succeed (reported, not errored)");
+        // But asking to write a winner that does not exist is an error.
+        let err = run(&sv(&[
+            "tune",
+            "--input",
+            &gpath,
+            "--budget-edges",
+            "1",
+            "--target",
+            "degree-l1<=0",
+            "--schemes",
+            "uniform",
+            "--rounds",
+            "0",
+            "--output",
+            &tmp("tune-no-winner.txt"),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("no feasible winner"), "{err}");
+        // Bad targets and scheme names fail loudly.
+        assert!(run(&sv(&["tune", "--input", &gpath, "--target", "bogus<=1"])).is_err());
+        assert!(run(&sv(&["tune", "--input", &gpath, "--target", "degree-l1"])).is_err());
+        assert!(run(&sv(&[
+            "tune",
+            "--input",
+            &gpath,
+            "--target",
+            "degree-l1<=1",
+            "--schemes",
+            "nope",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn no_verify_loads_trusted_sgr_but_still_validates_structure() {
+        let gsgr = tmp("noverify.sgr");
+        run(&sv(&["generate", "--kind", "er", "--n", "200", "--m", "600", "--output", &gsgr]))
+            .expect("generate");
+        run(&sv(&["stats", "--input", &gsgr, "--no-verify"])).expect("trusted stats");
+        // Corrupt only the stored digest: default load fails, trusted load
+        // still decodes the (structurally intact) graph.
+        let mut img = std::fs::read(&gsgr).expect("read");
+        img[32..40].copy_from_slice(&u64::MAX.to_le_bytes());
+        let bad = tmp("noverify-bad-digest.sgr");
+        std::fs::write(&bad, &img).expect("write");
+        assert!(run(&sv(&["stats", "--input", &bad])).is_err(), "checksum verified by default");
+        run(&sv(&["stats", "--input", &bad, "--no-verify"])).expect("trusted load skips digest");
+        run(&sv(&["analyze", "--input", &bad, "--no-verify", "--scheme", "lowdeg"]))
+            .expect("analyze honors --no-verify");
     }
 
     #[test]

@@ -33,8 +33,10 @@ pub mod mapping;
 pub mod pipeline;
 pub mod scheme;
 pub mod schemes;
+pub mod spec;
 
 pub use context::SgContext;
 pub use engine::{CompressionResult, Engine};
 pub use pipeline::{Pipeline, PipelineResult, StageReport};
 pub use scheme::{CompressionScheme, SchemeParams, SchemeRegistry};
+pub use spec::{PipelineSpec, StageSpec};

@@ -53,8 +53,10 @@ pub trait CompressionScheme: Send + Sync {
 }
 
 /// A string key/value parameter bag with typed accessors, used by
-/// [`SchemeRegistry`] factories and the CLI's `--scheme` parser.
-#[derive(Clone, Debug, Default)]
+/// [`SchemeRegistry`] factories and the CLI's `--scheme` parser. Ordered
+/// and comparable so parameterized specs ([`crate::PipelineSpec`]) can be
+/// deduplicated and sorted deterministically.
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
 pub struct SchemeParams {
     values: BTreeMap<String, String>,
 }
@@ -104,6 +106,16 @@ impl SchemeParams {
     /// Raw string value.
     pub fn get_str(&self, key: &str) -> Option<&str> {
         self.values.get(key).map(String::as_str)
+    }
+
+    /// All `(key, value)` pairs in sorted key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Whether the bag holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
     }
 
     /// `f64` value with a default.
@@ -465,35 +477,15 @@ impl SchemeRegistry {
     /// over `base` parameters. Example:
     /// `"spanner:k=4,lowdeg,uniform:p=0.3"`. Per-stage keys are validated
     /// against the scheme's declared parameters so typos fail loudly
-    /// instead of silently running with defaults.
+    /// instead of silently running with defaults. The parsed intermediate
+    /// form is [`crate::PipelineSpec`]; use it directly when the chain is
+    /// constructed programmatically (as `sg-tune` does).
     pub fn parse_pipeline(
         &self,
         spec: &str,
         base: &SchemeParams,
     ) -> Result<crate::Pipeline, String> {
-        let mut stages: Vec<Box<dyn CompressionScheme>> = Vec::new();
-        for stage_spec in spec.split(',') {
-            let stage_spec = stage_spec.trim();
-            if stage_spec.is_empty() {
-                return Err(format!("empty stage in pipeline spec '{spec}'"));
-            }
-            let mut parts = stage_spec.split(':');
-            let name = parts.next().expect("split yields at least one part");
-            let mut params = base.clone();
-            for assignment in parts {
-                let key = params.parse_assignment(assignment)?;
-                if let Some(keys) = self.param_keys(name) {
-                    if !keys.contains(&key.as_str()) {
-                        return Err(format!(
-                            "scheme '{name}' does not accept parameter '{key}' (accepts: {})",
-                            if keys.is_empty() { "none".to_string() } else { keys.join(", ") }
-                        ));
-                    }
-                }
-            }
-            stages.push(self.create(name, &params)?);
-        }
-        Ok(crate::Pipeline::from_stages(stages))
+        crate::PipelineSpec::parse(spec)?.build_with_base(self, base)
     }
 }
 

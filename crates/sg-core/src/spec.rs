@@ -1,0 +1,221 @@
+//! Serializable pipeline specifications.
+//!
+//! A [`PipelineSpec`] is the *data* form of a [`crate::Pipeline`]: an
+//! ordered list of stage names with their parameter bags. Where a
+//! `Pipeline` holds boxed scheme objects ready to run, a `PipelineSpec` is
+//! `Clone + Ord + Eq`, renders to the CLI's textual spec syntax
+//! (`spanner:k=4,uniform:p=0.3`), parses back losslessly, and builds into a
+//! `Pipeline` against any [`SchemeRegistry`]. This makes scheme chains
+//! first-class *values* that can be enumerated, mutated, compared, hashed,
+//! and reported — the representation `sg-tune` searches over.
+
+use crate::scheme::{SchemeParams, SchemeRegistry};
+use crate::Pipeline;
+
+/// One stage of a [`PipelineSpec`]: a registry name plus its parameters.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct StageSpec {
+    /// Registry name of the scheme (`"uniform"`, `"spanner"`, …).
+    pub name: String,
+    /// Stage parameters (only keys the scheme reads are meaningful).
+    pub params: SchemeParams,
+}
+
+impl StageSpec {
+    /// A stage with no explicit parameters (factory defaults apply).
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), params: SchemeParams::new() }
+    }
+
+    /// A stage with parameters from `(key, value)` pairs.
+    pub fn with_params(name: impl Into<String>, pairs: &[(&str, &str)]) -> Self {
+        Self { name: name.into(), params: SchemeParams::from_pairs(pairs) }
+    }
+
+    /// Renders as `name` or `name:key=value:key=value` (keys in sorted
+    /// order, so rendering is canonical).
+    pub fn render(&self) -> String {
+        let mut out = self.name.clone();
+        for (k, v) in self.params.iter() {
+            out.push(':');
+            out.push_str(k);
+            out.push('=');
+            out.push_str(v);
+        }
+        out
+    }
+}
+
+/// A serializable chain of compression stages.
+///
+/// Invariants are *not* enforced at construction: names and parameters are
+/// validated when the spec is [built](PipelineSpec::build) against a
+/// registry, exactly as the textual syntax is.
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PipelineSpec {
+    /// Stages in execution order.
+    pub stages: Vec<StageSpec>,
+}
+
+impl PipelineSpec {
+    /// The empty spec (builds into the identity pipeline).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A spec over the given stages.
+    pub fn from_stages(stages: Vec<StageSpec>) -> Self {
+        Self { stages }
+    }
+
+    /// Appends a stage (builder style).
+    pub fn then(mut self, stage: StageSpec) -> Self {
+        self.stages.push(stage);
+        self
+    }
+
+    /// Parses the CLI spec syntax: comma-separated stages, each `name` or
+    /// `name:key=value[:key=value…]`. Inverse of [`PipelineSpec::render`]
+    /// up to key ordering and whitespace.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut stages = Vec::new();
+        for stage_spec in spec.split(',') {
+            let stage_spec = stage_spec.trim();
+            if stage_spec.is_empty() {
+                return Err(format!("empty stage in pipeline spec '{spec}'"));
+            }
+            let mut parts = stage_spec.split(':');
+            let name = parts.next().expect("split yields at least one part");
+            let mut params = SchemeParams::new();
+            for assignment in parts {
+                params.parse_assignment(assignment)?;
+            }
+            stages.push(StageSpec { name: name.to_string(), params });
+        }
+        Ok(Self { stages })
+    }
+
+    /// Renders as the canonical textual form: stages joined with `,`, each
+    /// stage's keys in sorted order. `parse(render(s)) == s` for any spec
+    /// whose values round-trip through `String` (all generated specs do).
+    pub fn render(&self) -> String {
+        self.stages.iter().map(StageSpec::render).collect::<Vec<_>>().join(",")
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the spec has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Validates the spec against `registry` (names known, per-stage keys
+    /// accepted) and instantiates the pipeline, layering each stage's
+    /// parameters over `base`.
+    pub fn build_with_base(
+        &self,
+        registry: &SchemeRegistry,
+        base: &SchemeParams,
+    ) -> Result<Pipeline, String> {
+        let mut stages: Vec<Box<dyn crate::CompressionScheme>> =
+            Vec::with_capacity(self.stages.len());
+        for stage in &self.stages {
+            if let Some(keys) = registry.param_keys(&stage.name) {
+                for (key, _) in stage.params.iter() {
+                    if !keys.contains(&key) {
+                        return Err(format!(
+                            "scheme '{}' does not accept parameter '{key}' (accepts: {})",
+                            stage.name,
+                            if keys.is_empty() { "none".to_string() } else { keys.join(", ") }
+                        ));
+                    }
+                }
+            }
+            let params = base.merged_with(&stage.params);
+            stages.push(registry.create(&stage.name, &params)?);
+        }
+        Ok(Pipeline::from_stages(stages))
+    }
+
+    /// [`PipelineSpec::build_with_base`] with an empty base bag.
+    pub fn build(&self, registry: &SchemeRegistry) -> Result<Pipeline, String> {
+        self.build_with_base(registry, &SchemeParams::new())
+    }
+}
+
+impl std::fmt::Display for PipelineSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_graph::generators;
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let spec = PipelineSpec::new()
+            .then(StageSpec::with_params("spanner", &[("k", "4")]))
+            .then(StageSpec::new("lowdeg"))
+            .then(StageSpec::with_params("uniform", &[("p", "0.3")]));
+        let rendered = spec.render();
+        assert_eq!(rendered, "spanner:k=4,lowdeg,uniform:p=0.3");
+        assert_eq!(PipelineSpec::parse(&rendered).expect("parses"), spec);
+        assert_eq!(format!("{spec}"), rendered);
+    }
+
+    #[test]
+    fn multi_key_stages_render_sorted() {
+        let spec = PipelineSpec::new()
+            .then(StageSpec::with_params("spectral", &[("variant", "avgdeg"), ("p", "0.4")]));
+        // BTreeMap ordering: p before variant regardless of insertion order.
+        assert_eq!(spec.render(), "spectral:p=0.4:variant=avgdeg");
+        assert_eq!(PipelineSpec::parse(&spec.render()).expect("parses"), spec);
+    }
+
+    #[test]
+    fn build_matches_textual_parse_pipeline() {
+        let registry = SchemeRegistry::with_defaults();
+        let g = generators::erdos_renyi(300, 1000, 3);
+        let text = "spanner:k=4,uniform:p=0.3";
+        let via_spec = PipelineSpec::parse(text).expect("parses").build(&registry).expect("builds");
+        let via_registry =
+            registry.parse_pipeline(text, &SchemeParams::new()).expect("parses directly");
+        let a = via_spec.apply(&g, 9);
+        let b = via_registry.apply(&g, 9);
+        assert_eq!(a.result.graph.edge_slice(), b.result.graph.edge_slice());
+    }
+
+    #[test]
+    fn build_validates_names_and_keys() {
+        let registry = SchemeRegistry::with_defaults();
+        let unknown = PipelineSpec::new().then(StageSpec::new("nope"));
+        let err = unknown.build(&registry).err().expect("unknown name errors");
+        assert!(err.contains("unknown scheme"), "{err}");
+        let bad_key = PipelineSpec::new().then(StageSpec::with_params("lowdeg", &[("p", "0.5")]));
+        let err = bad_key.build(&registry).err().expect("bad key errors");
+        assert!(err.contains("accepts: none"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(PipelineSpec::parse("uniform,,lowdeg").is_err());
+        assert!(PipelineSpec::parse("uniform:p").is_err());
+        assert!(PipelineSpec::parse("").is_err());
+    }
+
+    #[test]
+    fn specs_order_deterministically() {
+        let a = PipelineSpec::parse("lowdeg").expect("parses");
+        let b = PipelineSpec::parse("uniform:p=0.5").expect("parses");
+        assert!(a < b, "ordering follows stage names");
+        let mut v = vec![b.clone(), a.clone()];
+        v.sort();
+        assert_eq!(v, vec![a, b]);
+    }
+}

@@ -28,7 +28,16 @@ pub struct DegreeDistComparison {
 
 /// Compares the degree distributions of two graphs.
 pub fn compare_degree_distributions(before: &CsrGraph, after: &CsrGraph) -> DegreeDistComparison {
-    let db = DegreeDistribution::of(before);
+    compare_degree_distribution_baseline(&DegreeDistribution::of(before), after)
+}
+
+/// [`compare_degree_distributions`] against a precomputed baseline
+/// distribution — callers that score many compressed graphs against one
+/// original (e.g. `sg-tune`'s objective) build the baseline once.
+pub fn compare_degree_distribution_baseline(
+    db: &DegreeDistribution,
+    after: &CsrGraph,
+) -> DegreeDistComparison {
     let da = DegreeDistribution::of(after);
     let fb = db.fractions();
     let fa = da.fractions();

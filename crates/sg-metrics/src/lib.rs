@@ -16,11 +16,15 @@
 pub mod bfs_critical;
 pub mod degree_dist;
 pub mod divergences;
+pub mod projection;
 pub mod reordered;
 pub mod scalar;
 
 pub use bfs_critical::{critical_edge_preservation, critical_edges};
-pub use degree_dist::{compare_degree_distributions, DegreeDistComparison};
+pub use degree_dist::{
+    compare_degree_distribution_baseline, compare_degree_distributions, DegreeDistComparison,
+};
 pub use divergences::{hellinger, jensen_shannon, kl_divergence, total_variation};
+pub use projection::project_scores;
 pub use reordered::{reordered_neighbor_fraction, reordered_pair_fraction};
-pub use scalar::relative_change;
+pub use scalar::{relative_change, relative_error};

@@ -1,0 +1,71 @@
+//! Projecting compressed-graph scores back onto the original vertex ids.
+//!
+//! Vertex-removing schemes (low-degree removal, triangle collapse) relabel
+//! survivors compactly, so per-vertex algorithm outputs on the compressed
+//! graph are indexed by *new* ids and cannot be compared element-wise
+//! against the original. The pipeline layer records the composed old→new
+//! relabelling; this module lifts compressed score vectors back to the
+//! original support (removed vertices score 0), which is exactly what the
+//! pairwise metrics expect: KL's smoothing absorbs the introduced zeros,
+//! and reordered-pairs treats removed vertices as dropping to the bottom
+//! of the ordering.
+
+use sg_graph::VertexId;
+
+/// Lifts `scores` (indexed by compressed-graph ids) back onto the original
+/// `n`-vertex id space using the old→new `mapping` recorded by the
+/// compression run. `None` mapping means the vertex set was preserved and
+/// `scores` is returned as-is (its length must then be `n`). Removed
+/// vertices receive 0.0.
+///
+/// Returns `None` when the vectors cannot be aligned: a mapped id out of
+/// range, or an identity mapping whose score length differs from `n` —
+/// both indicate the scores do not belong to this compression run.
+pub fn project_scores(
+    n: usize,
+    mapping: Option<&[Option<VertexId>]>,
+    scores: &[f64],
+) -> Option<Vec<f64>> {
+    match mapping {
+        None => (scores.len() == n).then(|| scores.to_vec()),
+        Some(map) => {
+            if map.len() != n {
+                return None;
+            }
+            let mut out = vec![0.0; n];
+            for (old, new) in map.iter().enumerate() {
+                if let Some(new) = new {
+                    out[old] = *scores.get(*new as usize)?;
+                }
+            }
+            Some(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_mapping_passes_through() {
+        let s = vec![0.3, 0.7];
+        assert_eq!(project_scores(2, None, &s).expect("aligned"), s);
+        assert!(project_scores(3, None, &s).is_none(), "length mismatch rejected");
+    }
+
+    #[test]
+    fn removed_vertices_score_zero() {
+        // 4 originals; 1 and 3 removed; survivors relabelled 0->0, 2->1.
+        let mapping = vec![Some(0u32), None, Some(1), None];
+        let projected = project_scores(4, Some(&mapping), &[0.6, 0.4]).expect("aligned");
+        assert_eq!(projected, vec![0.6, 0.0, 0.4, 0.0]);
+    }
+
+    #[test]
+    fn out_of_range_mapping_is_rejected() {
+        let mapping = vec![Some(5u32)];
+        assert!(project_scores(1, Some(&mapping), &[1.0]).is_none());
+        assert!(project_scores(2, Some(&[Some(0u32)]), &[1.0]).is_none(), "short mapping");
+    }
+}

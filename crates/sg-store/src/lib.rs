@@ -39,7 +39,9 @@
 //! ```
 //!
 //! Integrity: a word-wise FNV-1a checksum over all section payloads is
-//! verified by both loaders (a read-only streaming pass — no copy), and
+//! verified by both loaders (a read-only streaming pass — no copy;
+//! skippable for trusted files via [`Verify::Trusted`], e.g.
+//! `slimgraph --no-verify`), and
 //! [`CsrGraph::from_parts`] then validates every structural invariant
 //! (offset monotonicity, sorted rows, canonical edge order, slot↔edge
 //! consistency), so a corrupt or hostile file is rejected at load time
@@ -229,19 +231,49 @@ fn assemble(data: &[u8], toc: &SgrToc, anchor: Option<&Arc<Mmap>>) -> io::Result
     CsrGraph::from_parts(parts).map_err(|e| bad(format!("invalid .sgr contents: {e}")))
 }
 
+/// How much integrity checking a load performs.
+///
+/// Both modes parse and structurally validate the header/section table and
+/// run [`CsrGraph::from_parts`]'s full invariant validation (offset
+/// monotonicity, sorted rows, canonical edge order, slot↔edge
+/// consistency) — a corrupt or hostile file is rejected either way.
+/// [`Verify::Trusted`] only skips the word-wise checksum pass over the
+/// section payloads, the one remaining O(file) scan, for files the caller
+/// just wrote or otherwise trusts end-to-end.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Verify {
+    /// Verify the container checksum before assembling (the default).
+    #[default]
+    Checksum,
+    /// Skip the checksum pass; structural validation still runs.
+    Trusted,
+}
+
 /// Owned heap loader: decodes an in-memory `.sgr` image into a [`CsrGraph`]
 /// backed by ordinary `Vec`s.
 pub fn load_sgr_bytes(data: &[u8]) -> io::Result<CsrGraph> {
+    load_sgr_bytes_with(data, Verify::Checksum)
+}
+
+/// [`load_sgr_bytes`] with an explicit [`Verify`] mode.
+pub fn load_sgr_bytes_with(data: &[u8], verify: Verify) -> io::Result<CsrGraph> {
     let toc = format::parse_toc(data)?;
-    format::verify_checksum(data, &toc)?;
+    if verify == Verify::Checksum {
+        format::verify_checksum(data, &toc)?;
+    }
     assemble(data, &toc, None)
 }
 
 /// Owned heap loader: reads `path` fully and decodes it.
 pub fn load_sgr(path: impl AsRef<Path>) -> io::Result<CsrGraph> {
+    load_sgr_with(path, Verify::Checksum)
+}
+
+/// [`load_sgr`] with an explicit [`Verify`] mode.
+pub fn load_sgr_with(path: impl AsRef<Path>, verify: Verify) -> io::Result<CsrGraph> {
     let mut data = Vec::new();
     File::open(path)?.read_to_end(&mut data)?;
-    load_sgr_bytes(&data)
+    load_sgr_bytes_with(&data, verify)
 }
 
 /// A [`CsrGraph`] served zero-copy out of a read-only file mapping.
@@ -261,10 +293,21 @@ impl MmapGraph {
     /// Maps `path` read-only, verifies checksum + structure, and builds the
     /// borrowed-section graph.
     pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::open_with(path, Verify::Checksum)
+    }
+
+    /// [`MmapGraph::open`] with an explicit [`Verify`] mode.
+    /// [`Verify::Trusted`] skips only the checksum scan — on a large
+    /// mapping that is the difference between touching every page at open
+    /// and faulting pages in lazily as algorithms reach them. Structural
+    /// validation still runs and still rejects corrupt files.
+    pub fn open_with(path: impl AsRef<Path>, verify: Verify) -> io::Result<Self> {
         let file = File::open(path)?;
         let map = Arc::new(Mmap::map(&file)?);
         let toc = format::parse_toc(&map)?;
-        format::verify_checksum(&map, &toc)?;
+        if verify == Verify::Checksum {
+            format::verify_checksum(&map, &toc)?;
+        }
         let graph = assemble(&map, &toc, Some(&map))?;
         Ok(Self { graph, mapped_bytes: map.len() })
     }

@@ -3,7 +3,10 @@
 //! truncated, misaligned, and hostile files.
 
 use sg_store::format::{self, SectionId};
-use sg_store::{load_sgr, load_sgr_bytes, save_sgr, to_sgr_bytes, MmapGraph};
+use sg_store::{
+    load_sgr, load_sgr_bytes, load_sgr_bytes_with, load_sgr_with, save_sgr, to_sgr_bytes,
+    MmapGraph, Verify,
+};
 
 use sg_graph::{generators, CsrGraph, EdgeList};
 use std::path::PathBuf;
@@ -193,6 +196,56 @@ fn rejects_hostile_counts() {
     let mut img_n = valid_image();
     img_n[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
     assert!(load_sgr_bytes(&img_n).is_err(), "hostile n");
+}
+
+#[test]
+fn trusted_mode_skips_only_the_checksum_pass() {
+    let g = generators::erdos_renyi(64, 256, 21);
+    let mut img = to_sgr_bytes(&g);
+    // Sanity: on an intact image, trusted and verified loads agree.
+    let trusted = load_sgr_bytes_with(&img, Verify::Trusted).expect("trusted load");
+    assert_same_graph(&g, &trusted);
+
+    // Corrupt the stored *digest* only — the payload is still a perfectly
+    // consistent CSR. Verified loads reject it; trusted loads (the
+    // `--no-verify` path) accept it and decode the same graph.
+    img[32..40].copy_from_slice(&u64::MAX.to_le_bytes());
+    let err = load_sgr_bytes(&img).expect_err("checksum mode still verifies");
+    assert!(err.to_string().contains("checksum"), "got: {err}");
+    let trusted = load_sgr_bytes_with(&img, Verify::Trusted).expect("trusted ignores digest");
+    assert_same_graph(&g, &trusted);
+
+    // Same behavior through the file and mmap loaders.
+    let path = tmp("trusted.sgr");
+    std::fs::write(&path, &img).expect("write");
+    assert!(load_sgr(&path).is_err());
+    assert!(MmapGraph::open(&path).is_err());
+    assert_same_graph(&g, &load_sgr_with(&path, Verify::Trusted).expect("trusted file load"));
+    let mapped = MmapGraph::open_with(&path, Verify::Trusted).expect("trusted mmap load");
+    assert_same_graph(&g, mapped.graph());
+}
+
+#[test]
+fn trusted_mode_still_rejects_structural_corruption() {
+    // `--no-verify` is not "no validation": a payload that decodes into an
+    // inconsistent CSR must still be rejected by from_parts, and header /
+    // table damage by the toc parser.
+    let g = generators::erdos_renyi(32, 100, 22);
+    let mut img = to_sgr_bytes(&g);
+    let toc = format::parse_toc(&img).expect("valid");
+    let targets = toc.sections.iter().find(|s| s.id == SectionId::Targets).expect("present");
+    let at = targets.off;
+    img[at..at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    let err = load_sgr_bytes_with(&img, Verify::Trusted).expect_err("invalid CSR rejected");
+    assert!(err.to_string().contains("invalid .sgr contents"), "got: {err}");
+    let path = tmp("trusted-corrupt.sgr");
+    std::fs::write(&path, &img).expect("write");
+    assert!(MmapGraph::open_with(&path, Verify::Trusted).is_err());
+
+    let mut bad_magic = to_sgr_bytes(&g);
+    bad_magic[0] ^= 0xFF;
+    assert!(load_sgr_bytes_with(&bad_magic, Verify::Trusted).is_err(), "magic still checked");
+    assert!(load_sgr_bytes_with(&bad_magic[..20], Verify::Trusted).is_err(), "truncation");
 }
 
 #[test]

@@ -1,0 +1,305 @@
+//! Deterministic candidate generation: chain enumeration over the registry
+//! and per-stage parameter grids with successive refinement.
+//!
+//! The search space is the cross product of (scheme chains up to a depth
+//! bound) × (per-stage parameter values). Every function here is a pure
+//! function of its arguments — candidate order never depends on thread
+//! count, wall clock, or map iteration order — which is what lets the
+//! whole tuning run be bit-reproducible.
+//!
+//! Parameters are explored on a per-scheme *axis* ([`Axis`]): probabilities
+//! and error budgets on a linear scale, stretch/connectivity parameters
+//! (`k`) on a log₂ scale. Round 0 evaluates a coarse inclusive grid;
+//! refinement rounds move each axis of a surviving candidate by ± one step
+//! in transformed space, halving the step each round (grid refinement, the
+//! deterministic cousin of successive halving's budget doubling).
+
+use sg_core::{PipelineSpec, StageSpec};
+
+/// How an axis maps parameter values to the search's transformed space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Explore values evenly.
+    Linear,
+    /// Explore exponents evenly (for `k`-style parameters spanning decades).
+    Log2,
+}
+
+/// The tunable parameter of one scheme family.
+#[derive(Clone, Copy, Debug)]
+pub struct Axis {
+    /// Parameter key the scheme reads.
+    pub key: &'static str,
+    /// Smallest value explored.
+    pub lo: f64,
+    /// Largest value explored.
+    pub hi: f64,
+    /// Grid scale.
+    pub scale: Scale,
+    /// Whether values are rounded to integers before rendering.
+    pub integer: bool,
+}
+
+impl Axis {
+    fn transform(&self, v: f64) -> f64 {
+        match self.scale {
+            Scale::Linear => v,
+            Scale::Log2 => v.log2(),
+        }
+    }
+
+    fn invert(&self, t: f64) -> f64 {
+        let v = match self.scale {
+            Scale::Linear => t,
+            Scale::Log2 => t.exp2(),
+        };
+        let v = v.clamp(self.lo, self.hi);
+        if self.integer {
+            v.round()
+        } else {
+            v
+        }
+    }
+
+    /// Transformed-space width of the axis.
+    pub fn span_t(&self) -> f64 {
+        self.transform(self.hi) - self.transform(self.lo)
+    }
+
+    /// `points` grid values, inclusive of both ends (midpoint when
+    /// `points == 1`), evenly spaced in transformed space.
+    pub fn grid(&self, points: usize) -> Vec<f64> {
+        let (lo_t, hi_t) = (self.transform(self.lo), self.transform(self.hi));
+        if points <= 1 {
+            return vec![self.invert(0.5 * (lo_t + hi_t))];
+        }
+        (0..points)
+            .map(|i| self.invert(lo_t + self.span_t() * i as f64 / (points - 1) as f64))
+            .collect()
+    }
+
+    /// Renders a value as the canonical parameter string.
+    pub fn render(&self, v: f64) -> String {
+        format_value(v, self.integer)
+    }
+}
+
+/// The tunable axis of a built-in scheme; `None` for parameterless schemes
+/// (`lowdeg`) and unknown/custom registrations (explored with factory
+/// defaults only).
+pub fn axis_for(name: &str) -> Option<Axis> {
+    match name {
+        "uniform" | "tr" | "tr-eo" | "tr-ct" | "tr-mw" | "collapse" | "spectral" => {
+            Some(Axis { key: "p", lo: 0.05, hi: 0.95, scale: Scale::Linear, integer: false })
+        }
+        "spanner" => {
+            Some(Axis { key: "k", lo: 2.0, hi: 128.0, scale: Scale::Log2, integer: false })
+        }
+        "cut" => Some(Axis { key: "k", lo: 1.0, hi: 64.0, scale: Scale::Log2, integer: true }),
+        "summary" => {
+            Some(Axis { key: "epsilon", lo: 0.02, hi: 0.5, scale: Scale::Linear, integer: false })
+        }
+        _ => None,
+    }
+}
+
+/// Formats a parameter value canonically: integers exactly, floats with at
+/// most four decimals and no trailing zeros (so rendered specs stay tidy
+/// and `parse(render(spec)) == spec`).
+pub fn format_value(v: f64, integer: bool) -> String {
+    if integer {
+        return format!("{}", v.round() as i64);
+    }
+    let mut s = format!("{v:.4}");
+    while s.contains('.') && (s.ends_with('0') || s.ends_with('.')) {
+        s.pop();
+    }
+    s
+}
+
+/// All scheme chains of length `1..=max_depth` over `names`, with
+/// repetition, in deterministic order (shorter chains first, then
+/// lexicographic by position).
+pub fn enumerate_chains(names: &[String], max_depth: usize) -> Vec<Vec<String>> {
+    let mut chains: Vec<Vec<String>> = Vec::new();
+    let mut frontier: Vec<Vec<String>> = vec![Vec::new()];
+    for _ in 0..max_depth {
+        let mut next = Vec::with_capacity(frontier.len() * names.len());
+        for prefix in &frontier {
+            for name in names {
+                let mut chain = prefix.clone();
+                chain.push(name.clone());
+                next.push(chain);
+            }
+        }
+        chains.extend(next.iter().cloned());
+        frontier = next;
+    }
+    chains
+}
+
+/// Round-0 candidates: for each chain, the cross product of every stage's
+/// coarse grid (a single default-parameter stage for axis-less schemes).
+pub fn initial_candidates(chains: &[Vec<String>], grid_points: usize) -> Vec<PipelineSpec> {
+    let mut out = Vec::new();
+    for chain in chains {
+        // Per-stage option lists (None = factory defaults).
+        let options: Vec<Vec<Option<(&'static str, String)>>> = chain
+            .iter()
+            .map(|name| match axis_for(name) {
+                Some(axis) => axis
+                    .grid(grid_points)
+                    .iter()
+                    .map(|&v| Some((axis.key, axis.render(v))))
+                    .collect(),
+                None => vec![None],
+            })
+            .collect();
+        // Deterministic cross product, last stage varying fastest.
+        let combos: usize = options.iter().map(Vec::len).product();
+        for mut index in 0..combos {
+            let mut stages = Vec::with_capacity(chain.len());
+            for (stage, opts) in chain.iter().zip(&options).rev() {
+                let pick = &opts[index % opts.len()];
+                index /= opts.len();
+                stages.push(match pick {
+                    Some((key, value)) => StageSpec::with_params(stage, &[(key, value)]),
+                    None => StageSpec::new(stage),
+                });
+            }
+            stages.reverse();
+            out.push(PipelineSpec::from_stages(stages));
+        }
+    }
+    out
+}
+
+/// Refinement neighbors of a surviving candidate for refinement round
+/// `round` (1-based): for each stage with an axis, the current value moved
+/// by ± one step in transformed space, where the step is the round-0 grid
+/// spacing halved `round` times. One axis moves at a time (coordinate
+/// descent), so a survivor with `s` tunable stages yields at most `2s`
+/// neighbors.
+pub fn refine(spec: &PipelineSpec, round: usize, grid_points: usize) -> Vec<PipelineSpec> {
+    let mut out = Vec::new();
+    for (i, stage) in spec.stages.iter().enumerate() {
+        let Some(axis) = axis_for(&stage.name) else { continue };
+        let Some(current) = stage.params.get_str(axis.key).and_then(|s| s.parse::<f64>().ok())
+        else {
+            continue;
+        };
+        let spacing = axis.span_t() / (grid_points.saturating_sub(1).max(1)) as f64;
+        let step = spacing / (1u64 << round.min(52)) as f64;
+        for dir in [-1.0, 1.0] {
+            let moved = axis.invert(axis.transform(current) + dir * step);
+            let rendered = axis.render(moved);
+            if rendered == axis.render(current) {
+                continue; // clamped or rounded back onto itself
+            }
+            let mut neighbor = spec.clone();
+            // Overwrite only the moved axis key — any other parameters the
+            // stage carries (e.g. a spectral `variant`) must survive, or
+            // the neighbor would score a different scheme configuration.
+            neighbor.stages[i].params.set(axis.key, &rendered);
+            out.push(neighbor);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn chains_enumerate_depth_major() {
+        let chains = enumerate_chains(&names(&["a", "b"]), 2);
+        let rendered: Vec<String> = chains.iter().map(|c| c.join(",")).collect();
+        assert_eq!(rendered, vec!["a", "b", "a,a", "a,b", "b,a", "b,b"]);
+        assert_eq!(enumerate_chains(&names(&["a", "b", "c"]), 1).len(), 3);
+        assert_eq!(enumerate_chains(&names(&["a", "b", "c"]), 3).len(), 3 + 9 + 27);
+    }
+
+    #[test]
+    fn grids_are_inclusive_and_monotone() {
+        let axis = axis_for("uniform").expect("axis");
+        let g = axis.grid(3);
+        assert_eq!(g.len(), 3);
+        assert!((g[0] - 0.05).abs() < 1e-12 && (g[2] - 0.95).abs() < 1e-12);
+        assert!(g.windows(2).all(|w| w[0] < w[1]));
+
+        let k = axis_for("spanner").expect("axis");
+        let kg = k.grid(3);
+        assert!((kg[0] - 2.0).abs() < 1e-9 && (kg[2] - 128.0).abs() < 1e-6);
+        // Log scale: middle point is the geometric mean.
+        assert!((kg[1] - 16.0).abs() < 1e-6, "geometric midpoint, got {}", kg[1]);
+    }
+
+    #[test]
+    fn initial_candidates_cross_stage_grids() {
+        let chains = enumerate_chains(&names(&["uniform", "lowdeg"]), 2);
+        let cands = initial_candidates(&chains, 3);
+        // uniform(3) + lowdeg(1) + uniform,uniform(9) + uniform,lowdeg(3)
+        // + lowdeg,uniform(3) + lowdeg,lowdeg(1)
+        assert_eq!(cands.len(), 3 + 1 + 9 + 3 + 3 + 1);
+        // All rendered specs are unique and parse back.
+        let mut rendered: Vec<String> = cands.iter().map(PipelineSpec::render).collect();
+        rendered.sort();
+        rendered.dedup();
+        assert_eq!(rendered.len(), cands.len(), "no duplicate candidates");
+        for spec in &cands {
+            assert_eq!(&PipelineSpec::parse(&spec.render()).expect("parses"), spec);
+        }
+    }
+
+    #[test]
+    fn refinement_moves_one_axis_at_a_time() {
+        let spec = PipelineSpec::parse("uniform:p=0.5,lowdeg").expect("parses");
+        let n1 = refine(&spec, 1, 3);
+        assert_eq!(n1.len(), 2, "one tunable axis, two directions");
+        // grid spacing 0.45, round-1 step 0.225.
+        let values: Vec<&str> =
+            n1.iter().map(|s| s.stages[0].params.get_str("p").expect("p set")).collect();
+        assert_eq!(values, vec!["0.275", "0.725"]);
+        // Rounds shrink the step.
+        let n2 = refine(&spec, 2, 3);
+        let v2: Vec<&str> =
+            n2.iter().map(|s| s.stages[0].params.get_str("p").expect("p set")).collect();
+        assert_eq!(v2, vec!["0.3875", "0.6125"]);
+    }
+
+    #[test]
+    fn refinement_preserves_non_axis_parameters() {
+        // Only the moved axis key may change; other stage parameters (like
+        // spectral's `variant`) must carry over into every neighbor.
+        let spec = PipelineSpec::parse("spectral:p=0.5:variant=avgdeg").expect("parses");
+        let neighbors = refine(&spec, 1, 3);
+        assert_eq!(neighbors.len(), 2);
+        for n in &neighbors {
+            assert_eq!(n.stages[0].params.get_str("variant"), Some("avgdeg"));
+            assert_ne!(n.stages[0].params.get_str("p"), Some("0.5"));
+        }
+    }
+
+    #[test]
+    fn refinement_clamps_at_axis_bounds() {
+        let spec = PipelineSpec::parse("uniform:p=0.95").expect("parses");
+        let n = refine(&spec, 1, 3);
+        // Upward move clamps onto 0.95 itself and is dropped.
+        assert_eq!(n.len(), 1);
+        assert_eq!(n[0].stages[0].params.get_str("p"), Some("0.725"));
+    }
+
+    #[test]
+    fn format_value_trims_and_rounds() {
+        assert_eq!(format_value(0.5, false), "0.5");
+        assert_eq!(format_value(0.2500, false), "0.25");
+        assert_eq!(format_value(1.0, false), "1");
+        assert_eq!(format_value(2.82842712, false), "2.8284");
+        assert_eq!(format_value(3.6, true), "4");
+    }
+}

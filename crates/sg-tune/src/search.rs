@@ -1,0 +1,422 @@
+//! The tuning loop: deterministic successive grid refinement over the
+//! candidate space, parallel candidate evaluation, and winner validation.
+//!
+//! Determinism contract (the same one the rayon shim pins for kernels):
+//! the candidate list of every round, each candidate's RNG seed, and all
+//! tie-breaks are pure functions of `(graph, TuneConfig)` — never of
+//! thread count or evaluation timing. Candidates are evaluated with
+//! `par_iter().map(..).collect()`, which assembles results in input order,
+//! so a tuning run is bit-identical at any `SG_THREADS`.
+
+use crate::candidates::{enumerate_chains, initial_candidates, refine};
+use crate::objective::{Objective, Target};
+use crate::pareto::{ParetoFront, ParetoPoint};
+use rayon::prelude::*;
+use sg_core::{PipelineSpec, SchemeRegistry};
+use sg_graph::prng::mix64;
+use sg_graph::CsrGraph;
+use std::collections::BTreeSet;
+
+/// Configuration of one tuning run.
+#[derive(Clone, Debug)]
+pub struct TuneConfig {
+    /// Hard upper bound on output edges for a candidate to be feasible.
+    pub budget_edges: usize,
+    /// Quality target (`metric <= max`) a candidate must meet.
+    pub target: Target,
+    /// Maximum chain length explored.
+    pub max_depth: usize,
+    /// Master seed; every candidate's pipeline seed derives from this and
+    /// the candidate's rendered spec.
+    pub seed: u64,
+    /// Refinement rounds after the coarse screening round.
+    pub rounds: usize,
+    /// Survivors kept per refinement round.
+    pub keep: usize,
+    /// Coarse grid points per parameter axis.
+    pub grid: usize,
+    /// Scheme-name subset to search; `None` = every registered scheme.
+    pub schemes: Option<Vec<String>>,
+    /// Safety cap on round-0 candidates (the chain × grid cross product
+    /// grows fast with depth).
+    pub max_candidates: usize,
+}
+
+impl TuneConfig {
+    /// A config with the default search shape (depth 2, 3-point grids, 2
+    /// refinement rounds, 8 survivors).
+    pub fn new(budget_edges: usize, target: Target, seed: u64) -> Self {
+        Self {
+            budget_edges,
+            target,
+            max_depth: 2,
+            seed,
+            rounds: 2,
+            keep: 8,
+            grid: 3,
+            schemes: None,
+            max_candidates: 20_000,
+        }
+    }
+}
+
+/// One evaluated candidate.
+#[derive(Clone, Debug)]
+pub struct Evaluated {
+    /// The candidate spec.
+    pub spec: PipelineSpec,
+    /// Canonical rendered spec (dedup and tie-break key).
+    pub rendered: String,
+    /// Output edge count.
+    pub edges: usize,
+    /// Output vertex count.
+    pub vertices: usize,
+    /// Compression ratio `m'/m`.
+    pub ratio: f64,
+    /// Objective metric value (lower = better; `INFINITY` = incomparable).
+    pub metric: f64,
+    /// The pipeline seed this candidate ran with.
+    pub seed: u64,
+}
+
+impl Evaluated {
+    /// Whether the candidate meets both the edge budget and the target.
+    pub fn feasible(&self, cfg: &TuneConfig) -> bool {
+        self.edges <= cfg.budget_edges && self.metric <= cfg.target.max
+    }
+}
+
+/// Result of a tuning run.
+#[derive(Clone, Debug)]
+pub struct TuneOutcome {
+    /// Non-dominated (edges, metric) points over every evaluated candidate.
+    pub frontier: ParetoFront,
+    /// The smallest feasible candidate, re-validated by a fresh run;
+    /// `None` when no candidate met the target within the budget.
+    pub winner: Option<Evaluated>,
+    /// Total candidates evaluated.
+    pub evaluated: usize,
+    /// The budget the run enforced.
+    pub budget_edges: usize,
+    /// The target the run enforced.
+    pub target: Target,
+}
+
+impl TuneOutcome {
+    /// Serializes the outcome as one JSON object (spec strings escaped).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.chars()
+                .flat_map(|c| match c {
+                    '"' => "\\\"".chars().collect::<Vec<_>>(),
+                    '\\' => "\\\\".chars().collect(),
+                    c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                    c => vec![c],
+                })
+                .collect()
+        }
+        fn num(x: f64) -> String {
+            if x.is_finite() {
+                format!("{x}")
+            } else {
+                "null".to_string()
+            }
+        }
+        fn eval_json(e: &Evaluated) -> String {
+            format!(
+                "{{\"spec\":\"{}\",\"edges\":{},\"vertices\":{},\"ratio\":{},\"metric\":{},\"seed\":{}}}",
+                esc(&e.rendered),
+                e.edges,
+                e.vertices,
+                num(e.ratio),
+                num(e.metric),
+                e.seed
+            )
+        }
+        let mut out = String::from("{");
+        out.push_str(&format!("\"budget_edges\":{}", self.budget_edges));
+        out.push_str(&format!(",\"target\":\"{}\"", esc(&self.target.render())));
+        out.push_str(&format!(",\"evaluated\":{}", self.evaluated));
+        out.push_str(",\"winner\":");
+        match &self.winner {
+            Some(w) => out.push_str(&eval_json(w)),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"frontier\":[");
+        for (i, p) in self.frontier.points().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"spec\":\"{}\",\"edges\":{},\"ratio\":{},\"metric\":{}}}",
+                esc(&p.rendered),
+                p.edges,
+                num(p.ratio),
+                num(p.metric)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// The deterministic pipeline seed of a candidate: FNV-1a over the
+/// rendered spec, mixed with the master seed. A pure function of
+/// `(seed, spec)` — never of candidate index, round, or thread count — so
+/// re-running a spec standalone reproduces the tuner's result exactly.
+pub fn candidate_seed(seed: u64, rendered: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in rendered.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    mix64(seed ^ h)
+}
+
+fn evaluate(
+    g: &CsrGraph,
+    registry: &SchemeRegistry,
+    objective: &Objective,
+    master_seed: u64,
+    spec: &PipelineSpec,
+) -> Option<Evaluated> {
+    let rendered = spec.render();
+    let pipeline = spec.build(registry).ok()?;
+    let seed = candidate_seed(master_seed, &rendered);
+    let out = pipeline.apply(g, seed);
+    let metric = objective.score(&out.result);
+    Some(Evaluated {
+        spec: spec.clone(),
+        rendered,
+        edges: out.result.graph.num_edges(),
+        vertices: out.result.graph.num_vertices(),
+        ratio: out.result.compression_ratio(),
+        metric,
+        seed,
+    })
+}
+
+/// Total order used both to pick refinement survivors and the winner:
+/// feasible candidates first (smallest output, then most accurate);
+/// infeasible ones by accuracy (so refinement pulls toward feasibility);
+/// rendered spec as the final deterministic tie-break.
+fn rank(a: &Evaluated, b: &Evaluated, cfg: &TuneConfig) -> std::cmp::Ordering {
+    match (a.feasible(cfg), b.feasible(cfg)) {
+        (true, false) => std::cmp::Ordering::Less,
+        (false, true) => std::cmp::Ordering::Greater,
+        (true, true) => a
+            .edges
+            .cmp(&b.edges)
+            .then(a.metric.total_cmp(&b.metric))
+            .then_with(|| a.rendered.cmp(&b.rendered)),
+        (false, false) => a
+            .metric
+            .total_cmp(&b.metric)
+            .then(a.edges.cmp(&b.edges))
+            .then_with(|| a.rendered.cmp(&b.rendered)),
+    }
+}
+
+/// Runs the search: screen every (chain, coarse grid) candidate, refine
+/// survivors for `cfg.rounds` rounds, re-validate the winner with a fresh
+/// run, and return the frontier + winner.
+///
+/// Errors on invalid configuration (unknown scheme names, zero-sized
+/// search, a round-0 cross product beyond `max_candidates`) and on winner
+/// re-validation mismatch (which would indicate a determinism bug —
+/// pipelines are pure functions of `(graph, spec, seed)`).
+pub fn tune(
+    g: &CsrGraph,
+    registry: &SchemeRegistry,
+    cfg: &TuneConfig,
+) -> Result<TuneOutcome, String> {
+    if cfg.max_depth == 0 || cfg.grid == 0 || cfg.keep == 0 {
+        return Err("max_depth, grid, and keep must all be at least 1".to_string());
+    }
+    let names: Vec<String> = match &cfg.schemes {
+        Some(list) => {
+            let mut names: Vec<String> = list.clone();
+            names.sort();
+            names.dedup();
+            for name in &names {
+                if !registry.contains(name) {
+                    let known: Vec<&str> = registry.names().collect();
+                    return Err(format!("unknown scheme '{name}' (known: {})", known.join(", ")));
+                }
+            }
+            names
+        }
+        None => registry.names().map(String::from).collect(),
+    };
+    if names.is_empty() {
+        return Err("no schemes to search over".to_string());
+    }
+
+    // Enforce the candidate cap *arithmetically* before materializing
+    // anything: the round-0 count is Σ_{d=1..depth} (Σ per-scheme grid
+    // sizes)^d, which explodes long before the Vec would finish allocating
+    // at high --depth (11 schemes × grid 3 × depth 6 is ~10^9 specs).
+    let per_stage: u128 = names
+        .iter()
+        .map(|n| if crate::candidates::axis_for(n).is_some() { cfg.grid as u128 } else { 1 })
+        .sum();
+    let mut round0: u128 = 0;
+    let mut power: u128 = 1;
+    for _ in 0..cfg.max_depth {
+        power = power.saturating_mul(per_stage);
+        round0 = round0.saturating_add(power);
+    }
+    if round0 > cfg.max_candidates as u128 {
+        return Err(format!(
+            "round-0 search space has {round0} candidates (cap {}); lower --depth/--grid or \
+             pass --schemes to narrow the chain alphabet",
+            cfg.max_candidates
+        ));
+    }
+
+    let objective = Objective::new(g, cfg.target.metric);
+    let chains = enumerate_chains(&names, cfg.max_depth);
+    let mut batch = initial_candidates(&chains, cfg.grid);
+    debug_assert_eq!(batch.len() as u128, round0, "cap arithmetic matches enumeration");
+
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut all: Vec<Evaluated> = Vec::new();
+    for round in 0..=cfg.rounds {
+        batch.retain(|spec| seen.insert(spec.render()));
+        if batch.is_empty() {
+            break;
+        }
+        // Parallel evaluation; `collect` assembles in input order, so the
+        // result is bit-identical at any thread count.
+        let evals: Vec<Option<Evaluated>> = batch
+            .par_iter()
+            .map(|spec| evaluate(g, registry, &objective, cfg.seed, spec))
+            .collect();
+        all.extend(evals.into_iter().flatten());
+        if round == cfg.rounds {
+            break;
+        }
+        let mut order: Vec<usize> = (0..all.len()).collect();
+        order.sort_by(|&a, &b| rank(&all[a], &all[b], cfg));
+        batch = order
+            .iter()
+            .take(cfg.keep)
+            .flat_map(|&i| refine(&all[i].spec, round + 1, cfg.grid))
+            .collect();
+    }
+
+    let winner = all.iter().min_by(|a, b| rank(a, b, cfg)).filter(|e| e.feasible(cfg)).cloned();
+    if let Some(w) = &winner {
+        // Fresh standalone run of the winning spec: the determinism
+        // contract says it must reproduce the tuner's numbers exactly.
+        let fresh = evaluate(g, registry, &objective, cfg.seed, &w.spec)
+            .ok_or_else(|| format!("winner '{}' failed to rebuild", w.rendered))?;
+        if fresh.edges != w.edges || fresh.metric.to_bits() != w.metric.to_bits() {
+            return Err(format!(
+                "winner '{}' failed re-validation: {} edges / metric {} vs fresh {} / {}",
+                w.rendered, w.edges, w.metric, fresh.edges, fresh.metric
+            ));
+        }
+    }
+
+    let frontier = ParetoFront::from_points(
+        all.iter()
+            .map(|e| ParetoPoint {
+                spec: e.spec.clone(),
+                rendered: e.rendered.clone(),
+                edges: e.edges,
+                ratio: e.ratio,
+                metric: e.metric,
+            })
+            .collect(),
+    );
+    Ok(TuneOutcome {
+        frontier,
+        winner,
+        evaluated: all.len(),
+        budget_edges: cfg.budget_edges,
+        target: cfg.target,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::MetricKind;
+    use sg_graph::generators;
+
+    fn small_cfg(budget: usize, max: f64) -> TuneConfig {
+        let target = Target { metric: MetricKind::DegreeL1, max };
+        let mut cfg = TuneConfig::new(budget, target, 7);
+        cfg.schemes = Some(vec!["uniform".into(), "lowdeg".into(), "spanner".into()]);
+        cfg.max_depth = 2;
+        cfg.rounds = 1;
+        cfg.keep = 4;
+        cfg
+    }
+
+    #[test]
+    fn finds_a_feasible_winner_and_validates_it() {
+        let g = generators::barabasi_albert(400, 4, 1);
+        let registry = SchemeRegistry::with_defaults();
+        let cfg = small_cfg(g.num_edges() * 3 / 4, 1.0);
+        let out = tune(&g, &registry, &cfg).expect("search runs");
+        let w = out.winner.expect("generous target is feasible");
+        assert!(w.edges <= cfg.budget_edges);
+        assert!(w.metric <= cfg.target.max);
+        assert!(!out.frontier.is_empty());
+        assert!(out.evaluated > 0);
+
+        // The winner must hold up under a fully standalone re-run.
+        let pipeline = w.spec.build(&registry).expect("builds");
+        let fresh = pipeline.apply(&g, candidate_seed(cfg.seed, &w.rendered));
+        assert_eq!(fresh.result.graph.num_edges(), w.edges);
+    }
+
+    #[test]
+    fn impossible_targets_are_reported_infeasible() {
+        let g = generators::erdos_renyi(200, 800, 2);
+        let registry = SchemeRegistry::with_defaults();
+        // Budget of 0 edges with a 0.0-distortion requirement: nothing can
+        // satisfy both on a connected-ish graph.
+        let mut cfg = small_cfg(0, 0.0);
+        cfg.rounds = 0;
+        let out = tune(&g, &registry, &cfg).expect("search still runs");
+        assert!(out.winner.is_none(), "must report infeasibility, not invent a winner");
+        assert!(out.evaluated > 0);
+    }
+
+    #[test]
+    fn repeated_runs_are_identical() {
+        let g = generators::watts_strogatz(300, 4, 0.1, 3);
+        let registry = SchemeRegistry::with_defaults();
+        let cfg = small_cfg(g.num_edges(), 0.5);
+        let a = tune(&g, &registry, &cfg).expect("run a");
+        let b = tune(&g, &registry, &cfg).expect("run b");
+        assert_eq!(a.to_json(), b.to_json(), "bit-identical runs");
+    }
+
+    #[test]
+    fn config_errors_are_loud() {
+        let g = generators::cycle(10);
+        let registry = SchemeRegistry::with_defaults();
+        let mut cfg = small_cfg(10, 1.0);
+        cfg.schemes = Some(vec!["nope".into()]);
+        assert!(tune(&g, &registry, &cfg).unwrap_err().contains("unknown scheme"));
+        let mut cfg = small_cfg(10, 1.0);
+        cfg.max_candidates = 1;
+        assert!(tune(&g, &registry, &cfg).unwrap_err().contains("cap"));
+        let mut cfg = small_cfg(10, 1.0);
+        cfg.keep = 0;
+        assert!(tune(&g, &registry, &cfg).is_err());
+    }
+
+    #[test]
+    fn candidate_seeds_differ_by_spec_not_by_order() {
+        let s1 = candidate_seed(7, "uniform:p=0.5");
+        let s2 = candidate_seed(7, "uniform:p=0.55");
+        assert_ne!(s1, s2);
+        assert_eq!(s1, candidate_seed(7, "uniform:p=0.5"), "pure function");
+        assert_ne!(s1, candidate_seed(8, "uniform:p=0.5"), "master seed matters");
+    }
+}

@@ -8,6 +8,8 @@
 //! * [`algos`] — stage-2 graph algorithms (`sg-algos`)
 //! * [`core`] — kernels, engine, schemes, registry, pipelines (`sg-core`)
 //! * [`metrics`] — accuracy metrics and divergences (`sg-metrics`)
+//! * [`tune`] — pipeline auto-tuning: search (chain, params) for the
+//!   smallest graph meeting a quality target (`sg-tune`)
 //! * [`lowrank`] — low-rank adjacency approximation (`sg-lowrank`)
 //! * [`dist`] — simulated distributed compression (`sg-dist`)
 //! * [`store`] — `.sgr` zero-copy CSR container + mmap loader (`sg-store`)
@@ -19,8 +21,10 @@ pub use sg_graph as graph;
 pub use sg_lowrank as lowrank;
 pub use sg_metrics as metrics;
 pub use sg_store as store;
+pub use sg_tune as tune;
 
 pub use sg_core::{
-    CompressionResult, CompressionScheme, Pipeline, PipelineResult, SchemeParams, SchemeRegistry,
+    CompressionResult, CompressionScheme, Pipeline, PipelineResult, PipelineSpec, SchemeParams,
+    SchemeRegistry,
 };
 pub use sg_graph::CsrGraph;

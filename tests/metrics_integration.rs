@@ -78,6 +78,81 @@ fn degree_distribution_comparison_detects_spanner_flattening() {
 }
 
 #[test]
+fn tuner_objectives_match_direct_metric_calls() {
+    // The sg-tune objective layer must be a thin adapter: for every metric
+    // kind, its score over a real compression result is bit-identical to
+    // calling the underlying sg-metrics function directly.
+    use slimgraph::tune::{MetricKind, Objective};
+    let g = generators::planted_triangles(&generators::barabasi_albert(700, 4, 20), 500, 21);
+    let r = uniform_sample(&g, 0.35, 22);
+
+    let kl = Objective::new(&g, MetricKind::PagerankKl).score(&r);
+    let direct_kl = kl_divergence(
+        &pagerank::pagerank_default(&g).scores,
+        &pagerank::pagerank_default(&r.graph).scores,
+    );
+    assert_eq!(kl.to_bits(), direct_kl.to_bits(), "pagerank-kl adapter");
+
+    let flips = Objective::new(&g, MetricKind::ReorderedTc).score(&r);
+    let tc0: Vec<f64> = tc::triangles_per_vertex(&g).iter().map(|&x| x as f64).collect();
+    let tc1: Vec<f64> = tc::triangles_per_vertex(&r.graph).iter().map(|&x| x as f64).collect();
+    assert_eq!(
+        flips.to_bits(),
+        reordered_pair_fraction(&tc0, &tc1).to_bits(),
+        "reordered-tc adapter"
+    );
+
+    let l1 = Objective::new(&g, MetricKind::DegreeL1).score(&r);
+    assert_eq!(
+        l1.to_bits(),
+        compare_degree_distributions(&g, &r.graph).l1_distance.to_bits(),
+        "degree-l1 adapter"
+    );
+
+    let tri = Objective::new(&g, MetricKind::TrianglesRel).score(&r);
+    let direct_tri = sg_metrics::relative_error(
+        tc::count_triangles(&g) as f64,
+        tc::count_triangles(&r.graph) as f64,
+    );
+    assert_eq!(tri.to_bits(), direct_tri.to_bits(), "triangles-rel adapter");
+
+    let comps = Objective::new(&g, MetricKind::ComponentsRel).score(&r);
+    let direct_comps = sg_metrics::relative_error(
+        slimgraph::algos::cc::connected_components(&g).num_components as f64,
+        slimgraph::algos::cc::connected_components(&r.graph).num_components as f64,
+    );
+    assert_eq!(comps.to_bits(), direct_comps.to_bits(), "components-rel adapter");
+}
+
+#[test]
+fn tuner_objective_projects_vertex_removing_results() {
+    // With a vertex-removing stage, the adapter's score equals the direct
+    // metric over scores lifted back through the recorded vertex mapping.
+    use slimgraph::tune::{MetricKind, Objective};
+    use slimgraph::PipelineSpec;
+    let g = generators::planted_triangles(&generators::barabasi_albert(600, 2, 23), 300, 24);
+    let registry = slimgraph::SchemeRegistry::with_defaults();
+    let out = PipelineSpec::parse("lowdeg,uniform:p=0.3")
+        .expect("parses")
+        .build(&registry)
+        .expect("builds")
+        .apply(&g, 25);
+    let r = &out.result;
+    assert!(r.vertex_mapping.is_some(), "lowdeg records a mapping");
+
+    let kl = Objective::new(&g, MetricKind::PagerankKl).score(r);
+    let projected = sg_metrics::project_scores(
+        g.num_vertices(),
+        r.vertex_mapping.as_deref(),
+        &pagerank::pagerank_default(&r.graph).scores,
+    )
+    .expect("alignable");
+    let direct = kl_divergence(&pagerank::pagerank_default(&g).scores, &projected);
+    assert_eq!(kl.to_bits(), direct.to_bits(), "projection path matches");
+    assert!(kl.is_finite());
+}
+
+#[test]
 fn spectral_beats_uniform_on_critical_edges_too() {
     let g = generators::barabasi_albert(1500, 5, 14);
     let spec = Spectral { p: 0.4, variant: UpsilonVariant::LogN, reweight: false }.apply(&g, 15);

@@ -1,0 +1,121 @@
+//! Tuner determinism suite: a tuning run is a pure function of
+//! `(graph, search spec, seed)` — frontier, winner, and every reported
+//! float are bit-identical across repeated runs *and* across thread
+//! counts. Candidate RNG streams derive from the spec text, candidate
+//! order from deterministic enumeration, and the rayon shim assembles
+//! parallel evaluation results in input order, so nothing observable may
+//! depend on `SG_THREADS`.
+
+use slimgraph::core::SchemeRegistry;
+use slimgraph::graph::generators;
+use slimgraph::tune::{tune, MetricKind, Target, TuneConfig, TuneOutcome};
+use std::sync::Mutex;
+
+/// The worker-count override is process-global; tests serialize on it.
+static KNOB: Mutex<()> = Mutex::new(());
+
+/// Everything observable about an outcome, floats as raw IEEE-754 bits.
+type Fingerprint = (Vec<(String, usize, u64, u64)>, Option<(String, usize, u64, u64, u64)>, usize);
+
+fn fingerprint(out: &TuneOutcome) -> Fingerprint {
+    let frontier = out
+        .frontier
+        .points()
+        .iter()
+        .map(|p| (p.rendered.clone(), p.edges, p.ratio.to_bits(), p.metric.to_bits()))
+        .collect();
+    let winner = out
+        .winner
+        .as_ref()
+        .map(|w| (w.rendered.clone(), w.edges, w.ratio.to_bits(), w.metric.to_bits(), w.seed));
+    (frontier, winner, out.evaluated)
+}
+
+fn search_cfg(budget: usize, metric: MetricKind, max: f64) -> TuneConfig {
+    let mut cfg = TuneConfig::new(budget, Target { metric, max }, 0xD37);
+    cfg.schemes = Some(vec!["uniform".into(), "spanner".into(), "lowdeg".into()]);
+    cfg.rounds = 1;
+    cfg.keep = 4;
+    cfg
+}
+
+/// Runs the same search at 1, 4, and 8 threads and asserts bit-identical
+/// outcomes (including the JSON rendering, which covers field formatting).
+fn assert_thread_invariant(graph: &slimgraph::CsrGraph, cfg: &TuneConfig) -> TuneOutcome {
+    let _guard = KNOB.lock().unwrap_or_else(|e| e.into_inner());
+    let registry = SchemeRegistry::with_defaults();
+    rayon::set_num_threads(1);
+    let baseline = tune(graph, &registry, cfg).expect("1-thread run");
+    for threads in [4usize, 8] {
+        rayon::set_num_threads(threads);
+        let threaded = tune(graph, &registry, cfg).expect("threaded run");
+        rayon::set_num_threads(0);
+        assert_eq!(
+            fingerprint(&threaded),
+            fingerprint(&baseline),
+            "tuning outcome at {threads} threads differs from the 1-thread baseline"
+        );
+        assert_eq!(threaded.to_json(), baseline.to_json());
+    }
+    rayon::set_num_threads(0);
+    baseline
+}
+
+#[test]
+fn pagerank_kl_search_is_thread_invariant() {
+    let g = generators::barabasi_albert(500, 4, 11);
+    let out = assert_thread_invariant(
+        &g,
+        &search_cfg(g.num_edges() * 2 / 3, MetricKind::PagerankKl, 0.2),
+    );
+    let w = out.winner.expect("generous KL target is feasible");
+    assert!(w.edges <= g.num_edges() * 2 / 3);
+    assert!(w.metric <= 0.2);
+}
+
+#[test]
+fn degree_l1_search_is_thread_invariant_on_a_second_family() {
+    let g = generators::watts_strogatz(400, 4, 0.1, 13);
+    let out =
+        assert_thread_invariant(&g, &search_cfg(g.num_edges() * 4 / 5, MetricKind::DegreeL1, 0.9));
+    assert!(out.winner.is_some());
+    assert!(!out.frontier.is_empty());
+}
+
+#[test]
+fn infeasible_searches_are_thread_invariant_too() {
+    // The infeasibility verdict and the reported frontier must be just as
+    // deterministic as a successful search.
+    let g = generators::erdos_renyi(300, 1200, 17);
+    let mut cfg = search_cfg(1, MetricKind::DegreeL1, 0.0);
+    cfg.rounds = 0;
+    let out = assert_thread_invariant(&g, &cfg);
+    assert!(out.winner.is_none());
+    assert!(out.evaluated > 0);
+}
+
+#[test]
+fn repeated_runs_and_reordered_scheme_lists_agree() {
+    let _guard = KNOB.lock().unwrap_or_else(|e| e.into_inner());
+    rayon::set_num_threads(0);
+    let g = generators::barabasi_albert(400, 3, 19);
+    let registry = SchemeRegistry::with_defaults();
+    let cfg = search_cfg(g.num_edges(), MetricKind::DegreeL1, 0.8);
+    let a = tune(&g, &registry, &cfg).expect("run a");
+    let b = tune(&g, &registry, &cfg).expect("run b");
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    // The scheme list is a *set*: permuting it must not change anything.
+    let mut shuffled = cfg.clone();
+    shuffled.schemes = Some(vec!["spanner".into(), "lowdeg".into(), "uniform".into()]);
+    let c = tune(&g, &registry, &shuffled).expect("run c");
+    assert_eq!(fingerprint(&a), fingerprint(&c));
+    // A different master seed is allowed to (and here does) change seeds.
+    let mut reseeded = cfg.clone();
+    reseeded.seed ^= 1;
+    let d = tune(&g, &registry, &reseeded).expect("run d");
+    assert_ne!(
+        fingerprint(&a).1.map(|w| w.4),
+        fingerprint(&d).1.map(|w| w.4),
+        "winner pipeline seeds must derive from the master seed"
+    );
+}
