@@ -1,0 +1,114 @@
+//! Session-API benchmark: cold `Pipeline::apply` vs session runs with a
+//! shared [`sg_core::StageCache`], over a request mix whose chains share
+//! prefixes (the serving workload `sg-serve` answers).
+//!
+//! For every spec the binary asserts the session output is **bit-identical**
+//! to the cold run (the session contract), then reports both wall times and
+//! the stage-skip accounting in the `BenchRecord` schema, so CI tracks the
+//! prefix-reuse speedup over time.
+//!
+//! Run: `cargo run --release -p sg-bench --bin session_reuse
+//!       [-- --n N] [--k N] [--json]`
+
+use sg_bench::{json_requested, render_json, render_table, BenchRecord};
+use sg_core::{GraphCatalog, PipelineSpec, SchemeRegistry, SgSession};
+use sg_graph::generators;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A serving-shaped request mix: one chain family (`spanner,lowdeg,…`)
+/// with divergent tails, plus an exact repeat.
+const SPECS: [&str; 5] = [
+    "spanner:k=4,lowdeg,uniform:p=0.5",
+    "spanner:k=4,lowdeg,uniform:p=0.3",
+    "spanner:k=4,lowdeg,cut:k=2",
+    "spanner:k=4,lowdeg,tr-eo:p=0.6",
+    "spanner:k=4,lowdeg,uniform:p=0.5", // repeat: fully cached
+];
+
+const SEED: u64 = 0x5E55;
+
+fn main() {
+    let mut n: usize = 20_000;
+    let mut k: usize = 4;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut grab = |what: &str| -> usize {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("--{what} needs an integer value"))
+        };
+        match flag.as_str() {
+            "--n" => n = grab("n"),
+            "--k" => k = grab("k"),
+            "--json" => {}
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    let json = json_requested();
+    let workload = format!("ba-n{n}-k{k}");
+    let g = generators::barabasi_albert(n, k, 0xBE);
+
+    let registry = Arc::new(SchemeRegistry::with_defaults());
+    let catalog = Arc::new(GraphCatalog::new());
+    let handle = catalog.insert("bench", g.clone(), &workload).expect("fresh catalog");
+    let session = SgSession::new(catalog, Arc::clone(&registry));
+
+    let mut records = Vec::new();
+    let mut rows = Vec::new();
+    let (mut cold_total, mut warm_total) = (0.0f64, 0.0f64);
+    for (i, spec_text) in SPECS.iter().enumerate() {
+        let spec = PipelineSpec::parse(spec_text).expect("spec parses");
+        let pipeline = spec.build(&registry).expect("spec builds");
+
+        let start = Instant::now();
+        let cold = pipeline.apply(&g, SEED);
+        let cold_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let start = Instant::now();
+        let warm = session.run(&handle, &spec, SEED).expect("session runs");
+        let warm_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        assert_eq!(
+            warm.graph.edge_slice(),
+            cold.result.graph.edge_slice(),
+            "session output must be bit-identical to the cold run for {spec_text}"
+        );
+        cold_total += cold_ms;
+        warm_total += warm_ms;
+
+        records.push(BenchRecord {
+            workload: workload.clone(),
+            label: format!("session:{spec_text}"),
+            params: vec![
+                ("request".into(), i.to_string()),
+                ("stages_cached".into(), warm.stages_cached().to_string()),
+                ("stages_executed".into(), warm.stages_executed().to_string()),
+            ],
+            ratio: Some(warm.compression_ratio()),
+            timings_ms: vec![("cold".into(), cold_ms), ("session".into(), warm_ms)],
+        });
+        rows.push(vec![
+            spec_text.to_string(),
+            format!("{cold_ms:.2}"),
+            format!("{warm_ms:.2}"),
+            warm.stages_cached().to_string(),
+            warm.stages_executed().to_string(),
+        ]);
+    }
+
+    if json {
+        println!("{}", render_json(&records));
+    } else {
+        println!(
+            "{}",
+            render_table(&["spec", "cold ms", "session ms", "cached", "executed"], &rows)
+        );
+        println!(
+            "totals: cold {cold_total:.2} ms, session {warm_total:.2} ms \
+             ({:.2}x over the request mix)",
+            cold_total / warm_total.max(1e-9)
+        );
+    }
+}

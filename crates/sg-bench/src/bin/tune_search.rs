@@ -10,6 +10,7 @@ use sg_bench::{json_requested, render_json, render_table, BenchRecord};
 use sg_core::SchemeRegistry;
 use sg_graph::generators;
 use sg_tune::{tune, Target, TuneConfig};
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -38,7 +39,7 @@ fn main() {
     let workload = format!("ba-n{n}-k{k}");
 
     let g = generators::barabasi_albert(n, k, 0x70E);
-    let registry = SchemeRegistry::with_defaults();
+    let registry = Arc::new(SchemeRegistry::with_defaults());
     let target = Target::parse("pagerank-kl<=0.1").expect("valid target");
     let mut cfg = TuneConfig::new(g.num_edges() / 2, target, 0x70E);
     cfg.max_depth = depth;
@@ -60,6 +61,8 @@ fn main() {
             ("depth".into(), depth.to_string()),
             ("rounds".into(), rounds.to_string()),
             ("evaluated".into(), outcome.evaluated.to_string()),
+            ("stages_executed".into(), outcome.stages_executed.to_string()),
+            ("stages_total".into(), outcome.stages_total.to_string()),
             (
                 "winner".into(),
                 outcome.winner.as_ref().map_or("none".into(), |w| w.rendered.clone()),

@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 
 /// Flags that take no value: present means `true`. Everything else is
 /// `--flag value`.
-const BOOLEAN_FLAGS: [&str; 2] = ["json", "no-verify"];
+const BOOLEAN_FLAGS: [&str; 4] = ["json", "no-verify", "cache", "quiet"];
 
 /// Parsed command line: a subcommand plus `--key value` options.
 #[derive(Debug, Default)]

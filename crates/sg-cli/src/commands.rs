@@ -1,10 +1,19 @@
 //! Subcommand implementations.
+//!
+//! Compression commands run through the sg-core **session API**
+//! ([`SgSession`] over a [`GraphCatalog`]): the CLI is the same execution
+//! path as the `sg-serve` daemon, just with a process-lifetime session
+//! instead of a long-running one.
 
 use crate::args::Args;
 use sg_algos::{cc, pagerank, tc};
-use sg_core::{Pipeline, SchemeParams, SchemeRegistry};
-use sg_graph::{generators, io, CsrGraph};
+use sg_core::{
+    catalog, GraphCatalog, PipelineSpec, SchemeParams, SchemeRegistry, SessionRun, SgSession,
+};
+use sg_graph::{generators, CsrGraph};
 use sg_metrics::kl_divergence;
+use sg_serve::Json;
+use std::sync::Arc;
 
 const HELP: &str = "\
 slimgraph — practical lossy graph compression (Slim Graph, SC'19)
@@ -26,6 +35,8 @@ COMMANDS:
              [--schemes a,b,c] [--output FILE] [--json]
              Metrics: pagerank-kl, reordered-tc, degree-l1,
              triangles-rel, components-rel.
+             [--warm-start frontier.json] seeds round 0 from a previous
+             run's --json output (its frontier + winner specs).
              Example: --target pagerank-kl<=0.05 --budget-edges 50000
   stats      Print structural statistics of a graph
              --input FILE  [--format text|bin|sgr]
@@ -36,6 +47,19 @@ COMMANDS:
              --kind rmat|er|ba|ws|grid  --output FILE
              [--scale N] [--n N] [--m N] [--k N] [--seed N]
   schemes    List every scheme registered in the compression registry
+  serve      Run the compression-as-a-service daemon (see docs/PROTOCOL.md)
+             --listen HOST:PORT | --listen unix:/path.sock
+             [--cache-mb N] [--quiet]
+  client     Send requests to a running daemon (blocking, line-JSON)
+             --connect HOST:PORT|unix:/path.sock
+             one-shot: --op ping|load|compress|analyze|stats|evict|shutdown
+               load:      --name NAME --path FILE [--format F] [--no-verify]
+               compress:  --graph NAME --spec SPEC [--seed N]
+                          [--output FILE] [--output-format F]
+               analyze:   --graph NAME --spec SPEC [--seed N]
+               stats:     [--graph NAME]
+               evict:     [--graph NAME] [--cache]
+             scripted: --script FILE (one JSON request per line)
   help       Show this message
 
 STORAGE FORMATS (inferred from the file extension, overridable with
@@ -71,6 +95,8 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "convert" => convert(&args),
         "generate" => generate(&args),
         "schemes" => schemes(),
+        "serve" => serve(&args),
+        "client" => client(&args),
         "help" | "--help" | "-h" => {
             println!("{HELP}");
             Ok(())
@@ -79,45 +105,12 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     }
 }
 
-/// A graph storage format the CLI can read and write.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Format {
-    Text,
-    Bin,
-    Sgr,
-}
-
-impl Format {
-    /// Resolves a format from an explicit `--format`/`--output-format`
-    /// override, falling back to the file extension.
-    fn resolve(path: &str, explicit: Option<&str>) -> Result<Format, String> {
-        match explicit {
-            Some("text" | "txt") => Ok(Format::Text),
-            Some("bin") => Ok(Format::Bin),
-            Some("sgr") => Ok(Format::Sgr),
-            Some(other) => Err(format!("unknown format '{other}' (text|bin|sgr)")),
-            None if path.ends_with(".bin") => Ok(Format::Bin),
-            None if path.ends_with(".sgr") => Ok(Format::Sgr),
-            None => Ok(Format::Text),
-        }
-    }
-}
-
-/// Loads a graph honoring `--format`. `.sgr` inputs go through the
-/// zero-copy mmap loader — the CSR arrays stay borrowed from the mapping
-/// for the whole run; the other formats rebuild a CSR in memory. With
-/// `trusted` (`--no-verify`), `.sgr` opens skip the checksum pass —
-/// structural validation still rejects corrupt files.
+/// Loads a graph honoring `--format` (shared with the catalog/daemon:
+/// `.sgr` inputs go through the zero-copy mmap loader; `trusted` =
+/// `--no-verify` skips the `.sgr` checksum pass, structural validation
+/// still rejects corrupt files).
 fn load_as(path: &str, explicit: Option<&str>, trusted: bool) -> Result<CsrGraph, String> {
-    let verify = if trusted { sg_store::Verify::Trusted } else { sg_store::Verify::Checksum };
-    let res = match Format::resolve(path, explicit)? {
-        Format::Text => io::load_text(path),
-        Format::Bin => io::load_binary(path),
-        Format::Sgr => {
-            sg_store::MmapGraph::open_with(path, verify).map(sg_store::MmapGraph::into_graph)
-        }
-    };
-    res.map_err(|e| format!("loading {path}: {e}"))
+    catalog::load_graph(path, explicit, trusted)
 }
 
 /// [`load_as`] wired to a command's `--input`/`--format`/`--no-verify`.
@@ -126,77 +119,90 @@ fn load_input(args: &Args) -> Result<CsrGraph, String> {
 }
 
 fn save_as(g: &CsrGraph, path: &str, explicit: Option<&str>) -> Result<(), String> {
-    let res = match Format::resolve(path, explicit)? {
-        Format::Text => io::save_text(g, path),
-        Format::Bin => io::save_binary(g, path).map(|_| ()),
-        Format::Sgr => sg_store::save_sgr(g, path).map(|_| ()),
-    };
-    res.map_err(|e| format!("writing {path}: {e}"))
+    catalog::save_graph(g, path, explicit)
 }
 
-/// Builds the compression pipeline from `--scheme` plus shared parameter
-/// flags (`--p`, `--k`, `--epsilon`, `--variant`, `--reweight`, `--x`).
-fn pipeline_from(args: &Args) -> Result<Pipeline, String> {
+/// Parses `--scheme` into a [`PipelineSpec`] plus the shared base
+/// parameter bag (`--p`, `--k`, `--epsilon`, `--variant`, `--reweight`,
+/// `--x`).
+fn spec_from(args: &Args) -> Result<(PipelineSpec, SchemeParams), String> {
     let mut base = SchemeParams::new();
     for key in ["p", "k", "epsilon", "variant", "reweight", "x"] {
         if let Some(value) = args.get(key) {
             base.set(key, value);
         }
     }
-    SchemeRegistry::with_defaults().parse_pipeline(args.require("scheme")?, &base)
+    Ok((PipelineSpec::parse(args.require("scheme")?)?, base))
+}
+
+/// Loads `--input` into a one-shot session and runs `--scheme` over it —
+/// the CLI's execution path *is* the serving path. The graph moves into a
+/// shared `Arc` (no copy), and the stage cache is disabled: a one-shot
+/// process never re-reads it, so there is no reason to pin intermediate
+/// graphs until exit.
+fn run_session(args: &Args) -> Result<(Arc<CsrGraph>, SessionRun, String), String> {
+    let g = Arc::new(load_input(args)?);
+    let (spec, base) = spec_from(args)?;
+    let registry = Arc::new(SchemeRegistry::with_defaults());
+    let catalog = Arc::new(GraphCatalog::new());
+    let handle = catalog
+        .insert_arc("input", Arc::clone(&g), args.require("input")?)
+        .expect("fresh catalog has no names");
+    let session = SgSession::with_cache(
+        catalog,
+        Arc::clone(&registry),
+        Arc::new(sg_core::StageCache::with_capacity(0)),
+    );
+    let run = session.run_with_base(&handle, &spec, &base, args.get_or("seed", 42)?)?;
+    // The stage reports carry the constructed schemes' labels, so the
+    // pipeline label needs no second build.
+    let label = run.stages.iter().map(|s| s.report.label.clone()).collect::<Vec<_>>().join(" -> ");
+    Ok((g, run, label))
 }
 
 fn compress(args: &Args) -> Result<(), String> {
-    let g = load_input(args)?;
-    let pipeline = pipeline_from(args)?;
-    let seed: u64 = args.get_or("seed", 42)?;
-    let out = pipeline.apply(&g, seed);
-    for (i, stage) in out.stages.iter().enumerate() {
+    let (_, run, label) = run_session(args)?;
+    for (i, stage) in run.stages.iter().enumerate() {
         println!(
-            "stage {}: {}: m {} -> {} ({:.1}% kept) in {:.1} ms",
+            "stage {}: {}: m {} -> {} ({:.1}% kept) in {:.1} ms{}",
             i + 1,
-            stage.label,
-            stage.input_edges,
-            stage.output_edges,
-            stage.compression_ratio() * 100.0,
-            stage.elapsed.as_secs_f64() * 1e3
+            stage.report.label,
+            stage.report.input_edges,
+            stage.report.output_edges,
+            stage.report.compression_ratio() * 100.0,
+            stage.report.elapsed.as_secs_f64() * 1e3,
+            if stage.cached { " (cached)" } else { "" }
         );
     }
-    let r = &out.result;
     println!(
         "total: {}: m {} -> {} ({:.1}% kept) in {:.1} ms",
-        pipeline.label(),
-        r.original_edges,
-        r.graph.num_edges(),
-        r.compression_ratio() * 100.0,
-        r.elapsed.as_secs_f64() * 1e3
+        label,
+        run.original_edges,
+        run.graph.num_edges(),
+        run.compression_ratio() * 100.0,
+        run.elapsed().as_secs_f64() * 1e3
     );
-    save_as(&r.graph, args.require("output")?, args.get("output-format"))
+    save_as(&run.graph, args.require("output")?, args.get("output-format"))
 }
 
 fn analyze(args: &Args) -> Result<(), String> {
-    let g = load_input(args)?;
-    let pipeline = pipeline_from(args)?;
-    let seed: u64 = args.get_or("seed", 42)?;
-    let out = pipeline.apply(&g, seed);
-    let r = &out.result;
-
-    println!("pipeline:          {}", pipeline.label());
-    println!("edges kept:        {:.1}%", r.compression_ratio() * 100.0);
+    let (g, run, label) = run_session(args)?;
+    println!("pipeline:          {label}");
+    println!("edges kept:        {:.1}%", run.compression_ratio() * 100.0);
     let cc0 = cc::connected_components(&g).num_components;
-    let cc1 = cc::connected_components(&r.graph).num_components;
+    let cc1 = cc::connected_components(&run.graph).num_components;
     println!("components:        {cc0} -> {cc1}");
     let t0 = tc::count_triangles(&g);
-    let t1 = tc::count_triangles(&r.graph);
+    let t1 = tc::count_triangles(&run.graph);
     println!("triangles:         {t0} -> {t1}");
-    if r.graph.num_vertices() == g.num_vertices() {
+    if run.graph.num_vertices() == g.num_vertices() {
         let pr0 = pagerank::pagerank_default(&g).scores;
-        let pr1 = pagerank::pagerank_default(&r.graph).scores;
+        let pr1 = pagerank::pagerank_default(&run.graph).scores;
         println!("PageRank KL:       {:.5} bits", kl_divergence(&pr0, &pr1));
         let root = (0..g.num_vertices() as u32).max_by_key(|&v| g.degree(v)).unwrap_or(0);
         println!(
             "BFS critical kept: {:.1}%",
-            sg_metrics::critical_edge_preservation(&g, &r.graph, root) * 100.0
+            sg_metrics::critical_edge_preservation(&g, &run.graph, root) * 100.0
         );
     } else {
         println!("(vertex set changed; distribution metrics skipped)");
@@ -224,7 +230,14 @@ fn tune(args: &Args) -> Result<(), String> {
             list.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect();
         cfg.schemes = Some(names);
     }
-    let registry = SchemeRegistry::with_defaults();
+    if let Some(path) = args.get("warm-start") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        cfg.warm_start = parse_warm_start(&text)?;
+        if cfg.warm_start.is_empty() {
+            return Err(format!("warm-start file {path} contains no specs"));
+        }
+    }
+    let registry = Arc::new(SchemeRegistry::with_defaults());
     let outcome = sg_tune::tune(&g, &registry, &cfg)?;
 
     if args.flag("json") {
@@ -233,6 +246,12 @@ fn tune(args: &Args) -> Result<(), String> {
         println!("target:      {}", target.render());
         println!("budget:      {budget} edges (input m = {})", g.num_edges());
         println!("evaluated:   {} candidates", outcome.evaluated);
+        println!(
+            "stages:      {} executed of {} (prefix cache reused {})",
+            outcome.stages_executed,
+            outcome.stages_total,
+            outcome.stages_total - outcome.stages_executed
+        );
         println!("frontier ({} non-dominated points, * = feasible):", outcome.frontier.len());
         for p in outcome.frontier.points() {
             let feasible = p.edges <= budget && p.metric <= target.max;
@@ -284,11 +303,110 @@ fn tune(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Extracts warm-start specs from a previous `tune --json` outcome (its
+/// frontier + winner) or from a plain JSON array of spec strings.
+fn parse_warm_start(text: &str) -> Result<Vec<PipelineSpec>, String> {
+    let value = Json::parse(text).map_err(|e| format!("warm-start file: {e}"))?;
+    let mut rendered: Vec<String> = Vec::new();
+    let mut push = |v: &Json| {
+        if let Some(s) = v.get("spec").and_then(Json::as_str).or_else(|| v.as_str()) {
+            rendered.push(s.to_string());
+        }
+    };
+    match &value {
+        Json::Arr(items) => items.iter().for_each(&mut push),
+        Json::Obj(_) => {
+            if let Some(frontier) = value.get("frontier").and_then(Json::as_arr) {
+                frontier.iter().for_each(&mut push);
+            }
+            if let Some(winner) = value.get("winner") {
+                push(winner);
+            }
+        }
+        _ => return Err("warm-start file must be a tune outcome or an array".to_string()),
+    }
+    rendered.sort();
+    rendered.dedup();
+    rendered
+        .iter()
+        .map(|s| PipelineSpec::parse(s).map_err(|e| format!("warm-start spec '{s}': {e}")))
+        .collect()
+}
+
+/// `serve`: run the compression-as-a-service daemon until a client sends
+/// `shutdown`. The resolved listen address goes to stderr (stdout carries
+/// the per-request transcript, one JSON event per line).
+fn serve(args: &Args) -> Result<(), String> {
+    let cfg = sg_serve::ServeConfig {
+        listen: args.get("listen").unwrap_or("127.0.0.1:0").to_string(),
+        cache_bytes: args.get_or("cache-mb", 256usize)? << 20,
+        transcript: !args.flag("quiet"),
+    };
+    let server =
+        sg_serve::Server::bind(&cfg).map_err(|e| format!("binding {}: {e}", cfg.listen))?;
+    eprintln!("slimgraph serve: listening on {}", server.local_addr());
+    server.run().map_err(|e| format!("serve loop: {e}"))
+}
+
+/// `client`: one-shot protocol requests (`--op …`) or a scripted session
+/// (`--script FILE`, one JSON request per line). Raw response lines go to
+/// stdout.
+fn client(args: &Args) -> Result<(), String> {
+    let addr = args.require("connect")?;
+    let mut client =
+        sg_serve::Client::connect_with_patience(addr, std::time::Duration::from_secs(5))
+            .map_err(|e| format!("connecting to {addr}: {e}"))?;
+    if let Some(script) = args.get("script") {
+        let text = std::fs::read_to_string(script).map_err(|e| format!("reading {script}: {e}"))?;
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            println!("{}", client.request_line(line)?);
+        }
+        return Ok(());
+    }
+    let op = args.require("op")?;
+    let mut request = sg_serve::Client::request_for(op);
+    for (flag, field) in [
+        ("name", "name"),
+        ("path", "path"),
+        ("graph", "graph"),
+        ("spec", "spec"),
+        ("output", "output"),
+        ("format", "format"),
+        ("output-format", "output_format"),
+    ] {
+        if let Some(value) = args.get(flag) {
+            request = request.with(field, Json::str(value));
+        }
+    }
+    if let Some(seed) = args.get("seed") {
+        let seed: u64 = seed.parse().map_err(|_| format!("--seed: cannot parse '{seed}'"))?;
+        request = request.with("seed", Json::u64(seed));
+    }
+    if args.flag("no-verify") {
+        request = request.with("no_verify", Json::Bool(true));
+    }
+    if args.flag("cache") {
+        request = request.with("cache", Json::Bool(true));
+    }
+    let response = client.request(&request)?;
+    println!("{}", response.render());
+    if response.get("ok").and_then(Json::as_bool) == Some(true) {
+        Ok(())
+    } else {
+        Err(response
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .unwrap_or("request failed")
+            .to_string())
+    }
+}
+
 fn convert(args: &Args) -> Result<(), String> {
     let input = args.require("input")?;
     let output = args.require("output")?;
-    let from = Format::resolve(input, args.get("format"))?;
-    let to = Format::resolve(output, args.get("output-format"))?;
+    let from = catalog::GraphFormat::resolve(input, args.get("format"))?;
+    let to = catalog::GraphFormat::resolve(output, args.get("output-format"))?;
     let g = load_as(input, args.get("format"), args.flag("no-verify"))?;
     save_as(&g, output, args.get("output-format"))?;
     let bytes = std::fs::metadata(output).map_err(|e| format!("stat {output}: {e}"))?.len();
@@ -510,6 +628,14 @@ mod tests {
             .expect("per-stage overrides");
     }
 
+    /// Mirrors what `run_session` does with `--scheme` flags: parse,
+    /// resolve against the registry, build.
+    fn pipeline_from(args: &Args) -> Result<sg_core::Pipeline, String> {
+        let (spec, base) = spec_from(args)?;
+        let registry = SchemeRegistry::with_defaults();
+        spec.resolve(&registry, &base)?.build(&registry)
+    }
+
     #[test]
     fn all_registry_schemes_parse_into_pipelines() {
         let registry = SchemeRegistry::with_defaults();
@@ -570,7 +696,7 @@ mod tests {
             let mut cfg = sg_tune::TuneConfig::new(budget, target, 9);
             cfg.rounds = 1;
             cfg.schemes = Some(vec!["uniform".into(), "spanner".into(), "lowdeg".into()]);
-            let registry = SchemeRegistry::with_defaults();
+            let registry = Arc::new(SchemeRegistry::with_defaults());
             let outcome = sg_tune::tune(&g, &registry, &cfg).expect("tune");
             let w = outcome.winner.expect("feasible");
             let standalone = registry

@@ -6,6 +6,8 @@
 //! slimgraph analyze  --input g.txt --scheme spanner --k 8
 //! slimgraph stats    --input g.txt
 //! slimgraph generate --kind rmat --scale 12 --output g.txt
+//! slimgraph serve    --listen 127.0.0.1:7461
+//! slimgraph client   --connect 127.0.0.1:7461 --op load --name g --path g.sgr
 //! ```
 //!
 //! Arguments are parsed by hand (no CLI dependency); see `slimgraph help`.

@@ -1,0 +1,325 @@
+//! The content-addressed stage cache behind the session API.
+//!
+//! Pipelines are pure functions of `(graph, spec, seed)`, and stage `i`'s
+//! seed depends only on `(seed, i)` — so the output of a chain **prefix**
+//! is fully determined by `(graph identity, prefix spec text, seed)`.
+//! [`StageCache`] exploits exactly that: it maps a [`StageKey`] —
+//! `(GraphId, fnv1a(rendered prefix), seed)` — to the prefix's output
+//! graph, composed vertex mapping, and per-stage reports. Two requests
+//! sharing a chain prefix (`spanner,lowdeg,uniform` vs
+//! `spanner,lowdeg,cut`) recompute only the divergent suffix.
+//!
+//! Correctness does not depend on the cache: a hit returns the exact
+//! bytes a cold run would produce (the purity above), so eviction policy
+//! and capacity are purely performance knobs. Entries are evicted
+//! least-recently-used once the estimated byte footprint exceeds the
+//! configured capacity.
+
+use crate::catalog::GraphId;
+use crate::pipeline::StageReport;
+use rustc_hash::FxHashMap;
+use sg_graph::{CsrGraph, VertexId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The content address of one chain prefix: which graph, which rendered
+/// prefix text (hashed), which pipeline seed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct StageKey {
+    /// Identity of the pipeline input graph.
+    pub graph: GraphId,
+    /// [`prefix_hash`] of the rendered chain prefix.
+    pub prefix: u64,
+    /// The pipeline seed (stage seeds derive from it positionally).
+    pub seed: u64,
+}
+
+/// FNV-1a over the canonical rendered form of `spec`'s first `len` stages
+/// (the same canonical text [`crate::PipelineSpec::render`] produces, so
+/// equal prefixes hash equally regardless of how the spec was built).
+pub fn prefix_hash(spec: &crate::PipelineSpec, len: usize) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for (i, stage) in spec.stages.iter().take(len).enumerate() {
+        if i > 0 {
+            eat(b",");
+        }
+        eat(stage.render().as_bytes());
+    }
+    h
+}
+
+/// A cached chain prefix: everything needed to resume execution after it.
+#[derive(Clone)]
+pub struct CachedPrefix {
+    /// Output graph of the prefix's last stage.
+    pub graph: Arc<CsrGraph>,
+    /// Old→new vertex relabelling composed across the prefix (`None` =
+    /// identity).
+    pub mapping: Option<Arc<Vec<Option<VertexId>>>>,
+    /// Per-stage reports of the prefix, in execution order (wall times are
+    /// the original measured times).
+    pub reports: Arc<Vec<StageReport>>,
+}
+
+impl CachedPrefix {
+    /// Estimated heap footprint, used for capacity accounting.
+    fn approx_bytes(&self) -> usize {
+        let g = self.graph.as_ref();
+        let csr = g.csr_offsets().len() * 8
+            + g.csr_targets().len() * 4
+            + g.csr_slot_edges().len() * 4
+            + g.edge_slice().len() * 8
+            + g.weight_slice().map_or(0, |w| w.len() * 4);
+        let mapping = self.mapping.as_ref().map_or(0, |m| m.len() * 8);
+        csr + mapping + 256
+    }
+}
+
+struct Slot {
+    value: CachedPrefix,
+    bytes: usize,
+    stamp: u64,
+}
+
+struct Inner {
+    map: FxHashMap<StageKey, Slot>,
+    bytes: usize,
+    clock: u64,
+}
+
+/// Point-in-time cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Live entries.
+    pub entries: usize,
+    /// Estimated bytes held by live entries.
+    pub bytes: usize,
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing (longest-prefix probing means one
+    /// request may record several misses before its one hit).
+    pub misses: u64,
+    /// Entries dropped by the LRU policy or an explicit purge.
+    pub evictions: u64,
+}
+
+/// A bounded, thread-safe map from [`StageKey`] to [`CachedPrefix`].
+pub struct StageCache {
+    inner: Mutex<Inner>,
+    capacity_bytes: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Default capacity: 256 MiB of cached intermediate graphs.
+pub const DEFAULT_CACHE_BYTES: usize = 256 << 20;
+
+impl StageCache {
+    /// A cache bounded to roughly `capacity_bytes` of entry payload.
+    /// `capacity_bytes == 0` disables caching entirely (every lookup
+    /// misses, every insert is dropped).
+    pub fn with_capacity(capacity_bytes: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner { map: FxHashMap::default(), bytes: 0, clock: 0 }),
+            capacity_bytes,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache with [`DEFAULT_CACHE_BYTES`] capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CACHE_BYTES)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Looks up a prefix, bumping its recency on a hit.
+    pub fn get(&self, key: &StageKey) -> Option<CachedPrefix> {
+        let mut inner = self.lock();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        match inner.map.get_mut(key) {
+            Some(slot) => {
+                slot.stamp = stamp;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(slot.value.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Looks up a prefix without touching recency or hit/miss counters
+    /// (used to decorate already-answered requests, e.g. per-stage
+    /// intermediate graphs of a cached prefix).
+    pub fn peek(&self, key: &StageKey) -> Option<CachedPrefix> {
+        self.lock().map.get(key).map(|slot| slot.value.clone())
+    }
+
+    /// Inserts (or refreshes) a prefix, evicting least-recently-used
+    /// entries if the capacity is exceeded. An entry larger than the whole
+    /// capacity is not cached at all.
+    pub fn insert(&self, key: StageKey, value: CachedPrefix) {
+        let bytes = value.approx_bytes();
+        if bytes > self.capacity_bytes {
+            return;
+        }
+        let mut inner = self.lock();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        if let Some(old) = inner.map.insert(key, Slot { value, bytes, stamp }) {
+            inner.bytes -= old.bytes;
+        }
+        inner.bytes += bytes;
+        while inner.bytes > self.capacity_bytes {
+            // O(n) LRU scan; entry counts are modest (big graphs hit the
+            // byte cap long before the map gets large).
+            let Some((&victim, _)) =
+                inner.map.iter().filter(|(k, _)| **k != key).min_by_key(|(_, s)| s.stamp)
+            else {
+                break;
+            };
+            let slot = inner.map.remove(&victim).expect("victim just found");
+            inner.bytes -= slot.bytes;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops every entry belonging to `graph` (eviction of a catalog
+    /// entry); returns how many were removed.
+    pub fn purge_graph(&self, graph: GraphId) -> usize {
+        let mut inner = self.lock();
+        let victims: Vec<StageKey> =
+            inner.map.keys().filter(|k| k.graph == graph).copied().collect();
+        for key in &victims {
+            let slot = inner.map.remove(key).expect("key just listed");
+            inner.bytes -= slot.bytes;
+        }
+        self.evictions.fetch_add(victims.len() as u64, Ordering::Relaxed);
+        victims.len()
+    }
+
+    /// Drops everything.
+    pub fn clear(&self) -> usize {
+        let mut inner = self.lock();
+        let n = inner.map.len();
+        inner.map.clear();
+        inner.bytes = 0;
+        self.evictions.fetch_add(n as u64, Ordering::Relaxed);
+        n
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.lock();
+        CacheStats {
+            entries: inner.map.len(),
+            bytes: inner.bytes,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for StageCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PipelineSpec;
+    use sg_graph::generators;
+
+    fn entry(n: usize) -> CachedPrefix {
+        CachedPrefix {
+            graph: Arc::new(generators::cycle(n)),
+            mapping: None,
+            reports: Arc::new(Vec::new()),
+        }
+    }
+
+    fn key(graph: u64, prefix: u64) -> StageKey {
+        StageKey { graph: GraphId(graph), prefix, seed: 7 }
+    }
+
+    #[test]
+    fn prefix_hash_is_a_pure_function_of_the_rendered_prefix() {
+        let a = PipelineSpec::parse("spanner:k=4,lowdeg,uniform:p=0.5").expect("parses");
+        let b = PipelineSpec::parse("spanner:k=4,lowdeg,cut:k=2").expect("parses");
+        for len in 1..=2 {
+            assert_eq!(prefix_hash(&a, len), prefix_hash(&b, len), "shared prefix {len}");
+        }
+        assert_ne!(prefix_hash(&a, 3), prefix_hash(&b, 3), "divergent suffix");
+        // The prefix hash equals the full hash of the truncated spec.
+        let truncated = PipelineSpec::parse("spanner:k=4,lowdeg").expect("parses");
+        assert_eq!(prefix_hash(&a, 2), prefix_hash(&truncated, 2));
+        // And differs from single-stage specs whose rendering collides
+        // only if the text collides.
+        assert_ne!(prefix_hash(&a, 1), prefix_hash(&a, 2));
+    }
+
+    #[test]
+    fn get_insert_and_stats() {
+        let cache = StageCache::new();
+        assert!(cache.get(&key(1, 10)).is_none());
+        cache.insert(key(1, 10), entry(8));
+        let hit = cache.get(&key(1, 10)).expect("hit");
+        assert_eq!(hit.graph.num_vertices(), 8);
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.hits, stats.misses), (1, 1, 1));
+        assert!(stats.bytes > 0);
+    }
+
+    #[test]
+    fn purge_graph_only_touches_that_graph() {
+        let cache = StageCache::new();
+        cache.insert(key(1, 10), entry(4));
+        cache.insert(key(1, 11), entry(4));
+        cache.insert(key(2, 10), entry(4));
+        assert_eq!(cache.purge_graph(GraphId(1)), 2);
+        assert!(cache.get(&key(1, 10)).is_none());
+        assert!(cache.get(&key(2, 10)).is_some());
+        assert_eq!(cache.clear(), 1);
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let one = entry(16).approx_bytes();
+        let cache = StageCache::with_capacity(one * 3);
+        cache.insert(key(1, 1), entry(16));
+        cache.insert(key(1, 2), entry(16));
+        cache.insert(key(1, 3), entry(16));
+        cache.get(&key(1, 1)); // freshen 1 — 2 is now the LRU
+        cache.insert(key(1, 4), entry(16));
+        assert!(cache.get(&key(1, 2)).is_none(), "LRU entry evicted");
+        assert!(cache.get(&key(1, 1)).is_some());
+        assert!(cache.get(&key(1, 4)).is_some());
+        assert!(cache.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = StageCache::with_capacity(0);
+        cache.insert(key(1, 1), entry(4));
+        assert!(cache.get(&key(1, 1)).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

@@ -23,8 +23,24 @@
 //! object-safe trait, [`scheme::SchemeRegistry`] resolves schemes by name,
 //! and [`pipeline::Pipeline`] chains them into multi-stage compression
 //! runs — the paper's kernel-combining model.
+//!
+//! On top of the one-shot [`Pipeline::apply`] path sits the **session
+//! execution API** — the programming model of the serving layer:
+//!
+//! * [`catalog::GraphCatalog`] — named, ref-counted graph handles, loaded
+//!   at most once (heap, `.sgr` mmap via `sg-store`, or inserted from
+//!   memory);
+//! * [`session::SgSession`] — executes [`spec::PipelineSpec`]s
+//!   stage-by-stage against a handle, exposing every stage's intermediate
+//!   graph;
+//! * [`cache::StageCache`] — content-addressed on
+//!   `(graph id, chain-prefix hash, seed)`, so requests sharing a chain
+//!   prefix recompute only the divergent suffix, bit-identically to a
+//!   cold run.
 
 pub mod atomic_bitset;
+pub mod cache;
+pub mod catalog;
 pub mod context;
 pub mod engine;
 pub mod kernel;
@@ -33,10 +49,14 @@ pub mod mapping;
 pub mod pipeline;
 pub mod scheme;
 pub mod schemes;
+pub mod session;
 pub mod spec;
 
+pub use cache::{CacheStats, StageCache, StageKey};
+pub use catalog::{GraphCatalog, GraphFormat, GraphHandle, GraphId};
 pub use context::SgContext;
 pub use engine::{CompressionResult, Engine};
-pub use pipeline::{Pipeline, PipelineResult, StageReport};
+pub use pipeline::{run_stage, Pipeline, PipelineResult, StageReport};
 pub use scheme::{CompressionScheme, SchemeParams, SchemeRegistry};
+pub use session::{SessionRun, SgSession, StageOutcome};
 pub use spec::{PipelineSpec, StageSpec};

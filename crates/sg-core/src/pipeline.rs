@@ -122,6 +122,11 @@ impl Pipeline {
     }
 
     /// Runs every stage in order over `g`.
+    ///
+    /// This is the *cold* execution path; it shares its per-stage runner
+    /// ([`run_stage`]) with the session API ([`crate::session::SgSession`]),
+    /// which additionally caches and resumes chain prefixes. A session run
+    /// of the same `(graph, spec, seed)` is bit-identical to this.
     pub fn apply(&self, g: &CsrGraph, seed: u64) -> PipelineResult {
         let mut current: Option<CsrGraph> = None;
         let mut mapping: Option<Vec<Option<VertexId>>> = None;
@@ -129,18 +134,9 @@ impl Pipeline {
         let mut elapsed = Duration::ZERO;
         for (index, scheme) in self.stages.iter().enumerate() {
             let input = current.as_ref().unwrap_or(g);
-            let (input_vertices, input_edges) = (input.num_vertices(), input.num_edges());
-            let r = scheme.apply(input, Self::stage_seed(seed, index));
-            stages.push(StageReport {
-                name: scheme.name().to_string(),
-                label: scheme.label(),
-                input_vertices,
-                input_edges,
-                output_vertices: r.graph.num_vertices(),
-                output_edges: r.graph.num_edges(),
-                elapsed: r.elapsed,
-            });
-            elapsed += r.elapsed;
+            let (r, report) = run_stage(scheme.as_ref(), input, seed, index);
+            elapsed += report.elapsed;
+            stages.push(report);
             mapping = compose_mappings(mapping, r.vertex_mapping);
             current = Some(r.graph);
         }
@@ -157,6 +153,31 @@ impl Pipeline {
     }
 }
 
+/// Runs one pipeline stage: applies `scheme` to `g` with the deterministic
+/// seed for position `index` of a run seeded with `seed`, and builds the
+/// stage's [`StageReport`]. The single execution primitive shared by
+/// [`Pipeline::apply`] and the session executor, so the two paths cannot
+/// drift.
+pub fn run_stage(
+    scheme: &dyn CompressionScheme,
+    g: &CsrGraph,
+    seed: u64,
+    index: usize,
+) -> (CompressionResult, StageReport) {
+    let (input_vertices, input_edges) = (g.num_vertices(), g.num_edges());
+    let r = scheme.apply(g, Pipeline::stage_seed(seed, index));
+    let report = StageReport {
+        name: scheme.name().to_string(),
+        label: scheme.label(),
+        input_vertices,
+        input_edges,
+        output_vertices: r.graph.num_vertices(),
+        output_edges: r.graph.num_edges(),
+        elapsed: r.elapsed,
+    };
+    (r, report)
+}
+
 impl Default for Pipeline {
     fn default() -> Self {
         Self::new()
@@ -166,7 +187,7 @@ impl Default for Pipeline {
 /// Composes two old→new relabellings: `so_far` maps pipeline-input ids to
 /// the previous stage's ids, `next` maps those to the new stage's ids.
 /// `None` means "identity" (the stage kept the vertex set).
-fn compose_mappings(
+pub(crate) fn compose_mappings(
     so_far: Option<Vec<Option<VertexId>>>,
     next: Option<Vec<Option<VertexId>>>,
 ) -> Option<Vec<Option<VertexId>>> {

@@ -144,6 +144,47 @@ impl PipelineSpec {
     pub fn build(&self, registry: &SchemeRegistry) -> Result<Pipeline, String> {
         self.build_with_base(registry, &SchemeParams::new())
     }
+
+    /// Canonicalizes the spec against a registry and a base parameter bag:
+    /// validates stage names and per-stage keys exactly as
+    /// [`PipelineSpec::build_with_base`] does, then folds the base
+    /// parameters into each stage — keeping only keys the stage's scheme
+    /// actually reads — so the returned spec is **self-contained**:
+    /// `resolved.build(registry)` constructs bit-identical schemes to
+    /// `self.build_with_base(registry, base)`, and the resolved rendering
+    /// is a sound cache key (two invocations that would run different
+    /// scheme configurations can never render identically).
+    pub fn resolve(
+        &self,
+        registry: &SchemeRegistry,
+        base: &SchemeParams,
+    ) -> Result<PipelineSpec, String> {
+        let mut stages = Vec::with_capacity(self.stages.len());
+        for stage in &self.stages {
+            let keys = registry.param_keys(&stage.name).ok_or_else(|| {
+                let known: Vec<&str> = registry.names().collect();
+                format!("unknown scheme '{}' (known: {})", stage.name, known.join(", "))
+            })?;
+            for (key, _) in stage.params.iter() {
+                if !keys.contains(&key) {
+                    return Err(format!(
+                        "scheme '{}' does not accept parameter '{key}' (accepts: {})",
+                        stage.name,
+                        if keys.is_empty() { "none".to_string() } else { keys.join(", ") }
+                    ));
+                }
+            }
+            let merged = base.merged_with(&stage.params);
+            let mut params = SchemeParams::new();
+            for (key, value) in merged.iter() {
+                if keys.contains(&key) {
+                    params.set(key, value);
+                }
+            }
+            stages.push(StageSpec { name: stage.name.clone(), params });
+        }
+        Ok(PipelineSpec { stages })
+    }
 }
 
 impl std::fmt::Display for PipelineSpec {

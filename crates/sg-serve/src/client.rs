@@ -1,0 +1,64 @@
+//! A small blocking protocol client, shared by `slimgraph client`, the
+//! integration tests, and the CI smoke script.
+
+use crate::json::Json;
+use crate::net::Stream;
+use crate::proto::PROTOCOL_VERSION;
+use std::io::{BufRead, BufReader, Write};
+use std::time::Duration;
+
+/// One protocol connection. Requests are answered in order; every call
+/// writes one line and blocks for one response line.
+pub struct Client {
+    reader: BufReader<Stream>,
+    writer: Stream,
+}
+
+impl Client {
+    /// Connects to `addr` (`host:port` or `unix:/path`).
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = Stream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer })
+    }
+
+    /// [`Client::connect`] retrying for up to `patience` (for scripts that
+    /// race a freshly spawned daemon's bind).
+    pub fn connect_with_patience(addr: &str, patience: Duration) -> std::io::Result<Client> {
+        let deadline = std::time::Instant::now() + patience;
+        loop {
+            match Client::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) if std::time::Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(25)),
+            }
+        }
+    }
+
+    /// Sends one raw request line and returns the raw response line.
+    pub fn request_line(&mut self, line: &str) -> Result<String, String> {
+        self.writer
+            .write_all(line.trim().as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("sending request: {e}"))?;
+        let mut response = String::new();
+        let n =
+            self.reader.read_line(&mut response).map_err(|e| format!("reading response: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection".to_string());
+        }
+        Ok(response.trim().to_string())
+    }
+
+    /// Sends a request value and parses the response.
+    pub fn request(&mut self, request: &Json) -> Result<Json, String> {
+        let line = self.request_line(&request.render())?;
+        Json::parse(&line).map_err(|e| format!("invalid response JSON: {e} in {line}"))
+    }
+
+    /// Builds a request envelope for `op` (protocol version included).
+    pub fn request_for(op: &str) -> Json {
+        Json::obj().with("v", Json::u64(PROTOCOL_VERSION)).with("op", Json::str(op))
+    }
+}

@@ -1,0 +1,65 @@
+//! # sg-serve — compression-as-a-service for Slim Graph
+//!
+//! The serving story the ROADMAP asks for: a daemon that loads a graph
+//! **once** and answers `compress`/`analyze` pipeline requests over a
+//! socket, with cached stage outputs. It is a thin network shell around
+//! the `sg-core` session API — [`sg_core::GraphCatalog`] holds the loaded
+//! graphs, [`sg_core::SgSession`] executes pipeline specs, and the shared
+//! [`sg_core::StageCache`] lets requests that agree on a chain prefix
+//! recompute only the divergent suffix (bit-identically to a cold run:
+//! pipelines are pure functions of `(graph, spec, seed)`).
+//!
+//! ## Protocol (v1)
+//!
+//! Line-delimited JSON over TCP or a unix socket — one request per line,
+//! one response per line, in order. The canonical reference (schema,
+//! versioning, error codes) is `docs/PROTOCOL.md`; in brief:
+//!
+//! | op | effect |
+//! |----|--------|
+//! | `ping` | liveness probe |
+//! | `load` | register a server-side graph file under a name (load-once) |
+//! | `compress` | run a pipeline spec; report shape/digest/per-stage timings, optionally write the result server-side |
+//! | `analyze` | `compress` + accuracy metrics vs the loaded original |
+//! | `stats` | server-wide stats (graphs, cache, uptime) or one graph's structure |
+//! | `evict` | drop a graph and its cache entries, and/or clear the cache |
+//! | `shutdown` | stop accepting and drain in-flight connections |
+//!
+//! Responses embed per-request `BenchRecord`-style timing (`total_ms`,
+//! per-stage `ms`) and cache accounting (`stages_cached`, per-stage
+//! `cached`), plus a `checksum` — an FNV-1a content digest
+//! ([`graph_digest`]) a client can compare against a local run to verify
+//! byte-equality without shipping the graph back.
+//!
+//! ## Example (in-process)
+//!
+//! ```no_run
+//! use sg_serve::{Client, Json, ServeConfig, Server};
+//!
+//! let server = Server::bind(&ServeConfig::default()).unwrap();
+//! let addr = server.local_addr().to_string();
+//! let daemon = std::thread::spawn(move || server.run());
+//! let mut client = Client::connect(&addr).unwrap();
+//! let response = client
+//!     .request(&Client::request_for("load")
+//!         .with("name", Json::str("g"))
+//!         .with("path", Json::str("/data/graph.sgr")))
+//!     .unwrap();
+//! assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+//! client.request(&Client::request_for("shutdown")).unwrap();
+//! daemon.join().unwrap().unwrap();
+//! ```
+//!
+//! The CLI front ends are `slimgraph serve` (daemon) and `slimgraph
+//! client` (one-shot requests and scripted sessions).
+
+pub mod client;
+pub mod json;
+pub mod net;
+pub mod proto;
+pub mod server;
+
+pub use client::Client;
+pub use json::Json;
+pub use proto::{ErrorCode, ProtoError, Request, PROTOCOL_VERSION};
+pub use server::{graph_digest, ServeConfig, Server};

@@ -1,0 +1,333 @@
+//! The wire protocol: versioned line-delimited JSON requests/responses.
+//!
+//! One request per line, one response per line, in order. Every request
+//! is a JSON object with an `"op"` field; `"v"` (protocol version,
+//! default [`PROTOCOL_VERSION`]) and `"id"` (echoed verbatim into the
+//! response) are optional. Responses always carry `"v"`, the echoed
+//! `"id"` (when given), and `"ok"`; failures add an `"error"` object with
+//! a stable machine-readable `code` and a human `message`.
+//!
+//! The full message schema is documented in `docs/PROTOCOL.md` at the
+//! repository root; this module is the single point where request syntax
+//! is validated, so the daemon and any embedded consumer agree on it.
+
+use crate::json::Json;
+
+/// Protocol version spoken by this build. Versioning is strict-equal: a
+/// request carrying any other `"v"` is rejected with code `version` (the
+/// protocol has no negotiation — clients match the daemon).
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Machine-readable error codes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Malformed JSON, missing/ill-typed fields.
+    BadRequest,
+    /// Unsupported protocol version.
+    Version,
+    /// Unknown `"op"`.
+    UnknownOp,
+    /// `"graph"` names nothing in the catalog.
+    UnknownGraph,
+    /// The pipeline spec failed to parse/validate.
+    BadSpec,
+    /// Filesystem or socket failure while serving the request.
+    Io,
+}
+
+impl ErrorCode {
+    /// The stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::Version => "version",
+            ErrorCode::UnknownOp => "unknown-op",
+            ErrorCode::UnknownGraph => "unknown-graph",
+            ErrorCode::BadSpec => "bad-spec",
+            ErrorCode::Io => "io",
+        }
+    }
+}
+
+/// A protocol-level failure: code plus human-readable message.
+#[derive(Clone, Debug)]
+pub struct ProtoError {
+    /// Machine-readable code.
+    pub code: ErrorCode,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl ProtoError {
+    /// Convenience constructor.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        Self { code, message: message.into() }
+    }
+}
+
+/// A parsed request.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Register a graph file under a name (load-once).
+    Load {
+        /// Catalog name.
+        name: String,
+        /// Server-side path.
+        path: String,
+        /// Explicit storage format (`text`/`bin`/`sgr`), else inferred.
+        format: Option<String>,
+        /// Skip the `.sgr` checksum pass (trusted files).
+        no_verify: bool,
+    },
+    /// Run a compression pipeline against a loaded graph.
+    Compress {
+        /// Catalog name of the input graph.
+        graph: String,
+        /// Pipeline spec in the CLI syntax.
+        spec: String,
+        /// Pipeline seed.
+        seed: u64,
+        /// Server-side path to write the compressed graph to.
+        output: Option<String>,
+        /// Storage format of `output`.
+        output_format: Option<String>,
+    },
+    /// Compress and report accuracy metrics vs the loaded original.
+    Analyze {
+        /// Catalog name of the input graph.
+        graph: String,
+        /// Pipeline spec in the CLI syntax.
+        spec: String,
+        /// Pipeline seed.
+        seed: u64,
+    },
+    /// Server-wide stats, or structural stats of one graph.
+    Stats {
+        /// Restrict to one loaded graph.
+        graph: Option<String>,
+    },
+    /// Drop a graph (and its cache entries) and/or clear the stage cache.
+    Evict {
+        /// Graph to evict.
+        graph: Option<String>,
+        /// Also/only clear the whole stage cache.
+        cache: bool,
+    },
+    /// Stop accepting connections and exit the serve loop.
+    Shutdown,
+}
+
+/// Parsed request envelope: the operation plus the echoed request id.
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    /// The operation.
+    pub request: Request,
+    /// Client-chosen correlation id, echoed verbatim.
+    pub id: Option<Json>,
+}
+
+fn str_field(obj: &Json, key: &str) -> Result<Option<String>, ProtoError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => {
+            Err(ProtoError::new(ErrorCode::BadRequest, format!("field '{key}' must be a string")))
+        }
+    }
+}
+
+fn require_str(obj: &Json, key: &str) -> Result<String, ProtoError> {
+    str_field(obj, key)?
+        .ok_or_else(|| ProtoError::new(ErrorCode::BadRequest, format!("missing field '{key}'")))
+}
+
+fn bool_field(obj: &Json, key: &str, default: bool) -> Result<bool, ProtoError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(Json::Bool(b)) => Ok(*b),
+        Some(_) => {
+            Err(ProtoError::new(ErrorCode::BadRequest, format!("field '{key}' must be a boolean")))
+        }
+    }
+}
+
+fn u64_field(obj: &Json, key: &str, default: u64) -> Result<u64, ProtoError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(v) => v.as_u64().ok_or_else(|| {
+            ProtoError::new(
+                ErrorCode::BadRequest,
+                format!("field '{key}' must be an unsigned integer"),
+            )
+        }),
+    }
+}
+
+/// Parses one request line into its envelope.
+pub fn parse_request(line: &str) -> Result<Envelope, ProtoError> {
+    let value = Json::parse(line)
+        .map_err(|e| ProtoError::new(ErrorCode::BadRequest, format!("invalid JSON: {e}")))?;
+    if !matches!(value, Json::Obj(_)) {
+        return Err(ProtoError::new(ErrorCode::BadRequest, "request must be a JSON object"));
+    }
+    let id = value.get("id").cloned();
+    let version = u64_field(&value, "v", PROTOCOL_VERSION)?;
+    if version != PROTOCOL_VERSION {
+        return Err(ProtoError::new(
+            ErrorCode::Version,
+            format!(
+                "unsupported protocol version {version} (this daemon speaks {PROTOCOL_VERSION})"
+            ),
+        ));
+    }
+    let op = require_str(&value, "op")?;
+    let request = match op.as_str() {
+        "ping" => Request::Ping,
+        "load" => Request::Load {
+            name: require_str(&value, "name")?,
+            path: require_str(&value, "path")?,
+            format: str_field(&value, "format")?,
+            no_verify: bool_field(&value, "no_verify", false)?,
+        },
+        "compress" => Request::Compress {
+            graph: require_str(&value, "graph")?,
+            spec: require_str(&value, "spec")?,
+            seed: u64_field(&value, "seed", 42)?,
+            output: str_field(&value, "output")?,
+            output_format: str_field(&value, "output_format")?,
+        },
+        "analyze" => Request::Analyze {
+            graph: require_str(&value, "graph")?,
+            spec: require_str(&value, "spec")?,
+            seed: u64_field(&value, "seed", 42)?,
+        },
+        "stats" => Request::Stats { graph: str_field(&value, "graph")? },
+        "evict" => {
+            let graph = str_field(&value, "graph")?;
+            let cache = bool_field(&value, "cache", false)?;
+            if graph.is_none() && !cache {
+                return Err(ProtoError::new(
+                    ErrorCode::BadRequest,
+                    "evict needs 'graph' and/or 'cache': true",
+                ));
+            }
+            Request::Evict { graph, cache }
+        }
+        "shutdown" => Request::Shutdown,
+        other => {
+            return Err(ProtoError::new(ErrorCode::UnknownOp, format!("unknown op '{other}'")))
+        }
+    };
+    Ok(Envelope { request, id })
+}
+
+/// Starts a success response: `{"v":1,"id":…,"ok":true}` ready for
+/// op-specific fields.
+pub fn ok_response(id: Option<&Json>) -> Json {
+    let mut out = Json::obj().with("v", Json::u64(PROTOCOL_VERSION));
+    if let Some(id) = id {
+        out = out.with("id", id.clone());
+    }
+    out.with("ok", Json::Bool(true))
+}
+
+/// Builds a failure response.
+pub fn error_response(id: Option<&Json>, err: &ProtoError) -> Json {
+    let mut out = Json::obj().with("v", Json::u64(PROTOCOL_VERSION));
+    if let Some(id) = id {
+        out = out.with("id", id.clone());
+    }
+    out.with("ok", Json::Bool(false)).with(
+        "error",
+        Json::obj()
+            .with("code", Json::str(err.code.name()))
+            .with("message", Json::str(err.message.clone())),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_op() {
+        let cases = [
+            ("{\"op\":\"ping\"}", "ping"),
+            ("{\"op\":\"load\",\"name\":\"g\",\"path\":\"/x.sgr\"}", "load"),
+            ("{\"op\":\"compress\",\"graph\":\"g\",\"spec\":\"uniform:p=0.5\"}", "compress"),
+            ("{\"op\":\"analyze\",\"graph\":\"g\",\"spec\":\"lowdeg\",\"seed\":7}", "analyze"),
+            ("{\"op\":\"stats\"}", "stats"),
+            ("{\"op\":\"evict\",\"graph\":\"g\"}", "evict"),
+            ("{\"op\":\"evict\",\"cache\":true}", "evict"),
+            ("{\"op\":\"shutdown\"}", "shutdown"),
+        ];
+        for (line, expect) in cases {
+            let env = parse_request(line).unwrap_or_else(|e| panic!("{line}: {}", e.message));
+            let got = match env.request {
+                Request::Ping => "ping",
+                Request::Load { .. } => "load",
+                Request::Compress { .. } => "compress",
+                Request::Analyze { .. } => "analyze",
+                Request::Stats { .. } => "stats",
+                Request::Evict { .. } => "evict",
+                Request::Shutdown => "shutdown",
+            };
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn defaults_and_ids() {
+        let env = parse_request(
+            "{\"v\":1,\"id\":\"req-9\",\"op\":\"compress\",\"graph\":\"g\",\"spec\":\"lowdeg\"}",
+        )
+        .expect("parses");
+        assert_eq!(env.id, Some(Json::Str("req-9".into())));
+        match env.request {
+            Request::Compress { seed, output, .. } => {
+                assert_eq!(seed, 42, "seed defaults to 42");
+                assert!(output.is_none());
+            }
+            other => panic!("wrong op: {other:?}"),
+        }
+        // Numeric ids echo too.
+        let env = parse_request("{\"id\":7,\"op\":\"ping\"}").expect("parses");
+        assert_eq!(env.id, Some(Json::Num("7".into())));
+    }
+
+    #[test]
+    fn rejections_carry_stable_codes() {
+        let cases = [
+            ("not json", ErrorCode::BadRequest),
+            ("[1,2]", ErrorCode::BadRequest),
+            ("{\"op\":\"frobnicate\"}", ErrorCode::UnknownOp),
+            ("{\"v\":2,\"op\":\"ping\"}", ErrorCode::Version),
+            ("{\"op\":\"load\",\"name\":\"g\"}", ErrorCode::BadRequest),
+            ("{\"op\":\"compress\",\"graph\":\"g\"}", ErrorCode::BadRequest),
+            (
+                "{\"op\":\"compress\",\"graph\":\"g\",\"spec\":\"x\",\"seed\":\"x\"}",
+                ErrorCode::BadRequest,
+            ),
+            ("{\"op\":\"evict\"}", ErrorCode::BadRequest),
+            ("{\"op\":1}", ErrorCode::BadRequest),
+        ];
+        for (line, code) in cases {
+            let err = parse_request(line).expect_err(line);
+            assert_eq!(err.code, code, "{line}: {}", err.message);
+        }
+    }
+
+    #[test]
+    fn responses_envelope_correctly() {
+        let id = Json::Str("a".into());
+        let ok = ok_response(Some(&id)).with("pong", Json::Bool(true));
+        assert_eq!(ok.render(), "{\"v\":1,\"id\":\"a\",\"ok\":true,\"pong\":true}");
+        let err = error_response(None, &ProtoError::new(ErrorCode::UnknownGraph, "no 'g'"));
+        assert_eq!(
+            err.render(),
+            "{\"v\":1,\"ok\":false,\"error\":{\"code\":\"unknown-graph\",\"message\":\"no 'g'\"}}"
+        );
+    }
+}

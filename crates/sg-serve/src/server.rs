@@ -1,0 +1,443 @@
+//! The serve loop: accept connections, answer protocol requests through
+//! one shared [`SgSession`].
+//!
+//! Each connection gets its own scoped handler thread; all handlers share
+//! the session (catalog + registry + stage cache), so a graph loaded by
+//! one client serves every client, and chain prefixes cached by one
+//! request accelerate the next — with bit-identical results, because
+//! pipelines are pure functions of `(graph, spec, seed)`.
+
+use crate::json::Json;
+use crate::net::{Listener, Stream};
+use crate::proto::{
+    error_response, ok_response, parse_request, Envelope, ErrorCode, ProtoError, Request,
+};
+use sg_algos::{cc, pagerank, tc};
+use sg_core::{GraphCatalog, PipelineSpec, SchemeRegistry, SessionRun, SgSession, StageCache};
+use sg_graph::CsrGraph;
+use std::io::{BufRead, BufReader, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of one daemon instance.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address: `host:port` (`127.0.0.1:0` = ephemeral port) or
+    /// `unix:/path/to.sock`.
+    pub listen: String,
+    /// Byte budget of the shared stage cache.
+    pub cache_bytes: usize,
+    /// Emit one JSON event line per request to stdout (the transcript CI
+    /// archives).
+    pub transcript: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            listen: "127.0.0.1:0".to_string(),
+            cache_bytes: sg_core::cache::DEFAULT_CACHE_BYTES,
+            transcript: true,
+        }
+    }
+}
+
+/// Content digest of a graph: FNV-1a over the vertex count, the canonical
+/// edge list, and (when weighted) the raw weight bits. Two graphs digest
+/// equally iff their serialized structure is byte-identical, so clients
+/// can verify "the daemon computed exactly what a local run would" without
+/// shipping the graph back.
+pub fn graph_digest(g: &CsrGraph) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |x: u64| {
+        for byte in x.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(g.num_vertices() as u64);
+    for &(u, v) in g.edge_slice() {
+        eat((u64::from(u)) << 32 | u64::from(v));
+    }
+    if let Some(weights) = g.weight_slice() {
+        for &w in weights {
+            eat(u64::from(w.to_bits()));
+        }
+    }
+    h
+}
+
+/// Shared daemon state.
+struct ServeState {
+    session: SgSession,
+    started: Instant,
+    requests: AtomicU64,
+    shutdown: AtomicBool,
+    addr: String,
+    transcript: bool,
+}
+
+impl ServeState {
+    /// Wakes the accept loop after the shutdown flag flips (a blocked
+    /// `accept` only returns on a connection).
+    fn wake_acceptor(&self) {
+        let _ = Stream::connect(&self.addr);
+    }
+
+    fn log_event(&self, op: &str, ok: bool, elapsed: Duration, detail: &str) {
+        if !self.transcript {
+            return;
+        }
+        let mut event = Json::obj()
+            .with("event", Json::str("request"))
+            .with("op", Json::str(op))
+            .with("ok", Json::Bool(ok))
+            .with("ms", Json::f64(elapsed.as_secs_f64() * 1e3));
+        if !detail.is_empty() {
+            event = event.with("detail", Json::str(detail));
+        }
+        println!("{}", event.render());
+    }
+}
+
+/// A bound (but not yet running) daemon. Binding and running are split so
+/// callers can learn the resolved ephemeral address before blocking.
+pub struct Server {
+    listener: Listener,
+    state: Arc<ServeState>,
+}
+
+impl Server {
+    /// Binds the configured address and prepares the shared session.
+    pub fn bind(cfg: &ServeConfig) -> std::io::Result<Server> {
+        let listener = Listener::bind(&cfg.listen)?;
+        let addr = listener.local_addr()?;
+        let session = SgSession::with_cache(
+            Arc::new(GraphCatalog::new()),
+            Arc::new(SchemeRegistry::with_defaults()),
+            Arc::new(StageCache::with_capacity(cfg.cache_bytes)),
+        );
+        Ok(Server {
+            listener,
+            state: Arc::new(ServeState {
+                session,
+                started: Instant::now(),
+                requests: AtomicU64::new(0),
+                shutdown: AtomicBool::new(false),
+                addr,
+                transcript: cfg.transcript,
+            }),
+        })
+    }
+
+    /// The connectable address (the resolved port for `…:0` binds).
+    pub fn local_addr(&self) -> &str {
+        &self.state.addr
+    }
+
+    /// Runs the accept loop until a `shutdown` request arrives. Connection
+    /// handlers run on scoped threads and are joined before this returns,
+    /// so no request is abandoned mid-flight.
+    pub fn run(self) -> std::io::Result<()> {
+        let state = &self.state;
+        std::thread::scope(|scope| {
+            loop {
+                let conn = match self.listener.accept() {
+                    Ok(conn) => conn,
+                    Err(e) => {
+                        if state.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        return Err(e);
+                    }
+                };
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break; // the wake-up connection, or a late client
+                }
+                scope.spawn(move || handle_connection(state, conn));
+            }
+            Ok(())
+        })
+    }
+}
+
+fn handle_connection(state: &ServeState, stream: Stream) {
+    // Bounded reads let the handler notice a server shutdown even while a
+    // client holds the connection open without sending.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let Ok(write_half) = stream.try_clone() else { return };
+    let mut writer = std::io::BufWriter::new(write_half);
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // Accumulate one line, tolerating read timeouts (partial content
+        // stays in `line` across retries).
+        let eof = loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => break true,
+                Ok(_) if line.ends_with('\n') => break false,
+                Ok(_) => continue,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if state.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        };
+        if eof && line.trim().is_empty() {
+            return;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        // A busy client sending back-to-back requests never hits the
+        // read-timeout branch, so re-check the flag per request: once any
+        // client asked for shutdown, no connection serves further work.
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let (response, op, shutdown) = respond(state, line.trim());
+        state.log_event(
+            &op,
+            response.get("ok").and_then(Json::as_bool).unwrap_or(false),
+            started.elapsed(),
+            "",
+        );
+        let written = writer
+            .write_all(response.render().as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush());
+        if shutdown {
+            state.shutdown.store(true, Ordering::SeqCst);
+            state.wake_acceptor();
+            return;
+        }
+        if written.is_err() || eof {
+            return;
+        }
+    }
+}
+
+/// Parses + dispatches one request line; returns the response, the op
+/// name (for the transcript), and whether this was a shutdown.
+fn respond(state: &ServeState, line: &str) -> (Json, String, bool) {
+    let envelope = match parse_request(line) {
+        Ok(envelope) => envelope,
+        Err(err) => return (error_response(None, &err), "invalid".to_string(), false),
+    };
+    let Envelope { request, id } = envelope;
+    let op = op_name(&request).to_string();
+    let shutdown = matches!(request, Request::Shutdown);
+    let response = match dispatch(state, request, id.as_ref()) {
+        Ok(ok) => ok,
+        Err(err) => error_response(id.as_ref(), &err),
+    };
+    (response, op, shutdown)
+}
+
+fn op_name(request: &Request) -> &'static str {
+    match request {
+        Request::Ping => "ping",
+        Request::Load { .. } => "load",
+        Request::Compress { .. } => "compress",
+        Request::Analyze { .. } => "analyze",
+        Request::Stats { .. } => "stats",
+        Request::Evict { .. } => "evict",
+        Request::Shutdown => "shutdown",
+    }
+}
+
+fn dispatch(state: &ServeState, request: Request, id: Option<&Json>) -> Result<Json, ProtoError> {
+    match request {
+        Request::Ping => Ok(ok_response(id).with("pong", Json::Bool(true))),
+        Request::Load { name, path, format, no_verify } => {
+            let (handle, loaded) = state
+                .session
+                .catalog()
+                .open(&name, &path, format.as_deref(), no_verify)
+                .map_err(|e| ProtoError::new(ErrorCode::Io, e))?;
+            Ok(ok_response(id)
+                .with("name", Json::str(handle.name()))
+                .with("graph_id", Json::u64(handle.id().0))
+                .with("source", Json::str(handle.source()))
+                .with("vertices", Json::u64(handle.graph().num_vertices() as u64))
+                .with("edges", Json::u64(handle.graph().num_edges() as u64))
+                .with("loaded", Json::Bool(loaded)))
+        }
+        Request::Compress { graph, spec, seed, output, output_format } => {
+            let run = run_pipeline(state, &graph, &spec, seed)?;
+            let mut response = run_response(ok_response(id), &run);
+            if let Some(path) = output {
+                sg_core::catalog::save_graph(&run.graph, &path, output_format.as_deref())
+                    .map_err(|e| ProtoError::new(ErrorCode::Io, e))?;
+                response = response.with("output", Json::str(path));
+            }
+            Ok(response)
+        }
+        Request::Analyze { graph, spec, seed } => {
+            let handle =
+                state.session.catalog().get(&graph).ok_or_else(|| unknown_graph(&graph))?;
+            let run = run_pipeline(state, &graph, &spec, seed)?;
+            let original = handle.graph();
+            let compressed = run.graph.as_ref();
+            let mut metrics = Json::obj()
+                .with(
+                    "components",
+                    Json::Arr(vec![
+                        Json::u64(cc::connected_components(original).num_components as u64),
+                        Json::u64(cc::connected_components(compressed).num_components as u64),
+                    ]),
+                )
+                .with(
+                    "triangles",
+                    Json::Arr(vec![
+                        Json::u64(tc::count_triangles(original)),
+                        Json::u64(tc::count_triangles(compressed)),
+                    ]),
+                );
+            if compressed.num_vertices() == original.num_vertices() {
+                let pr0 = pagerank::pagerank_default(original).scores;
+                let pr1 = pagerank::pagerank_default(compressed).scores;
+                metrics =
+                    metrics.with("pagerank_kl", Json::f64(sg_metrics::kl_divergence(&pr0, &pr1)));
+                let root = (0..original.num_vertices() as u32)
+                    .max_by_key(|&v| original.degree(v))
+                    .unwrap_or(0);
+                metrics = metrics.with(
+                    "bfs_critical_kept",
+                    Json::f64(sg_metrics::critical_edge_preservation(original, compressed, root)),
+                );
+            } else {
+                metrics =
+                    metrics.with("pagerank_kl", Json::Null).with("bfs_critical_kept", Json::Null);
+            }
+            Ok(run_response(ok_response(id), &run).with("metrics", metrics))
+        }
+        Request::Stats { graph: Some(name) } => {
+            let handle = state.session.catalog().get(&name).ok_or_else(|| unknown_graph(&name))?;
+            let g = handle.graph();
+            let stats = sg_graph::properties::degree_stats(g);
+            Ok(ok_response(id)
+                .with("name", Json::str(handle.name()))
+                .with("graph_id", Json::u64(handle.id().0))
+                .with("source", Json::str(handle.source()))
+                .with("vertices", Json::u64(g.num_vertices() as u64))
+                .with("edges", Json::u64(g.num_edges() as u64))
+                .with("weighted", Json::Bool(g.is_weighted()))
+                .with(
+                    "degrees",
+                    Json::obj()
+                        .with("min", Json::u64(stats.min as u64))
+                        .with("mean", Json::f64(stats.mean))
+                        .with("max", Json::u64(stats.max as u64)),
+                )
+                .with("components", Json::u64(cc::connected_components(g).num_components as u64)))
+        }
+        Request::Stats { graph: None } => {
+            let cache = state.session.cache().stats();
+            let graphs: Vec<Json> = state
+                .session
+                .catalog()
+                .list()
+                .into_iter()
+                .map(|h| {
+                    Json::obj()
+                        .with("name", Json::str(h.name()))
+                        .with("graph_id", Json::u64(h.id().0))
+                        .with("source", Json::str(h.source()))
+                        .with("vertices", Json::u64(h.graph().num_vertices() as u64))
+                        .with("edges", Json::u64(h.graph().num_edges() as u64))
+                })
+                .collect();
+            Ok(ok_response(id)
+                .with("graphs", Json::Arr(graphs))
+                .with(
+                    "cache",
+                    Json::obj()
+                        .with("entries", Json::u64(cache.entries as u64))
+                        .with("bytes", Json::u64(cache.bytes as u64))
+                        .with("hits", Json::u64(cache.hits))
+                        .with("misses", Json::u64(cache.misses))
+                        .with("evictions", Json::u64(cache.evictions)),
+                )
+                .with("requests", Json::u64(state.requests.load(Ordering::Relaxed)))
+                .with("uptime_ms", Json::u64(state.started.elapsed().as_millis() as u64)))
+        }
+        Request::Evict { graph, cache } => {
+            let mut response = ok_response(id);
+            if let Some(name) = graph {
+                let (handle, purged) =
+                    state.session.evict(&name).ok_or_else(|| unknown_graph(&name))?;
+                response = response
+                    .with("evicted", Json::str(handle.name()))
+                    .with("cache_entries_dropped", Json::u64(purged as u64));
+            }
+            if cache {
+                let dropped = state.session.cache().clear();
+                response = response.with("cache_cleared", Json::u64(dropped as u64));
+            }
+            Ok(response)
+        }
+        Request::Shutdown => Ok(ok_response(id).with("shutting_down", Json::Bool(true))),
+    }
+}
+
+fn unknown_graph(name: &str) -> ProtoError {
+    ProtoError::new(ErrorCode::UnknownGraph, format!("no graph loaded as '{name}'"))
+}
+
+fn run_pipeline(
+    state: &ServeState,
+    graph: &str,
+    spec: &str,
+    seed: u64,
+) -> Result<SessionRun, ProtoError> {
+    let spec = PipelineSpec::parse(spec).map_err(|e| ProtoError::new(ErrorCode::BadSpec, e))?;
+    state.session.run_named(graph, &spec, seed).map_err(|e| {
+        if e.contains("no graph loaded") {
+            ProtoError::new(ErrorCode::UnknownGraph, e)
+        } else {
+            ProtoError::new(ErrorCode::BadSpec, e)
+        }
+    })
+}
+
+/// Appends the shared compress/analyze result fields: output shape,
+/// compression ratio, content digest, per-stage reports with cache flags,
+/// and `BenchRecord`-style timings.
+fn run_response(envelope: Json, run: &SessionRun) -> Json {
+    let stages: Vec<Json> = run
+        .stages
+        .iter()
+        .map(|s| {
+            Json::obj()
+                .with("name", Json::str(s.report.name.clone()))
+                .with("label", Json::str(s.report.label.clone()))
+                .with("input_edges", Json::u64(s.report.input_edges as u64))
+                .with("output_edges", Json::u64(s.report.output_edges as u64))
+                .with("ms", Json::f64(s.report.elapsed.as_secs_f64() * 1e3))
+                .with("cached", Json::Bool(s.cached))
+        })
+        .collect();
+    envelope
+        .with("vertices", Json::u64(run.graph.num_vertices() as u64))
+        .with("edges", Json::u64(run.graph.num_edges() as u64))
+        .with("original_vertices", Json::u64(run.original_vertices as u64))
+        .with("original_edges", Json::u64(run.original_edges as u64))
+        .with("ratio", Json::f64(run.compression_ratio()))
+        .with("checksum", Json::str(format!("{:016x}", graph_digest(&run.graph))))
+        .with("total_ms", Json::f64(run.elapsed().as_secs_f64() * 1e3))
+        .with("stages_executed", Json::u64(run.stages_executed() as u64))
+        .with("stages_cached", Json::u64(run.stages_cached() as u64))
+        .with("stages", Json::Arr(stages))
+}

@@ -306,7 +306,20 @@ impl MmapGraph {
         let map = Arc::new(Mmap::map(&file)?);
         let toc = format::parse_toc(&map)?;
         if verify == Verify::Checksum {
-            format::verify_checksum(&map, &toc)?;
+            // The checksum pass streams the file front to back — tell the
+            // kernel so read-ahead runs ahead of the scan; restore the
+            // default policy afterwards (MADV_SEQUENTIAL is sticky, and
+            // the algorithms served from this mapping access it randomly).
+            map.advise_sequential();
+            let verified = format::verify_checksum(&map, &toc);
+            map.advise_normal();
+            verified?;
+        }
+        // Section windows are about to be validated (and then served to
+        // algorithms): fault them in eagerly instead of page-by-page.
+        // Best-effort hints; a kernel that ignores them changes nothing.
+        for section in &toc.sections {
+            map.advise_willneed(section.off, section.len);
         }
         let graph = assemble(&map, &toc, Some(&map))?;
         Ok(Self { graph, mapped_bytes: map.len() })

@@ -40,10 +40,20 @@ mod unix {
             offset: c_long,
         ) -> *mut c_void;
         fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        fn madvise(addr: *mut c_void, len: usize, advice: c_int) -> c_int;
     }
 
     const PROT_READ: c_int = 1;
     const MAP_PRIVATE: c_int = 2;
+    // Advice values shared by Linux and the BSD family (macOS included).
+    const MADV_NORMAL: c_int = 0;
+    const MADV_SEQUENTIAL: c_int = 2;
+    const MADV_WILLNEED: c_int = 3;
+    /// Alignment used for advice windows. `madvise` requires a
+    /// page-aligned address; mapping bases are page-aligned and 4096
+    /// divides every page size this workspace meets. On exotic page sizes
+    /// a misaligned window merely makes the kernel ignore the hint.
+    const ADVICE_ALIGN: usize = 4096;
 
     /// A read-only, page-aligned mapping of an entire file.
     pub struct Mmap {
@@ -76,6 +86,48 @@ mod unix {
                 return Err(io::Error::last_os_error());
             }
             Ok(Self { ptr: ptr as *const u8, len })
+        }
+
+        fn advise(&self, offset: usize, len: usize, advice: c_int) {
+            if self.len == 0 || offset >= self.len {
+                return;
+            }
+            // Round the window start down to the advice alignment and
+            // clamp the end to the mapping.
+            let start = offset - offset % ADVICE_ALIGN;
+            let end = (offset + len.min(self.len - offset)).min(self.len);
+            if end <= start {
+                return;
+            }
+            // SAFETY: `[start, end)` lies inside this live mapping. Advice
+            // is a hint; a failure (e.g. unexpected page size) changes
+            // nothing observable, so the return value is ignored.
+            unsafe {
+                madvise((self.ptr as *mut c_void).add(start), end - start, advice);
+            }
+        }
+
+        /// Hints the kernel that `[offset, offset + len)` will be read
+        /// soon (`MADV_WILLNEED`): read-ahead starts before the first
+        /// fault. Best-effort; errors are ignored.
+        pub fn advise_willneed(&self, offset: usize, len: usize) {
+            self.advise(offset, len, MADV_WILLNEED);
+        }
+
+        /// Hints the kernel that the whole mapping will be read
+        /// sequentially (`MADV_SEQUENTIAL`): aggressive read-ahead, early
+        /// reclaim behind the scan. **Sticky per-VMA policy** — pair with
+        /// [`Mmap::advise_normal`] once the sequential phase ends, or
+        /// random-access work afterwards runs under the wrong read-ahead
+        /// regime. Best-effort; errors are ignored.
+        pub fn advise_sequential(&self) {
+            self.advise(0, self.len, MADV_SEQUENTIAL);
+        }
+
+        /// Restores the default paging policy (`MADV_NORMAL`) after a
+        /// sequential phase. Best-effort; errors are ignored.
+        pub fn advise_normal(&self) {
+            self.advise(0, self.len, MADV_NORMAL);
         }
     }
 
@@ -122,6 +174,15 @@ mod fallback {
             reader.read_to_end(&mut buf)?;
             Ok(Self { buf })
         }
+
+        /// No-op off unix (the buffer is already resident).
+        pub fn advise_willneed(&self, _offset: usize, _len: usize) {}
+
+        /// No-op off unix (the buffer is already resident).
+        pub fn advise_sequential(&self) {}
+
+        /// No-op off unix (the buffer is already resident).
+        pub fn advise_normal(&self) {}
     }
 
     impl std::ops::Deref for Mmap {
@@ -147,6 +208,31 @@ mod tests {
         File::create(&path).and_then(|mut f| f.write_all(&payload)).expect("write");
         let map = Mmap::map(&File::open(&path).expect("open")).expect("map");
         assert_eq!(&map[..], &payload[..]);
+    }
+
+    #[test]
+    fn advice_is_safe_on_any_window() {
+        let dir = std::env::temp_dir().join("sg-store-mmap-tests");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("advice.bin");
+        let payload = vec![7u8; 10_000];
+        File::create(&path).and_then(|mut f| f.write_all(&payload)).expect("write");
+        let map = Mmap::map(&File::open(&path).expect("open")).expect("map");
+        // Hints must be unobservable: any window (aligned or not, clamped
+        // or out of range) is accepted and the contents stay intact.
+        map.advise_sequential();
+        map.advise_normal();
+        map.advise_willneed(0, payload.len());
+        map.advise_willneed(4097, 123);
+        map.advise_willneed(9_999, usize::MAX);
+        map.advise_willneed(50_000, 10);
+        assert_eq!(&map[..], &payload[..]);
+        // Empty mappings take hints too.
+        let empty_path = dir.join("advice-empty.bin");
+        File::create(&empty_path).expect("create");
+        let empty = Mmap::map(&File::open(&empty_path).expect("open")).expect("map");
+        empty.advise_sequential();
+        empty.advise_willneed(0, 1);
     }
 
     #[test]

@@ -28,12 +28,24 @@
 //! ## Determinism
 //!
 //! A tuning run is a pure function of `(graph, TuneConfig)`. Candidate
-//! order is fixed by enumeration; each candidate's pipeline seed is
-//! [`candidate_seed`]`(seed, rendered_spec)` — a function of the spec
-//! text, never of evaluation order; candidates are evaluated in parallel
-//! through the rayon shim, whose `collect` assembles results in input
-//! order. Frontier, winner, and every reported float are bit-identical at
-//! any `SG_THREADS` (pinned by `tests/tune_determinism.rs`).
+//! order is fixed by enumeration; every candidate runs with the master
+//! seed as its pipeline seed (common random numbers — and the key that
+//! lets grid neighbors share chain prefixes through the session's
+//! [`sg_core::StageCache`]); candidates are evaluated in parallel through
+//! the rayon shim, whose `collect` assembles results in input order, and
+//! cache hits are bit-identical to cold runs. Frontier, winner, and every
+//! reported float are bit-identical at any `SG_THREADS` (pinned by
+//! `tests/tune_determinism.rs`). The only interleaving-dependent outputs
+//! are the [`TuneOutcome::stages_executed`] perf counters, which are
+//! excluded from the JSON rendering.
+//!
+//! ## Warm starting
+//!
+//! [`TuneConfig::warm_start`] seeds round 0 with extra specs — typically
+//! the frontier of a previous run (`slimgraph tune --warm-start
+//! frontier.json` parses a prior `--json` outcome). Warm specs are
+//! screened and refined like generated candidates, so a warm run can
+//! never lose to the run that produced the frontier.
 //!
 //! ## Example
 //!
@@ -41,9 +53,10 @@
 //! use sg_core::SchemeRegistry;
 //! use sg_graph::generators;
 //! use sg_tune::{tune, MetricKind, Target, TuneConfig};
+//! use std::sync::Arc;
 //!
 //! let g = generators::barabasi_albert(300, 4, 1);
-//! let registry = SchemeRegistry::with_defaults();
+//! let registry = Arc::new(SchemeRegistry::with_defaults());
 //! let target = Target { metric: MetricKind::DegreeL1, max: 0.8 };
 //! let mut cfg = TuneConfig::new(g.num_edges() * 3 / 4, target, 42);
 //! cfg.schemes = Some(vec!["uniform".into(), "spanner".into()]);
@@ -63,4 +76,4 @@ pub mod search;
 pub use candidates::{axis_for, enumerate_chains, Axis, Scale};
 pub use objective::{MetricKind, Objective, Target};
 pub use pareto::{ParetoFront, ParetoPoint};
-pub use search::{candidate_seed, tune, Evaluated, TuneConfig, TuneOutcome};
+pub use search::{tune, Evaluated, TuneConfig, TuneOutcome};

@@ -17,7 +17,7 @@
 use sg_algos::{cc, pagerank, tc};
 use sg_core::CompressionResult;
 use sg_graph::properties::DegreeDistribution;
-use sg_graph::CsrGraph;
+use sg_graph::{CsrGraph, VertexId};
 use sg_metrics::{
     compare_degree_distribution_baseline, kl_divergence, project_scores, relative_error,
     reordered_pair_fraction,
@@ -165,15 +165,23 @@ impl Objective {
     /// never be feasible). The score is a pure function of
     /// `(baseline, result)`, so repeated calls are bit-identical.
     pub fn score(&self, result: &CompressionResult) -> f64 {
+        self.score_parts(&result.graph, result.vertex_mapping.as_deref())
+    }
+
+    /// [`Objective::score`] over the raw parts — the session-API entry
+    /// point: [`sg_core::SessionRun`] hands out its graph and composed
+    /// mapping behind `Arc`s, and scoring them in place avoids
+    /// materializing (deep-cloning) a `CompressionResult` per candidate.
+    pub fn score_parts(&self, graph: &CsrGraph, mapping: Option<&[Option<VertexId>]>) -> f64 {
         let value = match self.metric {
             MetricKind::PagerankKl => {
                 let base = self.baseline.pagerank.as_ref().expect("baseline computed");
-                let scores = if result.graph.num_vertices() == 0 {
+                let scores = if graph.num_vertices() == 0 {
                     Vec::new()
                 } else {
-                    pagerank::pagerank_default(&result.graph).scores
+                    pagerank::pagerank_default(graph).scores
                 };
-                match project_scores(self.num_vertices, result.vertex_mapping.as_deref(), &scores) {
+                match project_scores(self.num_vertices, mapping, &scores) {
                     // An empty support (n = 0) is trivially undistorted;
                     // kl_divergence asserts non-emptiness.
                     Some(projected) if projected.is_empty() => 0.0,
@@ -184,26 +192,23 @@ impl Objective {
             MetricKind::ReorderedTc => {
                 let base = self.baseline.tc_per_vertex.as_ref().expect("baseline computed");
                 let after: Vec<f64> =
-                    tc::triangles_per_vertex(&result.graph).iter().map(|&x| x as f64).collect();
-                match project_scores(self.num_vertices, result.vertex_mapping.as_deref(), &after) {
+                    tc::triangles_per_vertex(graph).iter().map(|&x| x as f64).collect();
+                match project_scores(self.num_vertices, mapping, &after) {
                     Some(projected) => reordered_pair_fraction(base, &projected),
                     None => f64::INFINITY,
                 }
             }
             MetricKind::DegreeL1 => {
                 let base = self.baseline.degree_dist.as_ref().expect("baseline computed");
-                compare_degree_distribution_baseline(base, &result.graph).l1_distance
+                compare_degree_distribution_baseline(base, graph).l1_distance
             }
             MetricKind::TrianglesRel => {
                 let t0 = self.baseline.triangles.expect("baseline computed");
-                relative_error(t0 as f64, tc::count_triangles(&result.graph) as f64)
+                relative_error(t0 as f64, tc::count_triangles(graph) as f64)
             }
             MetricKind::ComponentsRel => {
                 let c0 = self.baseline.components.expect("baseline computed");
-                relative_error(
-                    c0 as f64,
-                    cc::connected_components(&result.graph).num_components as f64,
-                )
+                relative_error(c0 as f64, cc::connected_components(graph).num_components as f64)
             }
         };
         if value.is_nan() {

@@ -1,21 +1,31 @@
 //! The tuning loop: deterministic successive grid refinement over the
-//! candidate space, parallel candidate evaluation, and winner validation.
+//! candidate space, parallel session-based candidate evaluation, and
+//! winner validation.
 //!
 //! Determinism contract (the same one the rayon shim pins for kernels):
-//! the candidate list of every round, each candidate's RNG seed, and all
-//! tie-breaks are pure functions of `(graph, TuneConfig)` — never of
-//! thread count or evaluation timing. Candidates are evaluated with
-//! `par_iter().map(..).collect()`, which assembles results in input order,
-//! so a tuning run is bit-identical at any `SG_THREADS`.
+//! the candidate list of every round and all tie-breaks are pure functions
+//! of `(graph, TuneConfig)` — never of thread count or evaluation timing.
+//! Candidates are evaluated with `par_iter().map(..).collect()`, which
+//! assembles results in input order, so a tuning run is bit-identical at
+//! any `SG_THREADS`.
+//!
+//! Every candidate runs with the **same pipeline seed** (the master seed)
+//! through a shared [`sg_core::SgSession`], so grid-refinement neighbors —
+//! which differ only in one suffix stage's parameter — reuse their shared
+//! chain prefix from the [`sg_core::StageCache`] instead of recomputing
+//! it. Cache hits are bit-identical to cold runs (pipelines are pure
+//! functions of `(graph, spec, seed)`), so *results* stay deterministic;
+//! only the [`TuneOutcome::stages_executed`] perf counter depends on
+//! evaluation interleaving and is therefore excluded from the JSON.
 
 use crate::candidates::{enumerate_chains, initial_candidates, refine};
 use crate::objective::{Objective, Target};
 use crate::pareto::{ParetoFront, ParetoPoint};
 use rayon::prelude::*;
-use sg_core::{PipelineSpec, SchemeRegistry};
-use sg_graph::prng::mix64;
+use sg_core::{GraphCatalog, PipelineSpec, SchemeRegistry, SgSession, StageCache};
 use sg_graph::CsrGraph;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Configuration of one tuning run.
 #[derive(Clone, Debug)]
@@ -40,6 +50,15 @@ pub struct TuneConfig {
     /// Safety cap on round-0 candidates (the chain × grid cross product
     /// grows fast with depth).
     pub max_candidates: usize,
+    /// Extra round-0 candidates — typically the Pareto frontier of a
+    /// previous run (`slimgraph tune --warm-start frontier.json`). They
+    /// are screened and refined alongside the generated grid, so a warm
+    /// start both seeds known-good regions and composes with the stage
+    /// cache (warm specs share prefixes with their own refinements).
+    pub warm_start: Vec<PipelineSpec>,
+    /// Byte budget of the shared stage cache used for candidate
+    /// evaluation (0 disables prefix reuse).
+    pub cache_bytes: usize,
 }
 
 impl TuneConfig {
@@ -56,6 +75,8 @@ impl TuneConfig {
             grid: 3,
             schemes: None,
             max_candidates: 20_000,
+            warm_start: Vec::new(),
+            cache_bytes: sg_core::cache::DEFAULT_CACHE_BYTES,
         }
     }
 }
@@ -100,6 +121,17 @@ pub struct TuneOutcome {
     pub budget_edges: usize,
     /// The target the run enforced.
     pub target: Target,
+    /// Pipeline stages across all candidates (executed + cache-reused).
+    ///
+    /// **Perf counter, not part of the deterministic outcome**: which
+    /// concurrent candidate computes a shared prefix (and which reuses it)
+    /// depends on evaluation interleaving, so `stages_executed` may vary
+    /// with `SG_THREADS` even though every graph, metric, and the JSON
+    /// rendering are bit-identical. Deliberately excluded from
+    /// [`TuneOutcome::to_json`].
+    pub stages_total: usize,
+    /// Pipeline stages actually executed (see [`TuneOutcome::stages_total`]).
+    pub stages_executed: usize,
 }
 
 impl TuneOutcome {
@@ -160,40 +192,40 @@ impl TuneOutcome {
     }
 }
 
-/// The deterministic pipeline seed of a candidate: FNV-1a over the
-/// rendered spec, mixed with the master seed. A pure function of
-/// `(seed, spec)` — never of candidate index, round, or thread count — so
-/// re-running a spec standalone reproduces the tuner's result exactly.
-pub fn candidate_seed(seed: u64, rendered: &str) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in rendered.bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    mix64(seed ^ h)
-}
-
+/// Every candidate runs with the master seed itself as its pipeline seed.
+///
+/// Until the session rewiring, each candidate derived a private seed from
+/// its rendered spec text. Sharing one seed has two deliberate effects:
+/// grid neighbors now compare under *common random numbers* (a paired
+/// comparison — parameter differences are not confounded with RNG
+/// differences), and chain prefixes become shareable through the
+/// [`StageCache`] (stage `i`'s seed is positional in the chain, so two
+/// specs agreeing on a prefix agree on its stage seeds). Still a pure
+/// function of the config — re-running the winner standalone with
+/// [`Evaluated::seed`] reproduces the tuner's numbers exactly.
 fn evaluate(
-    g: &CsrGraph,
-    registry: &SchemeRegistry,
+    session: &SgSession,
+    handle: &sg_core::GraphHandle,
     objective: &Objective,
-    master_seed: u64,
+    seed: u64,
     spec: &PipelineSpec,
-) -> Option<Evaluated> {
+) -> Option<(Evaluated, usize)> {
     let rendered = spec.render();
-    let pipeline = spec.build(registry).ok()?;
-    let seed = candidate_seed(master_seed, &rendered);
-    let out = pipeline.apply(g, seed);
-    let metric = objective.score(&out.result);
-    Some(Evaluated {
-        spec: spec.clone(),
-        rendered,
-        edges: out.result.graph.num_edges(),
-        vertices: out.result.graph.num_vertices(),
-        ratio: out.result.compression_ratio(),
-        metric,
-        seed,
-    })
+    let run = session.run(handle, spec, seed).ok()?;
+    let metric = objective.score_parts(&run.graph, run.vertex_mapping.as_deref().map(|m| &m[..]));
+    let executed = run.stages_executed();
+    Some((
+        Evaluated {
+            spec: spec.clone(),
+            rendered,
+            edges: run.graph.num_edges(),
+            vertices: run.graph.num_vertices(),
+            ratio: run.compression_ratio(),
+            metric,
+            seed,
+        },
+        executed,
+    ))
 }
 
 /// Total order used both to pick refinement survivors and the winner:
@@ -221,13 +253,17 @@ fn rank(a: &Evaluated, b: &Evaluated, cfg: &TuneConfig) -> std::cmp::Ordering {
 /// survivors for `cfg.rounds` rounds, re-validate the winner with a fresh
 /// run, and return the frontier + winner.
 ///
+/// The registry is taken as an `Arc` because evaluation runs through a
+/// shared [`SgSession`] (whose stage cache lets grid neighbors reuse
+/// chain prefixes); the session holds a reference for the whole run.
+///
 /// Errors on invalid configuration (unknown scheme names, zero-sized
 /// search, a round-0 cross product beyond `max_candidates`) and on winner
 /// re-validation mismatch (which would indicate a determinism bug —
 /// pipelines are pure functions of `(graph, spec, seed)`).
 pub fn tune(
     g: &CsrGraph,
-    registry: &SchemeRegistry,
+    registry: &Arc<SchemeRegistry>,
     cfg: &TuneConfig,
 ) -> Result<TuneOutcome, String> {
     if cfg.max_depth == 0 || cfg.grid == 0 || cfg.keep == 0 {
@@ -278,9 +314,29 @@ pub fn tune(
     let chains = enumerate_chains(&names, cfg.max_depth);
     let mut batch = initial_candidates(&chains, cfg.grid);
     debug_assert_eq!(batch.len() as u128, round0, "cap arithmetic matches enumeration");
+    // Warm-start specs join round 0 after the generated grid (dedup below
+    // drops exact repeats); invalid specs fail loudly rather than being
+    // silently skipped.
+    for spec in &cfg.warm_start {
+        spec.build(registry).map_err(|e| format!("warm-start spec '{}': {e}", spec.render()))?;
+        batch.push(spec.clone());
+    }
+
+    // One shared session: every candidate runs against the same handle
+    // with the same seed, so chain prefixes are reused across candidates.
+    let catalog = Arc::new(GraphCatalog::new());
+    let handle =
+        catalog.insert("tune-input", g.clone(), "tune input").expect("fresh catalog has no names");
+    let session = SgSession::with_cache(
+        catalog,
+        Arc::clone(registry),
+        Arc::new(StageCache::with_capacity(cfg.cache_bytes)),
+    );
 
     let mut seen: BTreeSet<String> = BTreeSet::new();
     let mut all: Vec<Evaluated> = Vec::new();
+    let mut stages_total = 0usize;
+    let mut stages_executed = 0usize;
     for round in 0..=cfg.rounds {
         batch.retain(|spec| seen.insert(spec.render()));
         if batch.is_empty() {
@@ -288,11 +344,15 @@ pub fn tune(
         }
         // Parallel evaluation; `collect` assembles in input order, so the
         // result is bit-identical at any thread count.
-        let evals: Vec<Option<Evaluated>> = batch
+        let evals: Vec<Option<(Evaluated, usize)>> = batch
             .par_iter()
-            .map(|spec| evaluate(g, registry, &objective, cfg.seed, spec))
+            .map(|spec| evaluate(&session, &handle, &objective, cfg.seed, spec))
             .collect();
-        all.extend(evals.into_iter().flatten());
+        for (evaluated, executed) in evals.into_iter().flatten() {
+            stages_total += evaluated.spec.len();
+            stages_executed += executed;
+            all.push(evaluated);
+        }
         if round == cfg.rounds {
             break;
         }
@@ -307,14 +367,26 @@ pub fn tune(
 
     let winner = all.iter().min_by(|a, b| rank(a, b, cfg)).filter(|e| e.feasible(cfg)).cloned();
     if let Some(w) = &winner {
-        // Fresh standalone run of the winning spec: the determinism
-        // contract says it must reproduce the tuner's numbers exactly.
-        let fresh = evaluate(g, registry, &objective, cfg.seed, &w.spec)
-            .ok_or_else(|| format!("winner '{}' failed to rebuild", w.rendered))?;
-        if fresh.edges != w.edges || fresh.metric.to_bits() != w.metric.to_bits() {
+        // Fresh standalone run of the winning spec through the *cold*
+        // `Pipeline::apply` path (no session, no cache): the determinism
+        // contract says it must reproduce the tuner's numbers exactly, and
+        // going cold cross-checks the session executor against the classic
+        // one.
+        let fresh = w
+            .spec
+            .build(registry)
+            .map_err(|e| format!("winner '{}' failed to rebuild: {e}", w.rendered))?
+            .apply(g, w.seed);
+        let fresh_metric = objective.score(&fresh.result);
+        if fresh.result.graph.num_edges() != w.edges || fresh_metric.to_bits() != w.metric.to_bits()
+        {
             return Err(format!(
                 "winner '{}' failed re-validation: {} edges / metric {} vs fresh {} / {}",
-                w.rendered, w.edges, w.metric, fresh.edges, fresh.metric
+                w.rendered,
+                w.edges,
+                w.metric,
+                fresh.result.graph.num_edges(),
+                fresh_metric
             ));
         }
     }
@@ -336,6 +408,8 @@ pub fn tune(
         evaluated: all.len(),
         budget_edges: cfg.budget_edges,
         target: cfg.target,
+        stages_total,
+        stages_executed,
     })
 }
 
@@ -355,10 +429,14 @@ mod tests {
         cfg
     }
 
+    fn registry() -> Arc<SchemeRegistry> {
+        Arc::new(SchemeRegistry::with_defaults())
+    }
+
     #[test]
     fn finds_a_feasible_winner_and_validates_it() {
         let g = generators::barabasi_albert(400, 4, 1);
-        let registry = SchemeRegistry::with_defaults();
+        let registry = registry();
         let cfg = small_cfg(g.num_edges() * 3 / 4, 1.0);
         let out = tune(&g, &registry, &cfg).expect("search runs");
         let w = out.winner.expect("generous target is feasible");
@@ -367,21 +445,44 @@ mod tests {
         assert!(!out.frontier.is_empty());
         assert!(out.evaluated > 0);
 
-        // The winner must hold up under a fully standalone re-run.
+        // The winner must hold up under a fully standalone re-run with
+        // its reported seed (which is the master seed).
+        assert_eq!(w.seed, cfg.seed);
         let pipeline = w.spec.build(&registry).expect("builds");
-        let fresh = pipeline.apply(&g, candidate_seed(cfg.seed, &w.rendered));
+        let fresh = pipeline.apply(&g, w.seed);
         assert_eq!(fresh.result.graph.num_edges(), w.edges);
+    }
+
+    #[test]
+    fn shared_prefixes_are_reused_across_candidates() {
+        let g = generators::barabasi_albert(300, 3, 4);
+        let registry = registry();
+        let mut cfg = small_cfg(g.num_edges(), 1.0);
+        cfg.max_depth = 2;
+        let out = tune(&g, &registry, &cfg).expect("runs");
+        assert!(out.stages_total > 0);
+        assert!(
+            out.stages_executed < out.stages_total,
+            "two-stage chains share single-stage prefixes; {} executed of {}",
+            out.stages_executed,
+            out.stages_total
+        );
+        // Disabling the cache executes everything, with identical results.
+        let mut cold = cfg.clone();
+        cold.cache_bytes = 0;
+        let cold_out = tune(&g, &registry, &cold).expect("cold runs");
+        assert_eq!(cold_out.stages_executed, cold_out.stages_total);
+        assert_eq!(cold_out.to_json(), out.to_json(), "cache is invisible in the outcome");
     }
 
     #[test]
     fn impossible_targets_are_reported_infeasible() {
         let g = generators::erdos_renyi(200, 800, 2);
-        let registry = SchemeRegistry::with_defaults();
         // Budget of 0 edges with a 0.0-distortion requirement: nothing can
         // satisfy both on a connected-ish graph.
         let mut cfg = small_cfg(0, 0.0);
         cfg.rounds = 0;
-        let out = tune(&g, &registry, &cfg).expect("search still runs");
+        let out = tune(&g, &registry(), &cfg).expect("search still runs");
         assert!(out.winner.is_none(), "must report infeasibility, not invent a winner");
         assert!(out.evaluated > 0);
     }
@@ -389,7 +490,7 @@ mod tests {
     #[test]
     fn repeated_runs_are_identical() {
         let g = generators::watts_strogatz(300, 4, 0.1, 3);
-        let registry = SchemeRegistry::with_defaults();
+        let registry = registry();
         let cfg = small_cfg(g.num_edges(), 0.5);
         let a = tune(&g, &registry, &cfg).expect("run a");
         let b = tune(&g, &registry, &cfg).expect("run b");
@@ -397,9 +498,33 @@ mod tests {
     }
 
     #[test]
+    fn warm_start_seeds_round_zero() {
+        let g = generators::barabasi_albert(300, 4, 8);
+        let registry = registry();
+        let cfg = small_cfg(g.num_edges() * 3 / 4, 1.0);
+        let first = tune(&g, &registry, &cfg).expect("first run");
+        let frontier_specs: Vec<PipelineSpec> =
+            first.frontier.points().iter().map(|p| p.spec.clone()).collect();
+        assert!(!frontier_specs.is_empty());
+
+        // Warm-starting with the previous frontier cannot lose: the warm
+        // run must find a winner at least as small.
+        let mut warm = cfg.clone();
+        warm.warm_start = frontier_specs;
+        let second = tune(&g, &registry, &warm).expect("warm run");
+        let (a, b) = (first.winner.expect("feasible"), second.winner.expect("feasible"));
+        assert!(b.edges <= a.edges, "warm start regressed: {} > {}", b.edges, a.edges);
+
+        // Bad warm-start specs fail loudly.
+        let mut bad = cfg.clone();
+        bad.warm_start = vec![PipelineSpec::parse("nope").expect("syntactically fine")];
+        assert!(tune(&g, &registry, &bad).unwrap_err().contains("warm-start"));
+    }
+
+    #[test]
     fn config_errors_are_loud() {
         let g = generators::cycle(10);
-        let registry = SchemeRegistry::with_defaults();
+        let registry = registry();
         let mut cfg = small_cfg(10, 1.0);
         cfg.schemes = Some(vec!["nope".into()]);
         assert!(tune(&g, &registry, &cfg).unwrap_err().contains("unknown scheme"));
@@ -409,14 +534,5 @@ mod tests {
         let mut cfg = small_cfg(10, 1.0);
         cfg.keep = 0;
         assert!(tune(&g, &registry, &cfg).is_err());
-    }
-
-    #[test]
-    fn candidate_seeds_differ_by_spec_not_by_order() {
-        let s1 = candidate_seed(7, "uniform:p=0.5");
-        let s2 = candidate_seed(7, "uniform:p=0.55");
-        assert_ne!(s1, s2);
-        assert_eq!(s1, candidate_seed(7, "uniform:p=0.5"), "pure function");
-        assert_ne!(s1, candidate_seed(8, "uniform:p=0.5"), "master seed matters");
     }
 }

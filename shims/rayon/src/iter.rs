@@ -4,9 +4,9 @@
 //! (a range, a slice, a zip of slices). [`ParallelIterator::seq_chunk`]
 //! instantiates the whole pipeline as a plain sequential [`Iterator`] over
 //! one contiguous sub-range of the base; the [`drive`] function splits the
-//! base into [`chunk_bounds`]-determined chunks, hands them to scoped
-//! worker threads through an atomic cursor, and returns the per-chunk
-//! results **in chunk order**. Terminal operations combine that ordered
+//! base into [`chunk_bounds`]-determined chunks, hands them to the
+//! persistent [`crate::pool`] workers through an atomic cursor, and
+//! returns the per-chunk results **in chunk order**. Terminal operations combine that ordered
 //! vector left-to-right, which is what makes every result — floating-point
 //! rounding included — independent of the thread count (see the crate
 //! docs).
@@ -42,9 +42,11 @@ pub fn chunk_bounds(len: usize) -> Vec<Range<usize>> {
 
 /// Runs `per_chunk` over every chunk of `p`'s base index space and returns
 /// the results in chunk order. With more than one configured thread the
-/// chunks are distributed dynamically (workers pull the next chunk index
-/// from an atomic cursor); at one thread everything runs inline. A panic in
-/// any chunk is propagated to the caller after all workers have stopped.
+/// chunks are distributed dynamically (persistent pool workers pull the
+/// next chunk index from an atomic cursor — see [`crate::pool`]); at one
+/// thread, or when already running *on* a pool worker (nested
+/// parallelism), everything runs inline. A panic in any chunk is
+/// propagated to the caller after all workers have stopped.
 pub(crate) fn drive<P, R, F>(p: &P, per_chunk: F) -> Vec<R>
 where
     P: ParallelIterator + Sync,
@@ -56,29 +58,25 @@ where
         return Vec::new();
     }
     let workers = crate::current_num_threads().min(bounds.len());
-    if workers <= 1 {
+    if workers <= 1 || crate::pool::on_worker_thread() {
         return bounds.into_iter().map(|r| per_chunk(p, r)).collect();
     }
     let cursor = AtomicUsize::new(0);
-    let tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut mine: Vec<(usize, R)> = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(range) = bounds.get(i) else { break };
-                        mine.push((i, per_chunk(p, range.clone())));
-                    }
-                    mine
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
-            .collect()
-    });
+    let collected: std::sync::Mutex<Vec<(usize, R)>> =
+        std::sync::Mutex::new(Vec::with_capacity(bounds.len()));
+    let ticket = || {
+        let mut mine: Vec<(usize, R)> = Vec::new();
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            let Some(range) = bounds.get(i) else { break };
+            mine.push((i, per_chunk(p, range.clone())));
+        }
+        if !mine.is_empty() {
+            collected.lock().unwrap_or_else(|e| e.into_inner()).extend(mine);
+        }
+    };
+    crate::pool::submit(workers, &ticket).join();
+    let tagged = collected.into_inner().unwrap_or_else(|e| e.into_inner());
     let mut out: Vec<Option<R>> = Vec::with_capacity(bounds.len());
     out.resize_with(bounds.len(), || None);
     for (i, r) in tagged {
@@ -106,7 +104,7 @@ where
         return None;
     }
     let workers = crate::current_num_threads().min(bounds.len());
-    if workers <= 1 {
+    if workers <= 1 || crate::pool::on_worker_thread() {
         // Inline: one live partial at a time.
         let mut acc: Option<R> = None;
         for range in bounds {
@@ -119,51 +117,66 @@ where
         return acc;
     }
     let cursor = AtomicUsize::new(0);
-    let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                let tx = tx.clone();
-                scope.spawn({
-                    let bounds = &bounds;
-                    let cursor = &cursor;
-                    let per_chunk = &per_chunk;
-                    move || loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(range) = bounds.get(i) else { break };
-                        // A send error means the receiver died with a
-                        // panic already in flight; just stop producing.
-                        if tx.send((i, per_chunk(p, range.clone()))).is_err() {
-                            break;
-                        }
-                    }
-                })
-            })
-            .collect();
-        drop(tx);
-        let mut acc: Option<R> = None;
-        let mut stash: Vec<Option<R>> = Vec::with_capacity(bounds.len());
-        stash.resize_with(bounds.len(), || None);
-        let mut next = 0usize;
-        // Iteration ends when every worker has dropped its sender (all
-        // chunks delivered, or a worker panicked and stopped early).
-        for (i, part) in rx {
-            stash[i] = Some(part);
-            while next < bounds.len() {
-                let Some(ready) = stash[next].take() else { break };
+    // Per-chunk partials land in `slots`; the caller merges them in chunk
+    // order as they become ready. `live_tickets` lets the caller stop
+    // waiting if a ticket dies mid-chunk (the pool re-raises the panic in
+    // `join` below).
+    struct FoldState<R> {
+        slots: Vec<Option<R>>,
+        live_tickets: usize,
+    }
+    let sync = std::sync::Mutex::new(FoldState {
+        slots: {
+            let mut v: Vec<Option<R>> = Vec::with_capacity(bounds.len());
+            v.resize_with(bounds.len(), || None);
+            v
+        },
+        live_tickets: workers,
+    });
+    let ready = std::sync::Condvar::new();
+    let ticket = || {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            let Some(range) = bounds.get(i) else { break };
+            let part = per_chunk(p, range.clone());
+            let mut st = sync.lock().unwrap_or_else(|e| e.into_inner());
+            st.slots[i] = Some(part);
+            drop(st);
+            ready.notify_all();
+        }));
+        let mut st = sync.lock().unwrap_or_else(|e| e.into_inner());
+        st.live_tickets -= 1;
+        drop(st);
+        ready.notify_all();
+        if let Err(payload) = outcome {
+            std::panic::resume_unwind(payload); // recorded by the pool group
+        }
+    };
+    let handle = crate::pool::submit(workers, &ticket);
+    let mut acc: Option<R> = None;
+    let mut next = 0usize;
+    {
+        let mut st = sync.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            while next < bounds.len() && st.slots[next].is_some() {
+                let part = st.slots[next].take().expect("checked is_some");
+                drop(st); // combine outside the lock
                 acc = Some(match acc.take() {
-                    None => ready,
-                    Some(a) => combine(a, ready),
+                    None => part,
+                    Some(a) => combine(a, part),
                 });
                 next += 1;
+                st = sync.lock().unwrap_or_else(|e| e.into_inner());
             }
+            if next == bounds.len() || st.live_tickets == 0 {
+                break;
+            }
+            st = ready.wait(st).unwrap_or_else(|e| e.into_inner());
         }
-        for h in handles {
-            h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
-        }
-        assert_eq!(next, bounds.len(), "every chunk merges exactly once");
-        acc
-    })
+    }
+    handle.join(); // re-raises a ticket panic here
+    assert_eq!(next, bounds.len(), "every chunk merges exactly once");
+    acc
 }
 
 /// A parallel iterator: an indexed pipeline that can be instantiated as a

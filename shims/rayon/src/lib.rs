@@ -6,9 +6,9 @@
 //! facade, work is now genuinely parallel: every parallel iterator is an
 //! *indexed* pipeline over a base source (a range, a slice, a zip of
 //! slices). At a terminal operation the base index space is split into
-//! contiguous chunks, scoped worker threads pull chunks off a shared atomic
-//! cursor, each chunk runs the whole adapter pipeline sequentially, and the
-//! per-chunk results are combined **in chunk order**.
+//! contiguous chunks, [`pool`] worker threads pull chunks off a shared
+//! atomic cursor, each chunk runs the whole adapter pipeline sequentially,
+//! and the per-chunk results are combined **in chunk order**.
 //!
 //! # Determinism contract
 //!
@@ -39,11 +39,16 @@
 //! 4. [`std::thread::available_parallelism`].
 //!
 //! At 1 thread no threads are spawned and chunks run inline on the caller.
-//! Threads are scoped per terminal operation rather than pooled; spawn cost
-//! is a few tens of microseconds per call, which the workspace's
-//! coarse-grained kernels amortize easily.
+//! Workers live in a **persistent process-wide pool** ([`pool`]): they are
+//! spawned lazily on the first multi-threaded terminal op, grow to the
+//! largest worker count ever requested, and park between ops — a daemon
+//! serving many small requests no longer pays a spawn/join per request.
+//! Nested parallel calls made *from* a pool worker run inline over the
+//! same chunk order (a worker must never block on the pool), so nesting
+//! can never deadlock and never changes results.
 
 pub mod iter;
+pub mod pool;
 pub mod range;
 pub mod slice;
 
@@ -291,6 +296,39 @@ mod tests {
         // never inline on the caller (how many workers get scheduled is up
         // to the OS, so that is all we can assert deterministically).
         assert!(!ids.is_empty() && !ids.contains(&caller), "chunks ran inline on the caller");
+        crate::set_num_threads(0);
+    }
+
+    #[test]
+    fn nested_parallelism_runs_inline_and_agrees() {
+        // A parallel op issued from inside a pool worker must not block on
+        // the pool (deadlock) and must produce the sequential answer.
+        let nested = invariant(|| {
+            (0u64..64)
+                .into_par_iter()
+                .map(|x| (0u64..100).into_par_iter().map(|y| x * y).sum::<u64>())
+                .collect::<Vec<_>>()
+        });
+        let expect: Vec<u64> = (0u64..64).map(|x| (0u64..100).map(|y| x * y).sum()).collect();
+        assert_eq!(nested, expect);
+    }
+
+    #[test]
+    fn pool_survives_panics_and_keeps_serving() {
+        let _guard = lock_knob();
+        crate::set_num_threads(4);
+        for _ in 0..3 {
+            let r = std::panic::catch_unwind(|| {
+                (0u32..500).into_par_iter().for_each(|x| {
+                    if x == 250 {
+                        panic!("mid-op panic");
+                    }
+                });
+            });
+            assert!(r.is_err());
+            let sum: u64 = (0u64..10_000).into_par_iter().sum();
+            assert_eq!(sum, 49_995_000, "pool must keep working after a panic");
+        }
         crate::set_num_threads(0);
     }
 

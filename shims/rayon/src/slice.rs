@@ -241,19 +241,38 @@ where
 {
     let len = v.len();
     let threads = crate::current_num_threads();
-    if threads <= 1 || len <= SEQ_SORT_CUTOFF {
+    if threads <= 1 || len <= SEQ_SORT_CUTOFF || crate::pool::on_worker_thread() {
         v.sort_by(|a, b| cmp(a, b));
         return;
     }
     // Cut into one run per thread (capped so runs stay non-trivial) and
-    // sort the runs concurrently — safe disjoint &mut via chunks_mut.
+    // sort the runs concurrently on the persistent pool. Runs are disjoint
+    // element ranges, so reborrowing them mutably per run index is the
+    // `split_at_mut` contract spelled with raw pointers.
     let runs = threads.min(len.div_ceil(SEQ_SORT_CUTOFF / 2)).max(2);
     let run_len = len.div_ceil(runs);
-    std::thread::scope(|scope| {
-        for piece in v.chunks_mut(run_len) {
-            scope.spawn(move || piece.sort_by(|a, b| cmp(a, b)));
+    let n_runs = len.div_ceil(run_len);
+    struct SendPtr<T>(*mut T);
+    // SAFETY: only disjoint ranges are materialized from the pointer.
+    unsafe impl<T: Send> Send for SendPtr<T> {}
+    // SAFETY: see `Send`.
+    unsafe impl<T: Send> Sync for SendPtr<T> {}
+    let base = SendPtr(v.as_mut_ptr());
+    let base = &base; // capture the Sync wrapper, not the raw pointer field
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let ticket = || loop {
+        let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if i >= n_runs {
+            break;
         }
-    });
+        let start = i * run_len;
+        let stop = (start + run_len).min(len);
+        // SAFETY: run index ranges partition 0..len and each index is
+        // claimed exactly once via the cursor.
+        let piece = unsafe { std::slice::from_raw_parts_mut(base.0.add(start), stop - start) };
+        piece.sort_by(|a, b| cmp(a, b));
+    };
+    crate::pool::submit(threads.min(n_runs), &ticket).join();
     // Merge run index lists pairwise until one permutation remains.
     let mut index_runs: Vec<Vec<usize>> =
         (0..len).step_by(run_len).map(|s| (s..(s + run_len).min(len)).collect()).collect();

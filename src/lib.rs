@@ -13,6 +13,8 @@
 //! * [`lowrank`] — low-rank adjacency approximation (`sg-lowrank`)
 //! * [`dist`] — simulated distributed compression (`sg-dist`)
 //! * [`store`] — `.sgr` zero-copy CSR container + mmap loader (`sg-store`)
+//! * [`serve`] — compression-as-a-service daemon + protocol client
+//!   (`sg-serve`)
 
 pub use sg_algos as algos;
 pub use sg_core as core;
@@ -20,11 +22,12 @@ pub use sg_dist as dist;
 pub use sg_graph as graph;
 pub use sg_lowrank as lowrank;
 pub use sg_metrics as metrics;
+pub use sg_serve as serve;
 pub use sg_store as store;
 pub use sg_tune as tune;
 
 pub use sg_core::{
-    CompressionResult, CompressionScheme, Pipeline, PipelineResult, PipelineSpec, SchemeParams,
-    SchemeRegistry,
+    CompressionResult, CompressionScheme, GraphCatalog, GraphHandle, Pipeline, PipelineResult,
+    PipelineSpec, SchemeParams, SchemeRegistry, SessionRun, SgSession, StageCache,
 };
 pub use sg_graph::CsrGraph;

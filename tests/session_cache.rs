@@ -1,0 +1,186 @@
+//! Session/stage-cache acceptance suite (the ISSUE 5 bar):
+//!
+//! 1. Cache-hit results are **bit-identical** to cold `Pipeline::apply`
+//!    runs at `SG_THREADS` ∈ {1, 4} — edges, weights, and the composed
+//!    vertex mapping.
+//! 2. Prefix sharing actually *skips stages*, asserted via the session's
+//!    stage reports: a second `compress` with a shared chain prefix
+//!    executes strictly fewer stages than the chain has.
+
+use slimgraph::core::cache::StageCache;
+use slimgraph::core::{GraphCatalog, PipelineSpec, SchemeRegistry, SessionRun, SgSession};
+use slimgraph::graph::generators;
+use slimgraph::CsrGraph;
+use std::sync::{Arc, Mutex};
+
+/// The worker-count override is process-global; tests serialize on it.
+static KNOB: Mutex<()> = Mutex::new(());
+
+fn session_over(g: &CsrGraph) -> SgSession {
+    let catalog = Arc::new(GraphCatalog::new());
+    catalog.insert("g", g.clone(), "test graph").expect("insert");
+    SgSession::new(catalog, Arc::new(SchemeRegistry::with_defaults()))
+}
+
+fn cold(spec: &str, g: &CsrGraph, seed: u64) -> slimgraph::PipelineResult {
+    PipelineSpec::parse(spec)
+        .expect("spec parses")
+        .build(&SchemeRegistry::with_defaults())
+        .expect("spec builds")
+        .apply(g, seed)
+}
+
+fn run(session: &SgSession, spec: &str, seed: u64) -> SessionRun {
+    session.run_named("g", &PipelineSpec::parse(spec).expect("parses"), seed).expect("runs")
+}
+
+/// Byte-level equality between a session run and a cold pipeline run:
+/// edge list, weights (bit-compared), and composed vertex mapping.
+fn assert_bit_identical(run: &SessionRun, reference: &slimgraph::PipelineResult, what: &str) {
+    assert_eq!(
+        run.graph.edge_slice(),
+        reference.result.graph.edge_slice(),
+        "{what}: edge lists differ"
+    );
+    let weights =
+        |g: &CsrGraph| g.weight_slice().map(|w| w.iter().map(|x| x.to_bits()).collect::<Vec<_>>());
+    assert_eq!(
+        weights(&run.graph),
+        weights(&reference.result.graph),
+        "{what}: weights differ bitwise"
+    );
+    assert_eq!(
+        run.vertex_mapping.as_deref().cloned(),
+        reference.result.vertex_mapping,
+        "{what}: composed vertex mappings differ"
+    );
+}
+
+/// The acceptance scenario at one thread count.
+fn shared_prefix_scenario(threads: usize) {
+    rayon::set_num_threads(threads);
+    let g = generators::planted_triangles(&generators::barabasi_albert(800, 4, 21), 600, 22);
+    let session = session_over(&g);
+
+    // Cold first request: three stages executed, none cached.
+    let first_spec = "spanner:k=4,lowdeg,uniform:p=0.5";
+    let first = run(&session, first_spec, 7);
+    assert_eq!(first.stages_executed(), 3);
+    assert_eq!(first.stages_cached(), 0);
+    assert_bit_identical(&first, &cold(first_spec, &g, 7), "cold session run");
+
+    // Second request sharing the 2-stage prefix: strictly fewer stages
+    // executed, output bit-identical to its own cold run.
+    let second_spec = "spanner:k=4,lowdeg,cut:k=2";
+    let second = run(&session, second_spec, 7);
+    assert_eq!(second.stages_cached(), 2, "shared prefix must be served from cache");
+    assert_eq!(second.stages_executed(), 1, "only the divergent suffix executes");
+    assert!(
+        second.stages_executed() < PipelineSpec::parse(second_spec).expect("parses").len(),
+        "strictly fewer stages than the chain length"
+    );
+    assert_bit_identical(&second, &cold(second_spec, &g, 7), "prefix-sharing run");
+
+    // Exact repeat: zero stages executed, still byte-exact.
+    let repeat = run(&session, first_spec, 7);
+    assert_eq!(repeat.stages_executed(), 0);
+    assert_eq!(repeat.stages_cached(), 3);
+    assert_bit_identical(&repeat, &cold(first_spec, &g, 7), "fully cached run");
+
+    // A weighted (reweighting) chain exercises the bit-compared weights.
+    let weighted_spec = "spectral:p=0.4:reweight=true";
+    let warm_up = run(&session, weighted_spec, 9);
+    assert!(warm_up.graph.is_weighted());
+    let weighted = run(&session, weighted_spec, 9);
+    assert_eq!(weighted.stages_executed(), 0);
+    assert_bit_identical(&weighted, &cold(weighted_spec, &g, 9), "cached weighted run");
+}
+
+#[test]
+fn shared_prefixes_skip_stages_bit_identically_at_1_thread() {
+    let _guard = KNOB.lock().unwrap_or_else(|e| e.into_inner());
+    shared_prefix_scenario(1);
+    rayon::set_num_threads(0);
+}
+
+#[test]
+fn shared_prefixes_skip_stages_bit_identically_at_4_threads() {
+    let _guard = KNOB.lock().unwrap_or_else(|e| e.into_inner());
+    shared_prefix_scenario(4);
+    rayon::set_num_threads(0);
+}
+
+#[test]
+fn cache_state_never_leaks_across_thread_counts() {
+    // A prefix computed at 4 threads must serve a request made at 1 thread
+    // (and vice versa) with the same bytes — the cache key has no thread
+    // dimension because results are thread-invariant.
+    let _guard = KNOB.lock().unwrap_or_else(|e| e.into_inner());
+    let g = generators::rmat_graph500(10, 8, 31);
+    let session = session_over(&g);
+    let spec = "spanner:k=8,uniform:p=0.4";
+
+    rayon::set_num_threads(4);
+    let computed_at_4 = run(&session, spec, 3);
+    assert_eq!(computed_at_4.stages_executed(), 2);
+
+    rayon::set_num_threads(1);
+    let served_at_1 = run(&session, spec, 3);
+    assert_eq!(served_at_1.stages_executed(), 0, "fully cached");
+    assert_eq!(served_at_1.graph.edge_slice(), computed_at_4.graph.edge_slice());
+    assert_bit_identical(&served_at_1, &cold(spec, &g, 3), "cross-thread-count cache hit");
+    rayon::set_num_threads(0);
+}
+
+#[test]
+fn vertex_mappings_compose_identically_through_the_cache() {
+    // lowdeg twice removes everything on a star: the composed mapping must
+    // come out of the cache exactly as a cold run composes it.
+    let _guard = KNOB.lock().unwrap_or_else(|e| e.into_inner());
+    rayon::set_num_threads(0);
+    let g = generators::star(6);
+    let session = session_over(&g);
+    let spec = "lowdeg,lowdeg";
+    let warm_up = run(&session, spec, 1);
+    assert_eq!(warm_up.graph.num_vertices(), 0);
+    let cached = run(&session, spec, 1);
+    assert_eq!(cached.stages_executed(), 0);
+    let mapping = cached.vertex_mapping.as_deref().cloned().expect("composed mapping");
+    assert_eq!(mapping.len(), 6);
+    assert!(mapping.iter().all(Option::is_none), "everything removed");
+    assert_bit_identical(&cached, &cold(spec, &g, 1), "vertex-removing cached run");
+
+    // And the 1-stage prefix is reusable under the 2-stage entry.
+    let prefix = run(&session, "lowdeg", 1);
+    assert_eq!(prefix.stages_cached(), 1);
+    assert_bit_identical(&prefix, &cold("lowdeg", &g, 1), "prefix-of-cached run");
+}
+
+#[test]
+fn capacity_bounded_cache_stays_correct_under_eviction() {
+    // A tiny cache forces evictions mid-sequence; every answer must still
+    // equal its cold run (eviction is a perf event, not a semantic one).
+    let _guard = KNOB.lock().unwrap_or_else(|e| e.into_inner());
+    rayon::set_num_threads(0);
+    let g = generators::erdos_renyi(600, 2400, 41);
+    let catalog = Arc::new(GraphCatalog::new());
+    catalog.insert("g", g.clone(), "test graph").expect("insert");
+    let session = SgSession::with_cache(
+        catalog,
+        Arc::new(SchemeRegistry::with_defaults()),
+        Arc::new(StageCache::with_capacity(64 << 10)), // 64 KiB: a few entries
+    );
+    let specs = [
+        "spanner:k=4,lowdeg,uniform:p=0.5",
+        "spanner:k=4,lowdeg,uniform:p=0.3",
+        "uniform:p=0.7,lowdeg",
+        "spanner:k=4,lowdeg,cut:k=2",
+        "spanner:k=4,lowdeg,uniform:p=0.5",
+    ];
+    for spec in specs {
+        let out =
+            session.run_named("g", &PipelineSpec::parse(spec).expect("parses"), 5).expect("runs");
+        assert_bit_identical(&out, &cold(spec, &g, 5), spec);
+    }
+    assert!(session.cache().stats().evictions > 0, "the tiny cache must have evicted");
+}

@@ -1,15 +1,16 @@
 //! Tuner determinism suite: a tuning run is a pure function of
 //! `(graph, search spec, seed)` — frontier, winner, and every reported
 //! float are bit-identical across repeated runs *and* across thread
-//! counts. Candidate RNG streams derive from the spec text, candidate
-//! order from deterministic enumeration, and the rayon shim assembles
-//! parallel evaluation results in input order, so nothing observable may
-//! depend on `SG_THREADS`.
+//! counts. Candidate order comes from deterministic enumeration, every
+//! candidate runs with the master seed (so stage-cache prefix reuse is
+//! invisible in the results — cache hits are bit-identical to cold runs),
+//! and the rayon shim assembles parallel evaluation results in input
+//! order, so nothing observable may depend on `SG_THREADS`.
 
 use slimgraph::core::SchemeRegistry;
 use slimgraph::graph::generators;
 use slimgraph::tune::{tune, MetricKind, Target, TuneConfig, TuneOutcome};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// The worker-count override is process-global; tests serialize on it.
 static KNOB: Mutex<()> = Mutex::new(());
@@ -43,7 +44,7 @@ fn search_cfg(budget: usize, metric: MetricKind, max: f64) -> TuneConfig {
 /// outcomes (including the JSON rendering, which covers field formatting).
 fn assert_thread_invariant(graph: &slimgraph::CsrGraph, cfg: &TuneConfig) -> TuneOutcome {
     let _guard = KNOB.lock().unwrap_or_else(|e| e.into_inner());
-    let registry = SchemeRegistry::with_defaults();
+    let registry = Arc::new(SchemeRegistry::with_defaults());
     rayon::set_num_threads(1);
     let baseline = tune(graph, &registry, cfg).expect("1-thread run");
     for threads in [4usize, 8] {
@@ -99,7 +100,7 @@ fn repeated_runs_and_reordered_scheme_lists_agree() {
     let _guard = KNOB.lock().unwrap_or_else(|e| e.into_inner());
     rayon::set_num_threads(0);
     let g = generators::barabasi_albert(400, 3, 19);
-    let registry = SchemeRegistry::with_defaults();
+    let registry = Arc::new(SchemeRegistry::with_defaults());
     let cfg = search_cfg(g.num_edges(), MetricKind::DegreeL1, 0.8);
     let a = tune(&g, &registry, &cfg).expect("run a");
     let b = tune(&g, &registry, &cfg).expect("run b");
