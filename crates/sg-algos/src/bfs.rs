@@ -8,7 +8,7 @@
 
 use rayon::prelude::*;
 use sg_graph::types::NO_VERTEX;
-use sg_graph::{CsrGraph, VertexId};
+use sg_graph::{CsrGraph, GraphView, VertexId};
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Depth value for unreachable vertices.
@@ -69,7 +69,7 @@ pub fn validate_bfs_tree(g: &CsrGraph, root: VertexId, r: &BfsResult) -> bool {
 }
 
 /// Sequential BFS from `root`.
-pub fn bfs(g: &CsrGraph, root: VertexId) -> BfsResult {
+pub fn bfs<G: GraphView>(g: &G, root: VertexId) -> BfsResult {
     let n = g.num_vertices();
     let mut parent = vec![NO_VERTEX; n];
     let mut depth = vec![UNREACHABLE; n];
@@ -79,14 +79,14 @@ pub fn bfs(g: &CsrGraph, root: VertexId) -> BfsResult {
     let mut reached = 1usize;
     while let Some(u) = queue.pop_front() {
         let du = depth[u as usize];
-        for &v in g.neighbors(u) {
+        g.cursor(u).for_each(|v| {
             if depth[v as usize] == UNREACHABLE {
                 depth[v as usize] = du + 1;
                 parent[v as usize] = u;
                 reached += 1;
                 queue.push_back(v);
             }
-        }
+        });
     }
     BfsResult { parent, depth, reached }
 }
@@ -94,7 +94,7 @@ pub fn bfs(g: &CsrGraph, root: VertexId) -> BfsResult {
 /// Frontier-parallel BFS from `root`. Produces a valid BFS tree (depths are
 /// deterministic; parents may differ between runs among equal-depth
 /// candidates, as in any parallel BFS).
-pub fn bfs_parallel(g: &CsrGraph, root: VertexId) -> BfsResult {
+pub fn bfs_parallel<G: GraphView>(g: &G, root: VertexId) -> BfsResult {
     let n = g.num_vertices();
     let depth_atomic: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHABLE)).collect();
     let parent_atomic: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NO_VERTEX)).collect();
@@ -109,17 +109,15 @@ pub fn bfs_parallel(g: &CsrGraph, root: VertexId) -> BfsResult {
         let next: Vec<VertexId> = frontier
             .par_iter()
             .flat_map_iter(|&u| {
-                g.neighbors(u).iter().filter_map(move |&v| {
+                g.cursor(u).filter(move |&v| {
                     // Claim v if still unvisited; the winner sets the parent.
-                    if depth_ref[v as usize]
+                    let claimed = depth_ref[v as usize]
                         .compare_exchange(UNREACHABLE, level, Ordering::Relaxed, Ordering::Relaxed)
-                        .is_ok()
-                    {
+                        .is_ok();
+                    if claimed {
                         parent_ref[v as usize].store(u, Ordering::Relaxed);
-                        Some(v)
-                    } else {
-                        None
                     }
+                    claimed
                 })
             })
             .collect();

@@ -8,7 +8,7 @@
 
 use crate::union_find::UnionFind;
 use rayon::prelude::*;
-use sg_graph::{CsrGraph, VertexId};
+use sg_graph::{GraphView, VertexId};
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Result of a components computation.
@@ -38,11 +38,22 @@ impl CcResult {
 }
 
 /// Sequential union-find components.
-pub fn connected_components(g: &CsrGraph) -> CcResult {
+///
+/// Edges are visited in canonical (lexicographic) order by walking rows in
+/// vertex order and taking each edge at its forward slot — for a raw CSR
+/// graph this is exactly the `edge_slice` order, so the union sequence (and
+/// thus every intermediate union-find state) is identical across raw and
+/// encoded representations.
+pub fn connected_components<G: GraphView>(g: &G) -> CcResult {
     let n = g.num_vertices();
     let mut uf = UnionFind::new(n);
-    for &(u, v) in g.edge_slice() {
-        uf.union(u, v);
+    let directed = g.is_directed();
+    for v in 0..n as VertexId {
+        g.cursor(v).for_each(|t| {
+            if directed || t > v {
+                uf.union(v, t);
+            }
+        });
     }
     normalize(&mut uf, n)
 }
@@ -64,7 +75,7 @@ fn normalize(uf: &mut UnionFind, n: usize) -> CcResult {
 
 /// Parallel label propagation: repeatedly hook each vertex's label to the
 /// minimum label in its closed neighborhood until a fixed point.
-pub fn connected_components_parallel(g: &CsrGraph) -> CcResult {
+pub fn connected_components_parallel<G: GraphView>(g: &G) -> CcResult {
     let n = g.num_vertices();
     let labels: Vec<AtomicU32> = (0..n as VertexId).map(AtomicU32::new).collect();
     loop {
@@ -72,9 +83,9 @@ pub fn connected_components_parallel(g: &CsrGraph) -> CcResult {
             .into_par_iter()
             .map(|v| {
                 let mut best = labels[v as usize].load(Ordering::Relaxed);
-                for &u in g.neighbors(v) {
+                g.cursor(v).for_each(|u| {
                     best = best.min(labels[u as usize].load(Ordering::Relaxed));
-                }
+                });
                 if best < labels[v as usize].load(Ordering::Relaxed) {
                     labels[v as usize].store(best, Ordering::Relaxed);
                     1

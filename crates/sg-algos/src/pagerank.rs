@@ -7,7 +7,7 @@
 //! redistributed uniformly).
 
 use rayon::prelude::*;
-use sg_graph::{CsrGraph, VertexId};
+use sg_graph::{GraphView, VertexId};
 
 /// PageRank configuration.
 #[derive(Clone, Copy, Debug)]
@@ -40,7 +40,11 @@ pub struct PageRankResult {
 /// Runs pull-based PageRank. For undirected graphs each edge acts in both
 /// directions; for directed graphs the pull uses in-neighbors and
 /// out-degrees, with dangling-vertex mass spread uniformly.
-pub fn pagerank(g: &CsrGraph, cfg: PageRankConfig) -> PageRankResult {
+///
+/// Generic over [`GraphView`]: raw CSR rows iterate borrowed slices, encoded
+/// rows decode on the fly — the per-row accumulation order is identical, so
+/// both forms produce bit-identical scores.
+pub fn pagerank<G: GraphView>(g: &G, cfg: PageRankConfig) -> PageRankResult {
     let n = g.num_vertices();
     if n == 0 {
         return PageRankResult { scores: Vec::new(), iterations: 0, residual: 0.0 };
@@ -60,11 +64,9 @@ pub fn pagerank(g: &CsrGraph, cfg: PageRankConfig) -> PageRankResult {
         let dangling_share = cfg.damping * dangling * inv_n;
 
         next.par_iter_mut().enumerate().for_each(|(v, slot)| {
-            let pulled: f64 = g
-                .in_neighbors(v as VertexId)
-                .iter()
-                .map(|&u| rank[u as usize] / out_degree[u as usize] as f64)
-                .sum();
+            let mut pulled = 0.0f64;
+            g.in_cursor(v as VertexId)
+                .for_each(|u| pulled += rank[u as usize] / out_degree[u as usize] as f64);
             *slot = base_teleport + dangling_share + cfg.damping * pulled;
         });
 
@@ -83,7 +85,7 @@ pub fn pagerank(g: &CsrGraph, cfg: PageRankConfig) -> PageRankResult {
 }
 
 /// PageRank with default configuration.
-pub fn pagerank_default(g: &CsrGraph) -> PageRankResult {
+pub fn pagerank_default<G: GraphView>(g: &G) -> PageRankResult {
     pagerank(g, PageRankConfig::default())
 }
 

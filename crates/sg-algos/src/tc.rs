@@ -6,7 +6,7 @@
 //! ordering (`u < v < w`), O(m^{3/2})-class work, parallel over vertices.
 
 use rayon::prelude::*;
-use sg_graph::{CsrGraph, EdgeId, VertexId};
+use sg_graph::{CsrGraph, EdgeId, GraphView, VertexId};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A triangle with its three canonical edge ids. Vertices satisfy
@@ -61,12 +61,43 @@ pub fn for_each_triangle(g: &CsrGraph, f: impl Fn(Triangle) + Sync) {
 }
 
 /// Total number of triangles `T`.
-pub fn count_triangles(g: &CsrGraph) -> u64 {
-    let total = AtomicU64::new(0);
-    for_each_triangle(g, |_| {
-        total.fetch_add(1, Ordering::Relaxed);
-    });
-    total.into_inner()
+///
+/// Generic over [`GraphView`]: counting needs only sorted target rows, not
+/// edge ids, so the intersection runs over [`GraphView::row_into`] slices —
+/// borrowed directly from raw CSR, or decoded once per row into per-chunk
+/// scratch buffers for encoded graphs.
+pub fn count_triangles<G: GraphView>(g: &G) -> u64 {
+    let n = g.num_vertices() as VertexId;
+    (0..n)
+        .into_par_iter()
+        .fold(
+            || (0u64, Vec::new(), Vec::new()),
+            |(mut count, mut scratch_u, mut scratch_v), u| {
+                let nu = g.row_into(u, &mut scratch_u);
+                let start_u = nu.partition_point(|&x| x <= u);
+                for i in start_u..nu.len() {
+                    let v = nu[i];
+                    let nv = g.row_into(v, &mut scratch_v);
+                    // Intersect {w in N(u) : w > v} with {w in N(v) : w > v}.
+                    let mut a = nu.partition_point(|&x| x <= v);
+                    let mut b = nv.partition_point(|&x| x <= v);
+                    while a < nu.len() && b < nv.len() {
+                        match nu[a].cmp(&nv[b]) {
+                            std::cmp::Ordering::Less => a += 1,
+                            std::cmp::Ordering::Greater => b += 1,
+                            std::cmp::Ordering::Equal => {
+                                count += 1;
+                                a += 1;
+                                b += 1;
+                            }
+                        }
+                    }
+                }
+                (count, scratch_u, scratch_v)
+            },
+        )
+        .map(|(count, _, _)| count)
+        .sum()
 }
 
 /// Number of triangles incident to each vertex (each triangle contributes to

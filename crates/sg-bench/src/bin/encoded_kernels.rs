@@ -1,0 +1,245 @@
+//! Encoded-vs-raw kernel benchmark: bytes on disk, resident bytes, and
+//! kernel wall time over the decode-on-the-fly `.sgr` v2 adjacency
+//! (delta+varint sparse rows, bitmap dense rows) against raw CSR.
+//!
+//! Every kernel is asserted bit-identical across the two representations
+//! before timing — the whole point of the cursor API is that compression
+//! never changes an answer.
+//!
+//! Workloads: a Barabási–Albert social-style graph (skewed degrees, where
+//! gap encoding wins) and an RMAT Graph500 instance (defaults to scale 20,
+//! edge factor 10 ≈ 10^7 edges). Triangle counting runs only below
+//! `--tc-max-edges` (default 5M) to keep the big instance's runtime sane.
+//!
+//! Run: `cargo run --release -p sg-bench --bin encoded_kernels
+//!       [-- --n N] [--k N] [--scale N] [--ef N] [--runs N]
+//!          [--tc-max-edges N] [--json]`
+
+use sg_algos::{bfs, cc, pagerank, tc};
+use sg_bench::{
+    densest_vertex, json_requested, median_time, ms, render_json, render_table, BenchRecord,
+};
+use sg_graph::{generators, properties, CsrGraph, EncodedCsr};
+use std::time::Duration;
+
+/// Resident bytes of the raw CSR adjacency (offsets + targets + slot edge
+/// ids, both directions for directed graphs) — what the encoded sections
+/// replace.
+fn raw_adjacency_bytes(g: &CsrGraph) -> usize {
+    g.csr_offsets().len() * 8 + g.csr_targets().len() * 4 + g.csr_slot_edges().len() * 4
+}
+
+struct KernelTimes {
+    label: &'static str,
+    raw: Duration,
+    encoded: Duration,
+}
+
+fn bench_workload(
+    workload: &str,
+    g: &CsrGraph,
+    runs: usize,
+    tc_max_edges: usize,
+    records: &mut Vec<BenchRecord>,
+    rows: &mut Vec<Vec<String>>,
+) {
+    let enc = EncodedCsr::from_graph(g);
+
+    // --- storage accounting -------------------------------------------
+    let dir = std::env::temp_dir().join("sg-bench-encoded-kernels");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let raw_path = dir.join(format!("{workload}.v1.sgr"));
+    let v2_path = dir.join(format!("{workload}.v2.sgr"));
+    sg_store::save_sgr(g, &raw_path).expect("write v1");
+    sg_store::save_sgr_with(g, &v2_path, sg_store::Encoding::Delta).expect("write v2");
+    let raw_file = std::fs::metadata(&raw_path).expect("stat v1").len() as usize;
+    let v2_file = std::fs::metadata(&v2_path).expect("stat v2").len() as usize;
+    let raw_adj = raw_adjacency_bytes(g);
+    let enc_adj = enc.adjacency_bytes();
+    records.push(BenchRecord {
+        workload: workload.to_string(),
+        label: "storage".to_string(),
+        params: vec![
+            ("n".into(), g.num_vertices().to_string()),
+            ("m".into(), g.num_edges().to_string()),
+            ("file_raw_bytes".into(), raw_file.to_string()),
+            ("file_encoded_bytes".into(), v2_file.to_string()),
+            ("adjacency_raw_bytes".into(), raw_adj.to_string()),
+            ("adjacency_encoded_bytes".into(), enc_adj.to_string()),
+            ("resident_raw_bytes".into(), raw_adj.to_string()),
+            ("resident_encoded_bytes".into(), enc.storage_bytes().to_string()),
+        ],
+        ratio: Some(enc_adj as f64 / raw_adj as f64),
+        timings_ms: vec![],
+    });
+    rows.push(vec![
+        workload.to_string(),
+        "bytes:file".to_string(),
+        raw_file.to_string(),
+        v2_file.to_string(),
+        format!("{:.2}x", raw_file as f64 / v2_file as f64),
+    ]);
+    rows.push(vec![
+        workload.to_string(),
+        "bytes:adjacency".to_string(),
+        raw_adj.to_string(),
+        enc_adj.to_string(),
+        format!("{:.2}x", raw_adj as f64 / enc_adj as f64),
+    ]);
+
+    // --- kernels: assert bit-identity, then time ----------------------
+    let root = densest_vertex(g);
+    let pr_cfg = pagerank::PageRankConfig { max_iterations: 20, ..Default::default() };
+    let mut times: Vec<KernelTimes> = Vec::new();
+
+    let pr_raw = pagerank::pagerank(g, pr_cfg);
+    let pr_enc = pagerank::pagerank(&enc, pr_cfg);
+    assert_eq!(pr_raw.scores, pr_enc.scores, "{workload}: PageRank must be bit-identical");
+    times.push(KernelTimes {
+        label: "PR",
+        raw: median_time(runs, || {
+            pagerank::pagerank(g, pr_cfg);
+        }),
+        encoded: median_time(runs, || {
+            pagerank::pagerank(&enc, pr_cfg);
+        }),
+    });
+
+    // Parallel BFS parents race among equal-depth candidates (GAPBS-style),
+    // so bit-identity is asserted on the deterministic outputs: parallel
+    // depths, plus sequential parents (fixed iteration order).
+    let bfs_raw = bfs::bfs_parallel(g, root);
+    let bfs_enc = bfs::bfs_parallel(&enc, root);
+    assert_eq!(bfs_raw.depth, bfs_enc.depth, "{workload}: BFS depths must match");
+    assert_eq!(bfs_raw.reached, bfs_enc.reached, "{workload}: BFS reach must match");
+    let seq_raw = bfs::bfs(g, root);
+    let seq_enc = bfs::bfs(&enc, root);
+    assert_eq!(seq_raw.parent, seq_enc.parent, "{workload}: sequential BFS parents must match");
+    times.push(KernelTimes {
+        label: "BFS",
+        raw: median_time(runs, || {
+            bfs::bfs_parallel(g, root);
+        }),
+        encoded: median_time(runs, || {
+            bfs::bfs_parallel(&enc, root);
+        }),
+    });
+
+    let cc_raw = cc::connected_components(g);
+    let cc_enc = cc::connected_components(&enc);
+    assert_eq!(cc_raw.labels, cc_enc.labels, "{workload}: CC labels must match");
+    times.push(KernelTimes {
+        label: "CC",
+        raw: median_time(runs, || {
+            cc::connected_components(g);
+        }),
+        encoded: median_time(runs, || {
+            cc::connected_components(&enc);
+        }),
+    });
+
+    if g.num_edges() <= tc_max_edges {
+        assert_eq!(
+            tc::count_triangles(g),
+            tc::count_triangles(&enc),
+            "{workload}: triangle counts must match"
+        );
+        times.push(KernelTimes {
+            label: "TC",
+            raw: median_time(runs, || {
+                tc::count_triangles(g);
+            }),
+            encoded: median_time(runs, || {
+                tc::count_triangles(&enc);
+            }),
+        });
+    }
+
+    assert_eq!(
+        properties::degree_stats(g),
+        properties::degree_stats(&enc),
+        "{workload}: degree stats must match"
+    );
+    times.push(KernelTimes {
+        label: "degrees",
+        raw: median_time(runs, || {
+            properties::degree_stats(g);
+        }),
+        encoded: median_time(runs, || {
+            properties::degree_stats(&enc);
+        }),
+    });
+
+    for t in times {
+        records.push(BenchRecord {
+            workload: workload.to_string(),
+            label: format!("kernel:{}", t.label),
+            params: vec![("runs".into(), runs.to_string())],
+            ratio: Some(t.encoded.as_secs_f64() / t.raw.as_secs_f64().max(1e-12)),
+            timings_ms: vec![
+                ("raw".into(), t.raw.as_secs_f64() * 1e3),
+                ("encoded".into(), t.encoded.as_secs_f64() * 1e3),
+            ],
+        });
+        rows.push(vec![
+            workload.to_string(),
+            format!("time:{}", t.label),
+            ms(t.raw),
+            ms(t.encoded),
+            format!("{:.2}x", t.raw.as_secs_f64() / t.encoded.as_secs_f64().max(1e-12)),
+        ]);
+    }
+}
+
+fn main() {
+    let mut n: usize = 100_000;
+    let mut k: usize = 8;
+    let mut scale: u32 = 20;
+    let mut ef: usize = 10;
+    let mut runs: usize = 3;
+    let mut tc_max_edges: usize = 5_000_000;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut grab = |what: &str| -> usize {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("--{what} needs an integer value"))
+        };
+        match flag.as_str() {
+            "--n" => n = grab("n"),
+            "--k" => k = grab("k"),
+            "--scale" => scale = grab("scale") as u32,
+            "--ef" => ef = grab("ef"),
+            "--runs" => runs = grab("runs"),
+            "--tc-max-edges" => tc_max_edges = grab("tc-max-edges"),
+            "--json" => {}
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    let json = json_requested();
+
+    let mut records = Vec::new();
+    let mut rows = Vec::new();
+
+    let ba = generators::barabasi_albert(n, k, 0xE4C0);
+    bench_workload(&format!("ba-n{n}-k{k}"), &ba, runs, tc_max_edges, &mut records, &mut rows);
+    drop(ba);
+
+    let rmat = generators::rmat_graph500(scale, ef, 0xE4C1);
+    bench_workload(
+        &format!("rmat-s{scale}-e{ef}"),
+        &rmat,
+        runs,
+        tc_max_edges,
+        &mut records,
+        &mut rows,
+    );
+
+    if json {
+        println!("{}", render_json(&records));
+        return;
+    }
+    println!("{}", render_table(&["workload", "metric", "raw", "encoded", "raw/encoded"], &rows));
+    println!("(all kernels asserted bit-identical raw vs encoded before timing)");
+}

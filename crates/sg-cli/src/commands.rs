@@ -10,7 +10,7 @@ use sg_algos::{cc, pagerank, tc};
 use sg_core::{
     catalog, GraphCatalog, PipelineSpec, SchemeParams, SchemeRegistry, SessionRun, SgSession,
 };
-use sg_graph::{generators, CsrGraph};
+use sg_graph::{generators, CsrGraph, EncodedCsr, GraphView};
 use sg_metrics::kl_divergence;
 use sg_serve::Json;
 use std::sync::Arc;
@@ -26,8 +26,11 @@ COMMANDS:
              --input FILE  --output FILE
              --scheme SPEC  [--p F] [--k F] [--epsilon F] [--seed N]
              [--format text|bin|sgr] [--output-format text|bin|sgr]
+             [--encoding raw|delta|auto]
   analyze    Compress, then report accuracy metrics vs the original
-             (same flags as compress, no --output needed)
+             (same flags as compress, no --output needed);
+             --encoding delta runs the input metrics over the encoded
+             adjacency (bit-identical, decode-on-the-fly)
   tune       Search (scheme chain, parameters) for the smallest graph
              meeting a quality target
              --input FILE  --target METRIC<=BOUND  [--budget-edges N]
@@ -40,9 +43,12 @@ COMMANDS:
              Example: --target pagerank-kl<=0.05 --budget-edges 50000
   stats      Print structural statistics of a graph
              --input FILE  [--format text|bin|sgr]
+             [--encoding raw|delta|auto] (delta/auto computes over the
+             encoded adjacency and reports its byte footprint)
   convert    Convert a graph between storage formats
              --input FILE --output FILE
              [--format text|bin|sgr] [--output-format text|bin|sgr]
+             [--encoding raw|delta|auto]
   generate   Produce a synthetic workload
              --kind rmat|er|ba|ws|grid  --output FILE
              [--scale N] [--n N] [--m N] [--k N] [--seed N]
@@ -70,6 +76,12 @@ STORAGE FORMATS (inferred from the file extension, overridable with
          mmap with no rebuild and no copy          (*.sgr)
          --no-verify skips the checksum pass on trusted .sgr inputs
          (structural validation still runs)
+         --encoding picks the adjacency sections written:
+           raw    v1 container, raw CSR arrays (default)
+           delta  v2 container, delta+varint rows and bitmap rows for
+                  dense vertices (smaller on skewed graphs)
+           auto   whichever of the two is smaller for this graph
+         v2 files load transparently everywhere .sgr is accepted.
 
 SCHEME SPEC:
   A comma-separated chain of registry names; stages run left to right over
@@ -118,8 +130,24 @@ fn load_input(args: &Args) -> Result<CsrGraph, String> {
     load_as(args.require("input")?, args.get("format"), args.flag("no-verify"))
 }
 
-fn save_as(g: &CsrGraph, path: &str, explicit: Option<&str>) -> Result<(), String> {
-    catalog::save_graph(g, path, explicit)
+/// Parses `--encoding raw|delta|auto` (default raw). The encoding picks
+/// the `.sgr` container version on outputs and, for `stats`/`analyze`,
+/// whether metrics run over the decode-on-the-fly encoded adjacency.
+fn encoding_from(args: &Args) -> Result<sg_store::Encoding, String> {
+    match args.get("encoding") {
+        None => Ok(sg_store::Encoding::Raw),
+        Some(raw) => sg_store::Encoding::parse(raw)
+            .ok_or_else(|| format!("flag --encoding: '{raw}' is not raw|delta|auto")),
+    }
+}
+
+fn save_as(
+    g: &CsrGraph,
+    path: &str,
+    explicit: Option<&str>,
+    encoding: sg_store::Encoding,
+) -> Result<(), String> {
+    catalog::save_graph_with(g, path, explicit, encoding)
 }
 
 /// Parses `--scheme` into a [`PipelineSpec`] plus the shared base
@@ -182,21 +210,31 @@ fn compress(args: &Args) -> Result<(), String> {
         run.compression_ratio() * 100.0,
         run.elapsed().as_secs_f64() * 1e3
     );
-    save_as(&run.graph, args.require("output")?, args.get("output-format"))
+    save_as(&run.graph, args.require("output")?, args.get("output-format"), encoding_from(args)?)
 }
 
 fn analyze(args: &Args) -> Result<(), String> {
+    let encoding = encoding_from(args)?;
     let (g, run, label) = run_session(args)?;
     println!("pipeline:          {label}");
     println!("edges kept:        {:.1}%", run.compression_ratio() * 100.0);
-    let cc0 = cc::connected_components(&g).num_components;
+    // With --encoding delta|auto the "before" metrics run over the encoded
+    // adjacency (decode-on-the-fly kernels); results are bit-identical to
+    // the raw run, the path is just exercised end to end.
+    let enc = (encoding != sg_store::Encoding::Raw).then(|| EncodedCsr::from_graph(&g));
+    let (cc0, t0) = match &enc {
+        Some(e) => (cc::connected_components(e).num_components, tc::count_triangles(e)),
+        None => (cc::connected_components(&g).num_components, tc::count_triangles(&g)),
+    };
     let cc1 = cc::connected_components(&run.graph).num_components;
     println!("components:        {cc0} -> {cc1}");
-    let t0 = tc::count_triangles(&g);
     let t1 = tc::count_triangles(&run.graph);
     println!("triangles:         {t0} -> {t1}");
     if run.graph.num_vertices() == g.num_vertices() {
-        let pr0 = pagerank::pagerank_default(&g).scores;
+        let pr0 = match &enc {
+            Some(e) => pagerank::pagerank_default(e).scores,
+            None => pagerank::pagerank_default(&g).scores,
+        };
         let pr1 = pagerank::pagerank_default(&run.graph).scores;
         println!("PageRank KL:       {:.5} bits", kl_divergence(&pr0, &pr1));
         let root = (0..g.num_vertices() as u32).max_by_key(|&v| g.degree(v)).unwrap_or(0);
@@ -295,7 +333,12 @@ fn tune(args: &Args) -> Result<(), String> {
         match &outcome.winner {
             Some(w) => {
                 let out = w.spec.build(&registry)?.apply(&g, w.seed);
-                save_as(&out.result.graph, output, args.get("output-format"))?;
+                save_as(
+                    &out.result.graph,
+                    output,
+                    args.get("output-format"),
+                    encoding_from(args)?,
+                )?;
             }
             None => return Err("no feasible winner to write to --output".to_string()),
         }
@@ -408,7 +451,7 @@ fn convert(args: &Args) -> Result<(), String> {
     let from = catalog::GraphFormat::resolve(input, args.get("format"))?;
     let to = catalog::GraphFormat::resolve(output, args.get("output-format"))?;
     let g = load_as(input, args.get("format"), args.flag("no-verify"))?;
-    save_as(&g, output, args.get("output-format"))?;
+    save_as(&g, output, args.get("output-format"), encoding_from(args)?)?;
     let bytes = std::fs::metadata(output).map_err(|e| format!("stat {output}: {e}"))?.len();
     println!(
         "converted {input} ({from:?}) -> {output} ({to:?}): n = {}, m = {}, {bytes} bytes",
@@ -420,19 +463,36 @@ fn convert(args: &Args) -> Result<(), String> {
 
 fn stats(args: &Args) -> Result<(), String> {
     let g = load_input(args)?;
-    let s = sg_graph::properties::degree_stats(&g);
     println!("vertices:     {}", g.num_vertices());
     println!("edges:        {}", g.num_edges());
     println!("weighted:     {}", g.is_weighted());
+    // --encoding delta|auto: compute everything below over the encoded
+    // adjacency instead of raw CSR (same numbers, decode-on-the-fly path).
+    match encoding_from(args)? {
+        sg_store::Encoding::Raw => stats_over(&g),
+        _ => {
+            let enc = EncodedCsr::from_graph(&g);
+            let raw_adj = g.csr_offsets().len() * 8
+                + g.csr_targets().len() * 4
+                + g.csr_slot_edges().len() * 4;
+            println!("adjacency:    {} bytes encoded ({raw_adj} raw)", enc.adjacency_bytes());
+            stats_over(&enc);
+        }
+    }
+    Ok(())
+}
+
+/// The structural statistics shared by the raw and encoded `stats` paths.
+fn stats_over<G: GraphView>(g: &G) {
+    let s = sg_graph::properties::degree_stats(g);
     println!("degrees:      min {} / mean {:.2} / max {}", s.min, s.mean, s.max);
     println!("isolated:     {}", s.isolated);
     println!("leaves:       {}", s.leaves);
-    println!("components:   {}", cc::connected_components(&g).num_components);
-    println!("triangles:    {}", tc::count_triangles(&g));
-    if let Some(fit) = sg_graph::properties::DegreeDistribution::of(&g).power_law_fit() {
+    println!("components:   {}", cc::connected_components(g).num_components);
+    println!("triangles:    {}", tc::count_triangles(g));
+    if let Some(fit) = sg_graph::properties::DegreeDistribution::of(g).power_law_fit() {
         println!("power law:    exponent {:.2}, R2 {:.3}", fit.exponent, fit.r2);
     }
-    Ok(())
 }
 
 fn schemes() -> Result<(), String> {
@@ -475,7 +535,7 @@ fn generate(args: &Args) -> Result<(), String> {
         other => return Err(format!("unknown generator '{other}'")),
     };
     println!("generated n = {}, m = {}", g.num_vertices(), g.num_edges());
-    save_as(&g, args.require("output")?, args.get("output-format"))
+    save_as(&g, args.require("output")?, args.get("output-format"), encoding_from(args)?)
 }
 
 #[cfg(test)]
@@ -559,6 +619,59 @@ mod tests {
         run(&sv(&["convert", "--input", &gsgr, "--output", &gbin2])).expect("sgr->bin");
         run(&sv(&["convert", "--input", &gbin2, "--output", &gtxt2])).expect("bin->text");
         assert_eq!(std::fs::read(&gtxt).expect("orig"), std::fs::read(&gtxt2).expect("back2"));
+    }
+
+    #[test]
+    fn convert_encoding_delta_round_trips_byte_identical() {
+        // text -> sgr v2 (delta) -> text must reproduce the original file,
+        // and a skewed graph's v2 container must be smaller than v1.
+        let gtxt = tmp("enc.txt");
+        run(&sv(&["generate", "--kind", "ba", "--n", "3000", "--k", "6", "--output", &gtxt]))
+            .expect("generate");
+        let raw = tmp("enc-raw.sgr");
+        let delta = tmp("enc-delta.sgr");
+        let auto = tmp("enc-auto.sgr");
+        run(&sv(&["convert", "--input", &gtxt, "--output", &raw, "--encoding", "raw"]))
+            .expect("raw convert");
+        run(&sv(&["convert", "--input", &gtxt, "--output", &delta, "--encoding", "delta"]))
+            .expect("delta convert");
+        run(&sv(&["convert", "--input", &gtxt, "--output", &auto, "--encoding", "auto"]))
+            .expect("auto convert");
+        let (rb, db, ab) = (
+            std::fs::metadata(&raw).expect("raw").len(),
+            std::fs::metadata(&delta).expect("delta").len(),
+            std::fs::metadata(&auto).expect("auto").len(),
+        );
+        assert!(db < rb, "delta container {db} must beat raw {rb} on a BA graph");
+        assert_eq!(ab, db.min(rb), "auto writes the smaller container");
+        let back = tmp("enc-back.txt");
+        run(&sv(&["convert", "--input", &delta, "--output", &back])).expect("sgr v2 -> text");
+        assert_eq!(std::fs::read(&gtxt).expect("orig"), std::fs::read(&back).expect("back"));
+        // stats + analyze accept the flag and run over encoded adjacency;
+        // compress reads a v2 input and writes a v2 output.
+        run(&sv(&["stats", "--input", &delta, "--encoding", "delta"])).expect("encoded stats");
+        run(&sv(&["analyze", "--input", &delta, "--scheme", "lowdeg", "--encoding", "delta"]))
+            .expect("encoded analyze");
+        let out = tmp("enc-out.sgr");
+        run(&sv(&[
+            "compress",
+            "--input",
+            &delta,
+            "--scheme",
+            "uniform",
+            "--p",
+            "0.5",
+            "--output",
+            &out,
+            "--encoding",
+            "delta",
+        ]))
+        .expect("compress v2 -> v2");
+        assert!(load(&out).expect("v2 output loads").num_edges() > 0);
+        assert!(
+            run(&sv(&["stats", "--input", &gtxt, "--encoding", "nope"])).is_err(),
+            "bad encoding name is rejected"
+        );
     }
 
     #[test]

@@ -84,11 +84,26 @@ pub fn load_graph(path: &str, explicit: Option<&str>, trusted: bool) -> Result<C
 }
 
 /// Saves a graph to `path` honoring an optional explicit format name.
+/// `.sgr` outputs are written raw (v1); use [`save_graph_with`] to pick
+/// an adjacency encoding.
 pub fn save_graph(g: &CsrGraph, path: &str, explicit: Option<&str>) -> Result<(), String> {
+    save_graph_with(g, path, explicit, sg_store::Encoding::Raw)
+}
+
+/// [`save_graph`] with an explicit `.sgr` adjacency [`sg_store::Encoding`]
+/// (raw v1 sections, delta+varint/bitmap v2 sections, or auto = whichever
+/// container is smaller). The encoding only affects the `.sgr` format;
+/// text and binary outputs ignore it.
+pub fn save_graph_with(
+    g: &CsrGraph,
+    path: &str,
+    explicit: Option<&str>,
+    encoding: sg_store::Encoding,
+) -> Result<(), String> {
     let res = match GraphFormat::resolve(path, explicit)? {
         GraphFormat::Text => io::save_text(g, path),
         GraphFormat::Bin => io::save_binary(g, path).map(|_| ()),
-        GraphFormat::Sgr => sg_store::save_sgr(g, path).map(|_| ()),
+        GraphFormat::Sgr => sg_store::save_sgr_with(g, path, encoding).map(|_| ()),
     };
     res.map_err(|e| format!("writing {path}: {e}"))
 }

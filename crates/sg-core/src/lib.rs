@@ -54,7 +54,7 @@ pub mod spec;
 
 pub use cache::{CacheStats, StageCache, StageKey};
 pub use catalog::{GraphCatalog, GraphFormat, GraphHandle, GraphId};
-pub use context::SgContext;
+pub use context::{GraphRef, SgContext};
 pub use engine::{CompressionResult, Engine};
 pub use pipeline::{run_stage, Pipeline, PipelineResult, StageReport};
 pub use scheme::{CompressionScheme, SchemeParams, SchemeRegistry};

@@ -26,7 +26,7 @@ use crate::kernel::{Triangle, TriangleKernel};
 use sg_algos::tc;
 use sg_algos::union_find::UnionFind;
 use sg_graph::prng::mix64;
-use sg_graph::{CsrGraph, EdgeId, EdgeList, VertexId};
+use sg_graph::{CsrGraph, EdgeId, EdgeList, GraphView, VertexId};
 use std::time::Instant;
 
 /// Which edge(s) of a sampled triangle are removed.

@@ -14,6 +14,10 @@
 //! * [`io`] — plain-text and binary edge-list readers/writers,
 //! * [`storage`] — [`Section`], the borrowed-or-owned array backing that
 //!   lets `sg-store` load graphs zero-copy from a file mapping,
+//! * [`view`] — [`NeighborCursor`] and the [`GraphView`] trait, the single
+//!   row-iteration API shared by raw and encoded graphs,
+//! * [`encoded`] — [`EncodedCsr`], delta+varint / bitmap compressed
+//!   adjacency that kernels traverse without materializing raw CSR,
 //! * [`properties`] — degree statistics and histograms,
 //! * [`partition`] — edge partitioning used by the simulated distributed
 //!   pipeline.
@@ -26,6 +30,7 @@
 
 pub mod csr;
 pub mod edge_list;
+pub mod encoded;
 pub mod generators;
 pub mod io;
 pub mod partition;
@@ -33,8 +38,11 @@ pub mod prng;
 pub mod properties;
 pub mod storage;
 pub mod types;
+pub mod view;
 
 pub use csr::{CsrGraph, CsrParts};
 pub use edge_list::EdgeList;
+pub use encoded::{EncodedAdjacency, EncodedAdjacencyParts, EncodedCsr};
 pub use storage::Section;
 pub use types::{EdgeId, VertexId, Weight};
+pub use view::{GraphView, NeighborCursor};

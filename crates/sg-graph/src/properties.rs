@@ -6,7 +6,7 @@
 //! `degree -> fraction of vertices` series those plots show.
 
 use crate::types::VertexId;
-use crate::CsrGraph;
+use crate::view::GraphView;
 use rayon::prelude::*;
 
 /// Summary statistics over vertex degrees.
@@ -24,7 +24,7 @@ pub struct DegreeStats {
 /// Computes degree statistics in one parallel pass (min/max/sum/isolated/
 /// leaves all reduce associatively, so the split shape cannot change the
 /// answer).
-pub fn degree_stats(g: &CsrGraph) -> DegreeStats {
+pub fn degree_stats<G: GraphView>(g: &G) -> DegreeStats {
     let n = g.num_vertices();
     if n == 0 {
         return DegreeStats { min: 0, max: 0, mean: 0.0, isolated: 0, leaves: 0 };
@@ -51,13 +51,16 @@ pub struct DegreeDistribution {
 
 impl DegreeDistribution {
     /// Builds the distribution for a graph.
-    pub fn of(g: &CsrGraph) -> Self {
-        let mut counts = vec![0usize; g.max_degree() + 1];
-        for v in 0..g.num_vertices() as VertexId {
-            counts[g.degree(v)] += 1;
+    pub fn of<G: GraphView>(g: &G) -> Self {
+        let n = g.num_vertices();
+        let degrees: Vec<usize> = (0..n as VertexId).map(|v| g.degree(v)).collect();
+        let max_degree = degrees.iter().copied().max().unwrap_or(0);
+        let mut counts = vec![0usize; max_degree + 1];
+        for &d in &degrees {
+            counts[d] += 1;
         }
         let entries = counts.into_iter().enumerate().filter(|&(_, c)| c > 0).collect();
-        Self { entries, num_vertices: g.num_vertices() }
+        Self { entries, num_vertices: n }
     }
 
     /// `degree -> fraction of vertices` series (what Figures 7/8 plot).
@@ -115,7 +118,7 @@ pub struct PowerLawFit {
 
 /// Global clustering-related count: triangles per vertex `T / n`, using the
 /// provided triangle total (computed by `sg-algos`).
-pub fn triangles_per_vertex(triangles: u64, g: &CsrGraph) -> f64 {
+pub fn triangles_per_vertex<G: GraphView>(triangles: u64, g: &G) -> f64 {
     if g.num_vertices() == 0 {
         0.0
     } else {

@@ -1,0 +1,597 @@
+//! One iteration API over raw and encoded adjacency: [`NeighborCursor`]
+//! and the [`GraphView`] trait.
+//!
+//! Slim Graph's storage pillar (§6) argues compression should pay off for
+//! *processing*, not just disk. That only works if kernels can run over an
+//! encoded graph without first materializing raw CSR, which in turn needs a
+//! single row-iteration abstraction: `CsrGraph` hands out borrowed slices,
+//! [`crate::encoded::EncodedCsr`] decodes delta/varint or bitmap rows on the
+//! fly. The cursor decodes in 64-lane chunks into a stack buffer so the hot
+//! loops stay prefetch- and vectorizer-friendly, and decode order is a pure
+//! function of the row index — parallel runs stay bit-identical at any
+//! `SG_THREADS`.
+
+use crate::types::{VertexId, Weight};
+use crate::CsrGraph;
+
+/// Lanes per decode chunk: one cache line of u32 targets times four, small
+/// enough to live on the stack, large enough to amortize dispatch.
+pub const CURSOR_CHUNK: usize = 64;
+
+/// Streaming decoder over one delta+varint row (gap-encoded sorted targets,
+/// LEB128). The first varint is the absolute first target; every following
+/// varint is the gap to the previous target (≥ 1 in a valid row).
+#[derive(Clone, Debug)]
+pub struct DeltaCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    remaining: u32,
+    prev: u32,
+    started: bool,
+}
+
+impl<'a> DeltaCursor<'a> {
+    /// Creates a cursor over `degree` gap-encoded targets in `bytes`.
+    #[inline]
+    pub fn new(bytes: &'a [u8], degree: u32) -> Self {
+        Self { bytes, pos: 0, remaining: degree, prev: 0, started: false }
+    }
+}
+
+/// Reads one LEB128 varint (u32 range). Returns `None` on a truncated or
+/// over-long encoding — loaders reject such rows up front, so hitting this
+/// in a kernel means the cursor simply stops early instead of misbehaving.
+#[inline]
+pub fn read_varint(bytes: &[u8], pos: &mut usize) -> Option<u32> {
+    let mut acc: u64 = 0;
+    let mut shift: u32 = 0;
+    loop {
+        let b = *bytes.get(*pos)?;
+        *pos += 1;
+        acc |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+        if shift > 28 {
+            return None;
+        }
+    }
+    u32::try_from(acc).ok()
+}
+
+/// Appends the LEB128 encoding of `x` to `out`.
+#[inline]
+pub fn write_varint(out: &mut Vec<u8>, mut x: u32) {
+    while x >= 0x80 {
+        out.push((x as u8 & 0x7f) | 0x80);
+        x >>= 7;
+    }
+    out.push(x as u8);
+}
+
+impl Iterator for DeltaCursor<'_> {
+    type Item = VertexId;
+
+    #[inline]
+    fn next(&mut self) -> Option<VertexId> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let Some(gap) = read_gap_fast(self.bytes, &mut self.pos) else {
+            self.remaining = 0;
+            return None;
+        };
+        // Wrapping add keeps the loop branch-light; loaders guarantee the
+        // accumulated value never exceeds n.
+        let value = if self.started { self.prev.wrapping_add(gap) } else { gap };
+        self.started = true;
+        self.prev = value;
+        self.remaining -= 1;
+        Some(value)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.remaining as usize))
+    }
+}
+
+/// Streaming decoder over one bitmap row: `ceil(n/64)` little-endian u64
+/// words stored as bytes (rows are byte-addressed, so words are read with
+/// `from_le_bytes` rather than cast).
+#[derive(Clone, Debug)]
+pub struct BitmapCursor<'a> {
+    bytes: &'a [u8],
+    word_idx: usize,
+    current: u64,
+}
+
+impl<'a> BitmapCursor<'a> {
+    /// Creates a cursor over a bitmap row (`bytes.len()` multiple of 8).
+    #[inline]
+    pub fn new(bytes: &'a [u8]) -> Self {
+        let mut c = Self { bytes, word_idx: 0, current: 0 };
+        c.current = c.load_word(0);
+        c
+    }
+
+    #[inline]
+    fn load_word(&self, idx: usize) -> u64 {
+        match self.bytes.get(idx * 8..idx * 8 + 8) {
+            Some(w) => u64::from_le_bytes(w.try_into().expect("8-byte window")),
+            None => 0,
+        }
+    }
+}
+
+impl Iterator for BitmapCursor<'_> {
+    type Item = VertexId;
+
+    #[inline]
+    fn next(&mut self) -> Option<VertexId> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx * 8 >= self.bytes.len() {
+                return None;
+            }
+            self.current = self.load_word(self.word_idx);
+        }
+        let bit = self.current.trailing_zeros();
+        self.current &= self.current - 1;
+        Some((self.word_idx * 64) as VertexId + bit)
+    }
+}
+
+/// A cursor over one adjacency row, regardless of how the row is stored.
+///
+/// Raw CSR rows iterate a borrowed slice with zero overhead; encoded rows
+/// decode on the fly. [`NeighborCursor::for_each`] is the hot-loop entry
+/// point: it drains the row through a [`CURSOR_CHUNK`]-lane stack buffer.
+#[derive(Clone, Debug)]
+pub enum NeighborCursor<'a> {
+    /// Borrowed raw row (sorted target slice).
+    Slice(&'a [VertexId]),
+    /// Delta+varint encoded row.
+    Delta(DeltaCursor<'a>),
+    /// Bitmap row for dense vertices.
+    Bitmap(BitmapCursor<'a>),
+}
+
+impl<'a> NeighborCursor<'a> {
+    /// The raw slice, when the row is stored uncompressed.
+    #[inline]
+    pub fn as_slice(&self) -> Option<&'a [VertexId]> {
+        match self {
+            NeighborCursor::Slice(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Decodes up to [`CURSOR_CHUNK`] targets into `buf`, returning how many
+    /// lanes were filled (0 when the row is exhausted).
+    #[inline]
+    pub fn next_chunk(&mut self, buf: &mut [VertexId; CURSOR_CHUNK]) -> usize {
+        match self {
+            NeighborCursor::Slice(s) => {
+                let take = s.len().min(CURSOR_CHUNK);
+                buf[..take].copy_from_slice(&s[..take]);
+                *s = &s[take..];
+                take
+            }
+            NeighborCursor::Delta(c) => {
+                // First element may need the absolute-value special case;
+                // afterwards run the branch-light gap loop.
+                let mut filled = 0;
+                if !c.started {
+                    match c.next() {
+                        Some(t) => {
+                            buf[filled] = t;
+                            filled += 1;
+                        }
+                        None => return 0,
+                    }
+                }
+                while filled < CURSOR_CHUNK && c.remaining > 0 {
+                    let Some(gap) = read_gap_fast(c.bytes, &mut c.pos) else {
+                        c.remaining = 0;
+                        break;
+                    };
+                    c.prev = c.prev.wrapping_add(gap);
+                    c.remaining -= 1;
+                    buf[filled] = c.prev;
+                    filled += 1;
+                }
+                filled
+            }
+            NeighborCursor::Bitmap(c) => {
+                let mut filled = 0;
+                while filled < CURSOR_CHUNK {
+                    match c.next() {
+                        Some(t) => {
+                            buf[filled] = t;
+                            filled += 1;
+                        }
+                        None => break,
+                    }
+                }
+                filled
+            }
+        }
+    }
+
+    /// Applies `f` to every target in row order. Slices iterate directly;
+    /// encoded rows run dedicated branch-light decode loops (no per-element
+    /// `Option` dispatch, single-byte varint fast path, word-at-a-time
+    /// bitmap scan).
+    #[inline]
+    pub fn for_each<F: FnMut(VertexId)>(self, mut f: F) {
+        match self {
+            NeighborCursor::Slice(s) => {
+                for &t in s {
+                    f(t);
+                }
+            }
+            NeighborCursor::Delta(mut c) => {
+                if !c.started {
+                    match c.next() {
+                        Some(t) => f(t),
+                        None => return,
+                    }
+                }
+                let DeltaCursor { bytes, mut pos, mut remaining, mut prev, .. } = c;
+                while remaining > 0 {
+                    let Some(gap) = read_gap_fast(bytes, &mut pos) else { break };
+                    prev = prev.wrapping_add(gap);
+                    remaining -= 1;
+                    f(prev);
+                }
+            }
+            NeighborCursor::Bitmap(c) => {
+                let BitmapCursor { bytes, word_idx, current } = c;
+                let mut cur = current;
+                let mut wi = word_idx;
+                loop {
+                    while cur != 0 {
+                        let bit = cur.trailing_zeros();
+                        cur &= cur - 1;
+                        f((wi * 64) as VertexId + bit);
+                    }
+                    wi += 1;
+                    match bytes.get(wi * 8..wi * 8 + 8) {
+                        Some(w) => cur = u64::from_le_bytes(w.try_into().expect("8-byte window")),
+                        None => break,
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Unrolled LEB128 decode for the kernel hot path: an explicit 1–5 byte
+/// ladder in u32 arithmetic instead of [`read_varint`]'s shift-counter loop.
+/// Decodes the identical value sequence on valid rows; on malformed input it
+/// returns `None` exactly where `read_varint` would (truncated, >5 bytes, or
+/// value past the u32 range), differing only in how far `pos` advanced —
+/// cursors stop on the first `None`, so the distinction is unobservable.
+#[inline]
+fn read_gap_fast(bytes: &[u8], pos: &mut usize) -> Option<u32> {
+    let p = *pos;
+    let b0 = *bytes.get(p)?;
+    if b0 < 0x80 {
+        *pos = p + 1;
+        return Some(u32::from(b0));
+    }
+    let b1 = *bytes.get(p + 1)?;
+    if b1 < 0x80 {
+        *pos = p + 2;
+        return Some(u32::from(b0 & 0x7f) | u32::from(b1) << 7);
+    }
+    let b2 = *bytes.get(p + 2)?;
+    if b2 < 0x80 {
+        *pos = p + 3;
+        return Some(u32::from(b0 & 0x7f) | u32::from(b1 & 0x7f) << 7 | u32::from(b2) << 14);
+    }
+    let b3 = *bytes.get(p + 3)?;
+    if b3 < 0x80 {
+        *pos = p + 4;
+        return Some(
+            u32::from(b0 & 0x7f)
+                | u32::from(b1 & 0x7f) << 7
+                | u32::from(b2 & 0x7f) << 14
+                | u32::from(b3) << 21,
+        );
+    }
+    let b4 = *bytes.get(p + 4)?;
+    if b4 >= 0x10 {
+        return None; // continuation past 5 bytes, or value overflows u32
+    }
+    *pos = p + 5;
+    Some(
+        u32::from(b0 & 0x7f)
+            | u32::from(b1 & 0x7f) << 7
+            | u32::from(b2 & 0x7f) << 14
+            | u32::from(b3 & 0x7f) << 21
+            | u32::from(b4) << 28,
+    )
+}
+
+impl Iterator for NeighborCursor<'_> {
+    type Item = VertexId;
+
+    #[inline]
+    fn next(&mut self) -> Option<VertexId> {
+        match self {
+            NeighborCursor::Slice(s) => {
+                let (&first, rest) = s.split_first()?;
+                *s = rest;
+                Some(first)
+            }
+            NeighborCursor::Delta(c) => c.next(),
+            NeighborCursor::Bitmap(c) => c.next(),
+        }
+    }
+}
+
+/// Read access to a graph's structure through row cursors — the single
+/// iteration API shared by [`CsrGraph`] (raw slices) and
+/// [`crate::encoded::EncodedCsr`] (decode-on-the-fly). Bandwidth-bound
+/// kernels in `sg-algos` are generic over this trait.
+pub trait GraphView: Sync {
+    /// Number of vertices `n`.
+    fn num_vertices(&self) -> usize;
+    /// Number of canonical edges `m`.
+    fn num_edges(&self) -> usize;
+    /// Whether the graph is directed.
+    fn is_directed(&self) -> bool;
+    /// Out-degree of `v` (total degree for undirected graphs).
+    fn degree(&self, v: VertexId) -> usize;
+    /// In-degree of `v` (equals [`GraphView::degree`] when undirected).
+    fn in_degree(&self, v: VertexId) -> usize;
+    /// Cursor over the sorted out-neighbors of `v`.
+    fn cursor(&self, v: VertexId) -> NeighborCursor<'_>;
+    /// Cursor over the sorted in-neighbors of `v` (out-neighbors when
+    /// undirected).
+    fn in_cursor(&self, v: VertexId) -> NeighborCursor<'_>;
+    /// Weight of canonical edge `e` (1.0 when unweighted).
+    fn edge_weight(&self, e: crate::types::EdgeId) -> Weight;
+
+    /// The out-row of `v` as a contiguous slice: borrowed directly from raw
+    /// CSR, or decoded into `buf` for encoded rows. Algorithms that need
+    /// random access within a row (e.g. sorted intersection) use this.
+    fn row_into<'b>(&'b self, v: VertexId, buf: &'b mut Vec<VertexId>) -> &'b [VertexId] {
+        let cursor = self.cursor(v);
+        match cursor.as_slice() {
+            Some(s) => s,
+            None => {
+                buf.clear();
+                cursor.for_each(|t| buf.push(t));
+                buf.as_slice()
+            }
+        }
+    }
+}
+
+impl<G: GraphView> GraphView for &G {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        (**self).num_vertices()
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        (**self).num_edges()
+    }
+
+    #[inline]
+    fn is_directed(&self) -> bool {
+        (**self).is_directed()
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        (**self).degree(v)
+    }
+
+    #[inline]
+    fn in_degree(&self, v: VertexId) -> usize {
+        (**self).in_degree(v)
+    }
+
+    #[inline]
+    fn cursor(&self, v: VertexId) -> NeighborCursor<'_> {
+        (**self).cursor(v)
+    }
+
+    #[inline]
+    fn in_cursor(&self, v: VertexId) -> NeighborCursor<'_> {
+        (**self).in_cursor(v)
+    }
+
+    #[inline]
+    fn edge_weight(&self, e: crate::types::EdgeId) -> Weight {
+        (**self).edge_weight(e)
+    }
+
+    #[inline]
+    fn row_into<'b>(&'b self, v: VertexId, buf: &'b mut Vec<VertexId>) -> &'b [VertexId] {
+        (**self).row_into(v, buf)
+    }
+}
+
+impl<G: GraphView + Send> GraphView for std::sync::Arc<G> {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        (**self).num_vertices()
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        (**self).num_edges()
+    }
+
+    #[inline]
+    fn is_directed(&self) -> bool {
+        (**self).is_directed()
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        (**self).degree(v)
+    }
+
+    #[inline]
+    fn in_degree(&self, v: VertexId) -> usize {
+        (**self).in_degree(v)
+    }
+
+    #[inline]
+    fn cursor(&self, v: VertexId) -> NeighborCursor<'_> {
+        (**self).cursor(v)
+    }
+
+    #[inline]
+    fn in_cursor(&self, v: VertexId) -> NeighborCursor<'_> {
+        (**self).in_cursor(v)
+    }
+
+    #[inline]
+    fn edge_weight(&self, e: crate::types::EdgeId) -> Weight {
+        (**self).edge_weight(e)
+    }
+
+    #[inline]
+    fn row_into<'b>(&'b self, v: VertexId, buf: &'b mut Vec<VertexId>) -> &'b [VertexId] {
+        (**self).row_into(v, buf)
+    }
+}
+
+impl GraphView for CsrGraph {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        CsrGraph::num_vertices(self)
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        CsrGraph::num_edges(self)
+    }
+
+    #[inline]
+    fn is_directed(&self) -> bool {
+        CsrGraph::is_directed(self)
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        CsrGraph::degree(self, v)
+    }
+
+    #[inline]
+    fn in_degree(&self, v: VertexId) -> usize {
+        CsrGraph::in_degree(self, v)
+    }
+
+    #[inline]
+    fn cursor(&self, v: VertexId) -> NeighborCursor<'_> {
+        NeighborCursor::Slice(self.neighbors(v))
+    }
+
+    #[inline]
+    fn in_cursor(&self, v: VertexId) -> NeighborCursor<'_> {
+        NeighborCursor::Slice(self.in_neighbors(v))
+    }
+
+    #[inline]
+    fn edge_weight(&self, e: crate::types::EdgeId) -> Weight {
+        CsrGraph::edge_weight(self, e)
+    }
+
+    #[inline]
+    fn row_into<'b>(&'b self, v: VertexId, _buf: &'b mut Vec<VertexId>) -> &'b [VertexId] {
+        self.neighbors(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trip() {
+        let mut buf = Vec::new();
+        let values = [0u32, 1, 127, 128, 300, 16_383, 16_384, 1 << 21, u32::MAX];
+        for &v in &values {
+            write_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_varint(&buf, &mut pos), Some(v));
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_rejects_truncated_and_overlong() {
+        let mut pos = 0;
+        assert_eq!(read_varint(&[0x80], &mut pos), None); // continuation, no tail
+        let mut pos = 0;
+        // 6-byte encoding exceeds the u32 range.
+        assert_eq!(read_varint(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x01], &mut pos), None);
+        let mut pos = 0;
+        // 5 bytes whose accumulated value overflows u32.
+        assert_eq!(read_varint(&[0xff, 0xff, 0xff, 0xff, 0x7f], &mut pos), None);
+    }
+
+    #[test]
+    fn delta_cursor_decodes_gaps() {
+        let row = [3u32, 4, 9, 1000];
+        let mut bytes = Vec::new();
+        let mut prev = 0;
+        for (i, &t) in row.iter().enumerate() {
+            write_varint(&mut bytes, if i == 0 { t } else { t - prev });
+            prev = t;
+        }
+        let decoded: Vec<u32> = DeltaCursor::new(&bytes, row.len() as u32).collect();
+        assert_eq!(decoded, row);
+    }
+
+    #[test]
+    fn bitmap_cursor_yields_set_bits() {
+        let mut bytes = vec![0u8; 16]; // 128-bit bitmap
+        for bit in [0usize, 5, 63, 64, 127] {
+            bytes[bit / 8] |= 1 << (bit % 8);
+        }
+        let decoded: Vec<u32> = BitmapCursor::new(&bytes).collect();
+        assert_eq!(decoded, vec![0, 5, 63, 64, 127]);
+    }
+
+    #[test]
+    fn cursor_chunking_matches_iteration() {
+        let targets: Vec<u32> = (0..333).map(|i| i * 3).collect();
+        let mut cursor = NeighborCursor::Slice(&targets);
+        let mut buf = [0u32; CURSOR_CHUNK];
+        let mut collected = Vec::new();
+        loop {
+            let filled = cursor.next_chunk(&mut buf);
+            if filled == 0 {
+                break;
+            }
+            collected.extend_from_slice(&buf[..filled]);
+        }
+        assert_eq!(collected, targets);
+        let mut via_for_each = Vec::new();
+        NeighborCursor::Slice(&targets).for_each(|t| via_for_each.push(t));
+        assert_eq!(via_for_each, targets);
+    }
+
+    #[test]
+    fn csr_graph_view_cursor_matches_neighbors() {
+        let g = crate::generators::erdos_renyi(50, 200, 7);
+        for v in 0..50u32 {
+            let via_cursor: Vec<u32> = GraphView::cursor(&g, v).collect();
+            assert_eq!(via_cursor, g.neighbors(v));
+            let mut buf = Vec::new();
+            assert_eq!(GraphView::row_into(&g, v, &mut buf), g.neighbors(v));
+        }
+    }
+}

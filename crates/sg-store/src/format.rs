@@ -28,8 +28,11 @@ use std::io;
 
 /// `"SLIMSGR1"` read as a little-endian `u64`.
 pub const SGR_MAGIC: u64 = u64::from_le_bytes(*b"SLIMSGR1");
-/// Current container version.
+/// Container version 1: raw CSR sections.
 pub const SGR_VERSION: u32 = 1;
+/// Container version 2: encoded adjacency (delta+varint / bitmap rows).
+/// Version-1 readers reject v2 files cleanly at the header version check.
+pub const SGR_VERSION_V2: u32 = 2;
 /// Directed-graph flag bit.
 pub const FLAG_DIRECTED: u32 = 1;
 /// Weighted-graph flag bit.
@@ -63,9 +66,21 @@ pub enum SectionId {
     InTargets = 7,
     /// Canonical edge id per in slot, `u32 × m` (directed only).
     InSlotEdges = 8,
+    /// Out-row degrees, `u32 × n` (v2 only).
+    Degrees = 9,
+    /// Out-row byte offsets into the blob, `u64 × (n + 1)` (v2 only).
+    RowIndex = 10,
+    /// Concatenated encoded out-rows, variable length (v2 only).
+    AdjBlob = 11,
+    /// In-row degrees, `u32 × n` (v2 + directed only).
+    InDegrees = 12,
+    /// In-row byte offsets, `u64 × (n + 1)` (v2 + directed only).
+    InRowIndex = 13,
+    /// Concatenated encoded in-rows, variable length (v2 + directed only).
+    InAdjBlob = 14,
 }
 
-/// The section set implied by a flag combination, in canonical order.
+/// The v1 section set implied by a flag combination, in canonical order.
 pub fn expected_sections(directed: bool, weighted: bool) -> Vec<SectionId> {
     let mut ids =
         vec![SectionId::Offsets, SectionId::Targets, SectionId::SlotEdges, SectionId::Edges];
@@ -78,15 +93,42 @@ pub fn expected_sections(directed: bool, weighted: bool) -> Vec<SectionId> {
     ids
 }
 
+/// The v2 section set implied by a flag combination, in canonical
+/// (ascending-id) order. v2 stores no raw targets/slot-edge/edge sections:
+/// canonical edges and their ids are reconstructed from the encoded rows by
+/// forward enumeration, which *is* the canonical lexicographic order.
+pub fn expected_sections_v2(directed: bool, weighted: bool) -> Vec<SectionId> {
+    let mut ids = Vec::new();
+    if weighted {
+        ids.push(SectionId::Weights);
+    }
+    ids.extend([SectionId::Degrees, SectionId::RowIndex, SectionId::AdjBlob]);
+    if directed {
+        ids.extend([SectionId::InDegrees, SectionId::InRowIndex, SectionId::InAdjBlob]);
+    }
+    ids
+}
+
 /// On-disk byte length of `id` for a graph with the given shape.
-/// `None` signals arithmetic overflow (hostile header on a small platform).
-pub fn expected_len(id: SectionId, n: usize, m: usize, directed: bool) -> Option<usize> {
-    let slots = if directed { m } else { m.checked_mul(2)? };
+/// Outer `None` signals arithmetic overflow (hostile header on a small
+/// platform); inner `None` marks variable-length sections (the v2 blobs),
+/// whose bounds are checked against the file and whose content the encoded
+/// loader validates row by row.
+pub fn expected_len(id: SectionId, n: usize, m: usize, directed: bool) -> Option<Option<usize>> {
     match id {
-        SectionId::Offsets | SectionId::InOffsets => n.checked_add(1)?.checked_mul(8),
-        SectionId::Targets | SectionId::SlotEdges => slots.checked_mul(4),
-        SectionId::Edges => m.checked_mul(8),
-        SectionId::Weights | SectionId::InTargets | SectionId::InSlotEdges => m.checked_mul(4),
+        SectionId::Offsets | SectionId::InOffsets | SectionId::RowIndex | SectionId::InRowIndex => {
+            n.checked_add(1)?.checked_mul(8).map(Some)
+        }
+        SectionId::Targets | SectionId::SlotEdges => {
+            let slots = if directed { m } else { m.checked_mul(2)? };
+            slots.checked_mul(4).map(Some)
+        }
+        SectionId::Edges => m.checked_mul(8).map(Some),
+        SectionId::Weights | SectionId::InTargets | SectionId::InSlotEdges => {
+            m.checked_mul(4).map(Some)
+        }
+        SectionId::Degrees | SectionId::InDegrees => n.checked_mul(4).map(Some),
+        SectionId::AdjBlob | SectionId::InAdjBlob => Some(None),
     }
 }
 
@@ -165,13 +207,35 @@ fn rd_u64(d: &[u8], at: usize) -> u64 {
     u64::from_le_bytes(d[at..at + 8].try_into().expect("caller checked bounds"))
 }
 
-/// Parses and validates the header and section table of an `.sgr` buffer.
+/// Reads the magic and version of an `.sgr` buffer without parsing the
+/// rest — the dispatch point for loaders that accept both versions.
+pub fn peek_version(data: &[u8]) -> io::Result<u32> {
+    if data.len() < 12 {
+        return Err(bad("truncated header"));
+    }
+    if rd_u64(data, 0) != SGR_MAGIC {
+        return Err(bad("bad magic (not an .sgr file)"));
+    }
+    Ok(rd_u32(data, 8))
+}
+
+/// Parses and validates the header and section table of a **v1** (raw CSR)
+/// `.sgr` buffer; rejects any other version, including v2.
 ///
 /// Every field is checked against what `(n, m, flags)` imply — section ids,
 /// order, byte lengths, alignment, and file bounds — with checked arithmetic
 /// throughout, so a hostile header can neither wrap a bounds computation nor
 /// provoke an oversized allocation.
 pub fn parse_toc(data: &[u8]) -> io::Result<SgrToc> {
+    parse_toc_version(data, SGR_VERSION)
+}
+
+/// [`parse_toc`] for **v2** (encoded adjacency) buffers.
+pub fn parse_toc_v2(data: &[u8]) -> io::Result<SgrToc> {
+    parse_toc_version(data, SGR_VERSION_V2)
+}
+
+fn parse_toc_version(data: &[u8], want_version: u32) -> io::Result<SgrToc> {
     if data.len() < HEADER_LEN {
         return Err(bad("truncated header"));
     }
@@ -179,7 +243,7 @@ pub fn parse_toc(data: &[u8]) -> io::Result<SgrToc> {
         return Err(bad("bad magic (not an .sgr file)"));
     }
     let version = rd_u32(data, 8);
-    if version != SGR_VERSION {
+    if version != want_version {
         return Err(bad(format!("unsupported .sgr version {version}")));
     }
     let flags = rd_u32(data, 12);
@@ -201,7 +265,11 @@ pub fn parse_toc(data: &[u8]) -> io::Result<SgrToc> {
     let checksum = rd_u64(data, 32);
     let count = rd_u32(data, 40) as usize;
 
-    let expect = expected_sections(directed, weighted);
+    let expect = if want_version == SGR_VERSION_V2 {
+        expected_sections_v2(directed, weighted)
+    } else {
+        expected_sections(directed, weighted)
+    };
     if count != expect.len() {
         return Err(bad(format!(
             "expected {} sections for these flags, found {count}",
@@ -238,8 +306,10 @@ pub fn parse_toc(data: &[u8]) -> io::Result<SgrToc> {
         }
         let want = expected_len(id, n, m, directed)
             .ok_or_else(|| bad("section size overflow for this platform"))?;
-        if len != want {
-            return Err(bad(format!("section {id:?} length {len}, expected {want}")));
+        if let Some(want) = want {
+            if len != want {
+                return Err(bad(format!("section {id:?} length {len}, expected {want}")));
+            }
         }
         min_off = end;
         sections.push(RawSection { id, off, len });
@@ -420,8 +490,20 @@ mod tests {
         // A hostile m near usize::MAX must yield None, not a wrapped size.
         assert_eq!(expected_len(SectionId::Edges, 10, usize::MAX / 2, false), None);
         assert_eq!(expected_len(SectionId::Targets, 10, usize::MAX / 3, false), None);
-        assert_eq!(expected_len(SectionId::Offsets, 4, 2, false), Some(40));
-        assert_eq!(expected_len(SectionId::Targets, 4, 2, false), Some(16));
-        assert_eq!(expected_len(SectionId::Targets, 4, 2, true), Some(8));
+        assert_eq!(expected_len(SectionId::Offsets, 4, 2, false), Some(Some(40)));
+        assert_eq!(expected_len(SectionId::Targets, 4, 2, false), Some(Some(16)));
+        assert_eq!(expected_len(SectionId::Targets, 4, 2, true), Some(Some(8)));
+        // v2 sections: fixed lengths from n, variable-length blobs.
+        assert_eq!(expected_len(SectionId::Degrees, 4, 2, false), Some(Some(16)));
+        assert_eq!(expected_len(SectionId::RowIndex, 4, 2, false), Some(Some(40)));
+        assert_eq!(expected_len(SectionId::AdjBlob, 4, 2, false), Some(None));
+    }
+
+    #[test]
+    fn v2_section_order_is_ascending_ids() {
+        for &(directed, weighted) in &[(false, false), (false, true), (true, false), (true, true)] {
+            let ids = expected_sections_v2(directed, weighted);
+            assert!(ids.windows(2).all(|w| (w[0] as u32) < (w[1] as u32)));
+        }
     }
 }

@@ -179,6 +179,49 @@ where
     acc
 }
 
+/// Offset-writing collect for indexed pipelines: allocates one buffer of
+/// exactly `base_len` slots and has every chunk write its items directly
+/// into its own window (`chunk.start..chunk.end`) of that buffer. The
+/// windows are disjoint by construction — the same contract that makes
+/// mutable slice chunking sound — and the values land at the same positions
+/// the concatenating path would put them, so the result is identical.
+///
+/// Each chunk asserts it produced exactly one item per base position before
+/// finishing, so a broken `INDEXED` claim panics instead of exposing
+/// uninitialized memory; `set_len` runs only after every chunk completed.
+/// If a chunk panics mid-write the buffer is dropped at length 0 — already
+/// written items leak, but nothing is double-dropped or read uninitialized.
+fn indexed_collect<P>(p: P) -> Vec<P::Item>
+where
+    P: ParallelIterator + Sync,
+{
+    let len = p.base_len();
+    let mut buf: Vec<P::Item> = Vec::with_capacity(len);
+    struct SendPtr<T>(*mut T);
+    // SAFETY: only disjoint windows are written through the pointer.
+    unsafe impl<T: Send> Send for SendPtr<T> {}
+    // SAFETY: see `Send`.
+    unsafe impl<T: Send> Sync for SendPtr<T> {}
+    let base = SendPtr(buf.as_mut_ptr());
+    let base = &base;
+    drive(&p, |p, r| {
+        let mut at = r.start;
+        let end = r.end;
+        for item in unsafe { p.seq_chunk(r.clone()) } {
+            assert!(at < end, "indexed pipeline produced more than one item per base position");
+            // SAFETY: `at` lies in this chunk's window, windows are
+            // disjoint across chunks, and each slot is written once.
+            unsafe { base.0.add(at).write(item) };
+            at += 1;
+        }
+        assert_eq!(at, end, "indexed pipeline produced fewer items than base positions");
+    });
+    // SAFETY: every chunk filled its whole window (asserted above), and the
+    // windows partition 0..len, so all `len` slots are initialized.
+    unsafe { buf.set_len(len) };
+    buf
+}
+
 /// A parallel iterator: an indexed pipeline that can be instantiated as a
 /// sequential iterator over any contiguous chunk of its base.
 ///
@@ -195,6 +238,15 @@ pub trait ParallelIterator: Sized {
     type SeqIter<'a>: Iterator<Item = Self::Item>
     where
         Self: 'a;
+
+    /// True when the pipeline yields exactly one item per base position, in
+    /// base order — base sources and index-preserving adapters (`map`,
+    /// `enumerate`, `zip`, `copied`) propagate it; length-changing adapters
+    /// (`filter`, `filter_map`, `flat_map_iter`, `fold`) reset it to false.
+    /// [`ParallelIterator::collect`] uses it to write chunks straight into
+    /// their windows of one pre-sized buffer instead of concatenating
+    /// per-chunk vectors.
+    const INDEXED: bool = false;
 
     /// Length of the *base* index space (pre-`filter`/`flat_map_iter`).
     fn base_len(&self) -> usize;
@@ -341,15 +393,20 @@ pub trait ParallelIterator: Sized {
     }
 
     /// Collects into any [`FromIterator`] collection, preserving base
-    /// order. Chunk buffers are appended into one growing vector as they
-    /// arrive (in chunk order), so completed chunks are freed immediately
-    /// instead of being retained for a final flatten pass; for `C = Vec<T>`
-    /// the trailing `collect` reuses the allocation.
+    /// order. Indexed pipelines (one item per base position) write each
+    /// chunk straight into its disjoint window of one buffer pre-sized to
+    /// the base length — no per-chunk vectors, no copy-out pass. Other
+    /// pipelines append chunk buffers into one growing vector as they
+    /// arrive (in chunk order), so completed chunks are freed immediately.
+    /// For `C = Vec<T>` the trailing `collect` reuses the allocation.
     fn collect<C>(self) -> C
     where
         C: FromIterator<Self::Item>,
         Self: Sync,
     {
+        if Self::INDEXED {
+            return indexed_collect(self).into_iter().collect();
+        }
         drive_fold(
             &self,
             |p, r| unsafe { p.seq_chunk(r) }.collect::<Vec<_>>(),
@@ -521,6 +578,8 @@ where
     where
         Self: 'a;
 
+    const INDEXED: bool = B::INDEXED;
+
     fn base_len(&self) -> usize {
         self.base.base_len()
     }
@@ -626,6 +685,8 @@ where
     where
         Self: 'a;
 
+    const INDEXED: bool = B::INDEXED;
+
     fn base_len(&self) -> usize {
         self.base.base_len()
     }
@@ -652,6 +713,8 @@ where
     where
         Self: 'a;
 
+    const INDEXED: bool = A::INDEXED && B::INDEXED;
+
     fn base_len(&self) -> usize {
         self.a.base_len().min(self.b.base_len())
     }
@@ -676,6 +739,8 @@ where
         = std::iter::Copied<B::SeqIter<'a>>
     where
         Self: 'a;
+
+    const INDEXED: bool = B::INDEXED;
 
     fn base_len(&self) -> usize {
         self.base.base_len()

@@ -266,6 +266,44 @@ mod tests {
     }
 
     #[test]
+    fn offset_collect_indexed_matches_sequential() {
+        // zip + map + enumerate + copied all keep the indexed fast path
+        // (per-chunk windows into one pre-sized buffer); filter drops to
+        // the concatenating path. Both must agree with sequential exactly.
+        let a: Vec<u64> = (0..30_011).collect();
+        let b: Vec<u64> = (0..30_011).map(|x| x ^ 0x5a).collect();
+        let zipped = invariant(|| {
+            a.par_iter().zip(b.par_iter()).map(|(&x, &y)| x.wrapping_mul(3) + y).collect::<Vec<_>>()
+        });
+        let expect: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| x.wrapping_mul(3) + y).collect();
+        assert_eq!(zipped, expect);
+        let en = invariant(|| a.par_iter().copied().enumerate().collect::<Vec<_>>());
+        assert!(en.iter().all(|&(i, x)| i as u64 == x));
+        let filtered =
+            invariant(|| a.par_iter().copied().filter(|x| x % 3 == 0).collect::<Vec<_>>());
+        assert_eq!(filtered, a.iter().copied().filter(|x| x % 3 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_merge_rounds_preserve_stability_with_odd_run_counts() {
+        let _guard = lock_knob();
+        // 5 workers -> 5 sorted runs -> pairing rounds of (2,2,1), (2,1),
+        // (1): both the odd-run pass-through and multi-round concurrent
+        // merging execute, and the stable order must survive all of it.
+        let data: Vec<(u8, u32)> =
+            (0..40_000u32).map(|i| ((i.wrapping_mul(2246822519) % 5) as u8, i)).collect();
+        let mut expect = data.clone();
+        expect.sort_by_key(|p| p.0);
+        for t in [1, 3, 5, 8] {
+            crate::set_num_threads(t);
+            let mut v = data.clone();
+            v.par_sort_unstable_by_key(|p| p.0);
+            assert_eq!(v, expect, "stable order must hold at {t} threads");
+        }
+        crate::set_num_threads(0);
+    }
+
+    #[test]
     fn empty_and_tiny_inputs() {
         let _guard = lock_knob();
         crate::set_num_threads(8);

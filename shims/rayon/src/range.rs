@@ -18,6 +18,8 @@ macro_rules! indexed_range_impl {
             where
                 Self: 'a;
 
+            const INDEXED: bool = true;
+
             fn base_len(&self) -> usize {
                 if self.range.end <= self.range.start {
                     0

@@ -32,6 +32,8 @@ impl<'data, T: Sync> ParallelIterator for Iter<'data, T> {
     where
         Self: 'a;
 
+    const INDEXED: bool = true;
+
     fn base_len(&self) -> usize {
         self.slice.len()
     }
@@ -68,6 +70,8 @@ impl<'data, T: Send + 'data> ParallelIterator for IterMut<'data, T> {
         = std::slice::IterMut<'data, T>
     where
         Self: 'a;
+
+    const INDEXED: bool = true;
 
     fn base_len(&self) -> usize {
         self.len
@@ -131,6 +135,8 @@ impl<'data, T: Send + 'data> ParallelIterator for ChunksMut<'data, T> {
         = ChunksMutSeq<'data, T>
     where
         Self: 'a;
+
+    const INDEXED: bool = true;
 
     fn base_len(&self) -> usize {
         self.len.div_ceil(self.chunk_size)
@@ -273,21 +279,66 @@ where
         piece.sort_by(|a, b| cmp(a, b));
     };
     crate::pool::submit(threads.min(n_runs), &ticket).join();
-    // Merge run index lists pairwise until one permutation remains.
-    let mut index_runs: Vec<Vec<usize>> =
-        (0..len).step_by(run_len).map(|s| (s..(s + run_len).min(len)).collect()).collect();
+    // Merge run index lists pairwise until one permutation remains. Pair k
+    // of a round merges runs 2k and 2k+1, which cover adjacent disjoint
+    // element spans, so all of a round's merges run concurrently on the
+    // pool — each ticket reborrows only its own pair's span (the same
+    // disjointness contract as the run-sort phase above) and deposits the
+    // result in the slot for pair k, so the merged list is ordered by pair
+    // position. The pairing is a pure function of the run count — never of
+    // the thread count — keeping the merge tree, and thus the permutation,
+    // thread-invariant.
+    let mut index_runs: Vec<IndexRun> = (0..len)
+        .step_by(run_len)
+        .map(|s| {
+            let stop = (s + run_len).min(len);
+            IndexRun { start: s, end: stop, order: (s..stop).collect() }
+        })
+        .collect();
     while index_runs.len() > 1 {
-        let mut merged = Vec::with_capacity(index_runs.len().div_ceil(2));
+        let mut pairs: Vec<(IndexRun, Option<IndexRun>)> =
+            Vec::with_capacity(index_runs.len().div_ceil(2));
         let mut it = index_runs.into_iter();
         while let Some(left) = it.next() {
-            match it.next() {
-                None => merged.push(left),
-                Some(right) => merged.push(merge_index_runs(v, cmp, &left, &right)),
-            }
+            pairs.push((left, it.next()));
         }
-        index_runs = merged;
+        let slots: Vec<std::sync::Mutex<Option<IndexRun>>> =
+            pairs.iter().map(|_| std::sync::Mutex::new(None)).collect();
+        let pair_cursor = std::sync::atomic::AtomicUsize::new(0);
+        let pairs_ref = &pairs;
+        let merge_ticket = || loop {
+            let k = pair_cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let Some((left, right)) = pairs_ref.get(k) else { break };
+            let merged = match right {
+                // Odd run out: passes through to the next round unchanged.
+                None => left.clone(),
+                Some(right) => {
+                    // SAFETY: pair spans partition 0..len and each pair
+                    // index is claimed exactly once via the cursor, so
+                    // this read-only view aliases no other ticket's span.
+                    let span = unsafe {
+                        std::slice::from_raw_parts(
+                            base.0.add(left.start).cast_const(),
+                            right.end - left.start,
+                        )
+                    };
+                    merge_index_runs(span, cmp, left, right)
+                }
+            };
+            *slots[k].lock().unwrap_or_else(|e| e.into_inner()) = Some(merged);
+        };
+        let merge_workers = threads.min(pairs.len());
+        if merge_workers <= 1 {
+            merge_ticket();
+        } else {
+            crate::pool::submit(merge_workers, &merge_ticket).join();
+        }
+        index_runs = slots
+            .into_iter()
+            .map(|s| s.into_inner().unwrap_or_else(|e| e.into_inner()).expect("every pair merges"))
+            .collect();
     }
-    let perm = index_runs.pop().unwrap_or_default();
+    let perm = index_runs.pop().map(|r| r.order).unwrap_or_default();
     // dest[s] = final position of the element currently at s; apply with
     // cycle-following swaps (no clones, no unsafe).
     let mut dest = vec![0usize; len];
@@ -303,24 +354,41 @@ where
     }
 }
 
-/// Two-pointer merge of sorted index runs; the left run wins ties, which
-/// preserves stability (left indices precede right indices originally).
-fn merge_index_runs<T, C>(v: &[T], cmp: &C, left: &[usize], right: &[usize]) -> Vec<usize>
+/// A sorted run during the merge phase: the contiguous element span it
+/// covers (`start..end` of the original slice) plus the sorted order of the
+/// span's *original* indices.
+#[derive(Clone)]
+struct IndexRun {
+    start: usize,
+    end: usize,
+    order: Vec<usize>,
+}
+
+/// Two-pointer merge of two adjacent sorted index runs; `span` covers
+/// exactly `left.start..right.end` of the original slice. The left run wins
+/// ties, which preserves stability (left indices precede right indices
+/// originally).
+fn merge_index_runs<T, C>(span: &[T], cmp: &C, left: &IndexRun, right: &IndexRun) -> IndexRun
 where
     C: Fn(&T, &T) -> CmpOrdering,
 {
-    let mut out = Vec::with_capacity(left.len() + right.len());
+    debug_assert_eq!(left.end, right.start, "runs must be adjacent");
+    debug_assert_eq!(span.len(), right.end - left.start, "span must cover both runs");
+    let base = left.start;
+    let mut out = Vec::with_capacity(left.order.len() + right.order.len());
     let (mut i, mut j) = (0, 0);
-    while i < left.len() && j < right.len() {
-        if cmp(&v[right[j]], &v[left[i]]) == CmpOrdering::Less {
-            out.push(right[j]);
+    while i < left.order.len() && j < right.order.len() {
+        let l = left.order[i];
+        let r = right.order[j];
+        if cmp(&span[r - base], &span[l - base]) == CmpOrdering::Less {
+            out.push(r);
             j += 1;
         } else {
-            out.push(left[i]);
+            out.push(l);
             i += 1;
         }
     }
-    out.extend_from_slice(&left[i..]);
-    out.extend_from_slice(&right[j..]);
-    out
+    out.extend_from_slice(&left.order[i..]);
+    out.extend_from_slice(&right.order[j..]);
+    IndexRun { start: left.start, end: right.end, order: out }
 }
