@@ -1,0 +1,247 @@
+//! Load generator for the `sg-serve` front line: replays a concurrent
+//! request mix (pings, prefix-sharing compress chains, stats) against an
+//! in-process daemon with a **bounded** worker pool, from at least 2×
+//! `--workers` concurrent clients.
+//!
+//! The binary asserts the service contract under load — every request
+//! gets exactly one response (zero drops; `busy` turn-aways are retried
+//! and counted, not lost), and all compress responses for a spec carry
+//! the same checksum — then reports p50/p99 latency and throughput per
+//! op in the `BenchRecord` schema so CI tracks serving tail latency.
+//!
+//! Run: `cargo run --release -p sg-bench --bin loadgen
+//!       [-- --workers N] [--clients N] [--requests N] [--n N] [--json]`
+
+use sg_bench::{json_requested, render_json, render_table, BenchRecord};
+use sg_serve::{Client, Json, ServeConfig, Server};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// The request mix each client cycles through: a liveness probe, three
+/// chains sharing a `spanner:k=4` prefix (the cache-friendly serving
+/// workload), and a stats poll.
+const MIX: [(&str, Option<&str>); 5] = [
+    ("ping", None),
+    ("compress:a", Some("spanner:k=4,uniform:p=0.5")),
+    ("compress:b", Some("spanner:k=4,uniform:p=0.3")),
+    ("compress:c", Some("spanner:k=4,cut:k=2")),
+    ("stats", None),
+];
+
+struct Sample {
+    op: &'static str,
+    latency: Duration,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_ms.len() as f64 - 1.0)).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+fn main() {
+    let mut workers: usize = 2;
+    let mut clients: usize = 0; // 0 → 2x workers
+    let mut requests: usize = 20;
+    let mut n: usize = 5_000;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut grab = |what: &str| -> usize {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("--{what} needs an integer value"))
+        };
+        match flag.as_str() {
+            "--workers" => workers = grab("workers"),
+            "--clients" => clients = grab("clients"),
+            "--requests" => requests = grab("requests"),
+            "--n" => n = grab("n"),
+            "--json" => {}
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    let workers = workers.max(1);
+    let clients = if clients == 0 { workers * 2 } else { clients };
+    assert!(clients >= workers * 2, "loadgen must oversubscribe: clients >= 2x workers");
+    let json = json_requested();
+    let workload = format!("ba-n{n}");
+
+    let g = sg_graph::generators::barabasi_albert(n, 4, 0x10AD);
+    let dir = std::env::temp_dir().join(format!("sg-loadgen-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("input.sgr");
+    sg_store::save_sgr(&g, &path).expect("save input");
+
+    // Queue depth sized to the oversubscription so waiting clients park
+    // in the queue; `busy` turn-aways still happen in bursts and are
+    // retried below.
+    let cfg = ServeConfig {
+        listen: "127.0.0.1:0".into(),
+        transcript: false,
+        workers,
+        queue_depth: clients,
+        ..Default::default()
+    };
+    let server = Server::bind(&cfg).expect("bind");
+    let addr = server.local_addr().to_string();
+    let daemon = std::thread::spawn(move || server.run());
+    let mut seed_client = Client::connect(&addr).expect("connect");
+    let response = seed_client
+        .request(
+            &Client::request_for("load")
+                .with("name", Json::str("g"))
+                .with("path", Json::str(path.to_string_lossy().into_owned())),
+        )
+        .expect("load");
+    assert_eq!(response.get("ok"), Some(&Json::Bool(true)), "load failed: {}", response.render());
+    drop(seed_client); // free the worker before the storm
+
+    let busy_retries = AtomicU64::new(0);
+    let started = Instant::now();
+    let per_client: Vec<(Vec<Sample>, BTreeMap<&'static str, String>)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let addr = addr.clone();
+                    let busy_retries = &busy_retries;
+                    scope.spawn(move || {
+                        let mut samples = Vec::with_capacity(requests);
+                        let mut checksums: BTreeMap<&'static str, String> = BTreeMap::new();
+                        let mut client = Client::connect(&addr).expect("connect");
+                        for r in 0..requests {
+                            let (op, spec) = MIX[(c + r) % MIX.len()];
+                            let request = match spec {
+                                Some(spec) => Client::request_for("compress")
+                                    .with("graph", Json::str("g"))
+                                    .with("spec", Json::str(spec))
+                                    .with("seed", Json::u64(11)),
+                                None if op == "stats" => Client::request_for("stats"),
+                                None => Client::request_for("ping"),
+                            };
+                            // Exactly one response per request: a `busy`
+                            // turn-away closes the connection, so honor
+                            // the hint, reconnect, and retry until served.
+                            let response = loop {
+                                let start = Instant::now();
+                                let response = client.request(&request).expect("one response");
+                                let code = response
+                                    .get("error")
+                                    .and_then(|e| e.get("code"))
+                                    .and_then(Json::as_str);
+                                if code == Some("busy") {
+                                    busy_retries.fetch_add(1, Ordering::Relaxed);
+                                    let nap = response
+                                        .get("error")
+                                        .and_then(|e| e.get("retry_after_ms"))
+                                        .and_then(Json::as_u64)
+                                        .unwrap_or(100);
+                                    std::thread::sleep(Duration::from_millis(nap));
+                                    client = Client::connect(&addr).expect("reconnect");
+                                    continue;
+                                }
+                                assert_eq!(
+                                    response.get("ok"),
+                                    Some(&Json::Bool(true)),
+                                    "request failed under load: {}",
+                                    response.render()
+                                );
+                                samples.push(Sample { op, latency: start.elapsed() });
+                                break response;
+                            };
+                            if let Some(sum) = response.get("checksum").and_then(Json::as_str) {
+                                let seen = checksums.entry(op).or_insert_with(|| sum.to_string());
+                                assert_eq!(seen, sum, "{op}: checksum drifted under load");
+                            }
+                        }
+                        (samples, checksums)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+        });
+    let wall = started.elapsed();
+
+    // Contract: zero dropped responses, and identical checksums across
+    // clients for every compress spec.
+    let answered: usize = per_client.iter().map(|(s, _)| s.len()).sum();
+    assert_eq!(answered, clients * requests, "every request got exactly one response");
+    let mut agreed: BTreeMap<&'static str, String> = BTreeMap::new();
+    for (_, checksums) in &per_client {
+        for (op, sum) in checksums {
+            let seen = agreed.entry(op).or_insert_with(|| sum.clone());
+            assert_eq!(seen, sum, "{op}: clients disagree on the result digest");
+        }
+    }
+
+    let mut by_op: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
+    let mut all: Vec<f64> = Vec::with_capacity(answered);
+    for (samples, _) in &per_client {
+        for s in samples {
+            let ms = s.latency.as_secs_f64() * 1e3;
+            by_op.entry(s.op).or_default().push(ms);
+            all.push(ms);
+        }
+    }
+    all.sort_by(|a, b| a.total_cmp(b));
+    let throughput = answered as f64 / wall.as_secs_f64().max(1e-9);
+    let retries = busy_retries.load(Ordering::Relaxed);
+
+    let shared_params = vec![
+        ("workers".to_string(), workers.to_string()),
+        ("clients".to_string(), clients.to_string()),
+        ("requests".to_string(), answered.to_string()),
+        ("busy_retries".to_string(), retries.to_string()),
+        ("dropped".to_string(), "0".to_string()),
+    ];
+    let mut records = vec![BenchRecord {
+        workload: workload.clone(),
+        label: "loadgen:overall".into(),
+        params: shared_params.clone(),
+        ratio: None,
+        timings_ms: vec![
+            ("p50".into(), percentile(&all, 50.0)),
+            ("p99".into(), percentile(&all, 99.0)),
+            ("max".into(), percentile(&all, 100.0)),
+            ("wall".into(), wall.as_secs_f64() * 1e3),
+            ("throughput_rps".into(), throughput),
+        ],
+    }];
+    let mut rows = Vec::new();
+    for (op, ms) in &mut by_op {
+        ms.sort_by(|a, b| a.total_cmp(b));
+        let (p50, p99) = (percentile(ms, 50.0), percentile(ms, 99.0));
+        records.push(BenchRecord {
+            workload: workload.clone(),
+            label: format!("loadgen:{op}"),
+            params: shared_params.clone(),
+            ratio: None,
+            timings_ms: vec![("p50".into(), p50), ("p99".into(), p99)],
+        });
+        rows.push(vec![
+            op.to_string(),
+            ms.len().to_string(),
+            format!("{p50:.2}"),
+            format!("{p99:.2}"),
+        ]);
+    }
+
+    let mut closer = Client::connect(&addr).expect("connect");
+    let _ = closer.request(&Client::request_for("shutdown"));
+    daemon.join().expect("daemon thread").expect("clean exit");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if json {
+        println!("{}", render_json(&records));
+    } else {
+        println!("{}", render_table(&["op", "count", "p50 ms", "p99 ms"], &rows));
+        println!(
+            "{answered} responses from {clients} clients over {workers} workers in \
+             {:.0} ms ({throughput:.0} req/s), {retries} busy retries, 0 dropped",
+            wall.as_secs_f64() * 1e3
+        );
+    }
+}

@@ -56,10 +56,23 @@ COMMANDS:
   serve      Run the compression-as-a-service daemon (see docs/PROTOCOL.md)
              --listen HOST:PORT | --listen unix:/path.sock
              [--cache-mb N] [--quiet]
+             [--workers N] [--queue-depth N]        bounded worker pool
+             [--read-timeout-ms N]                  per-frame deadline
+             [--max-frame-kb N]                     request line size cap
+             [--token SECRET]   required for non-loopback binds; clients
+                                must send it in the request envelope
+             [--catalog-quota-mb N] [--cache-quota-mb N]  per-peer byte
+                                budgets (0 = unlimited)
+             [--upload-grace-ms N]  how long a disconnected client's
+                                partial upload survives for resumption
   client     Send requests to a running daemon (blocking, line-JSON)
-             --connect HOST:PORT|unix:/path.sock
-             one-shot: --op ping|load|compress|analyze|stats|evict|shutdown
+             --connect HOST:PORT|unix:/path.sock  [--token SECRET]
+             one-shot: --op ping|load|upload|compress|analyze|stats|
+                            evict|shutdown
                load:      --name NAME --path FILE [--format F] [--no-verify]
+               upload:    --name NAME --path FILE [--format F]
+                          [--chunk-kb N]  (chunked, digest-verified
+                          client-side transfer; resumes after reconnect)
                compress:  --graph NAME --spec SPEC [--seed N]
                           [--output FILE] [--output-format F]
                analyze:   --graph NAME --spec SPEC [--seed N]
@@ -380,10 +393,20 @@ fn parse_warm_start(text: &str) -> Result<Vec<PipelineSpec>, String> {
 /// `shutdown`. The resolved listen address goes to stderr (stdout carries
 /// the per-request transcript, one JSON event per line).
 fn serve(args: &Args) -> Result<(), String> {
+    let defaults = sg_serve::ServeConfig::default();
     let cfg = sg_serve::ServeConfig {
         listen: args.get("listen").unwrap_or("127.0.0.1:0").to_string(),
         cache_bytes: args.get_or("cache-mb", 256usize)? << 20,
         transcript: !args.flag("quiet"),
+        workers: args.get_or("workers", defaults.workers)?,
+        queue_depth: args.get_or("queue-depth", defaults.queue_depth)?,
+        read_timeout_ms: args.get_or("read-timeout-ms", defaults.read_timeout_ms)?,
+        max_frame_bytes: args.get_or("max-frame-kb", defaults.max_frame_bytes >> 10)? << 10,
+        token: args.get("token").map(str::to_string),
+        catalog_quota_bytes: args.get_or("catalog-quota-mb", 0u64)? << 20,
+        cache_quota_bytes: args.get_or("cache-quota-mb", 0u64)? << 20,
+        upload_grace_ms: args.get_or("upload-grace-ms", defaults.upload_grace_ms)?,
+        retry_after_ms: defaults.retry_after_ms,
     };
     let server =
         sg_serve::Server::bind(&cfg).map_err(|e| format!("binding {}: {e}", cfg.listen))?;
@@ -399,6 +422,7 @@ fn client(args: &Args) -> Result<(), String> {
     let mut client =
         sg_serve::Client::connect_with_patience(addr, std::time::Duration::from_secs(5))
             .map_err(|e| format!("connecting to {addr}: {e}"))?;
+    client.set_token(args.get("token").map(str::to_string));
     if let Some(script) = args.get("script") {
         let text = std::fs::read_to_string(script).map_err(|e| format!("reading {script}: {e}"))?;
         for line in text.lines().filter(|l| !l.trim().is_empty()) {
@@ -407,6 +431,25 @@ fn client(args: &Args) -> Result<(), String> {
         return Ok(());
     }
     let op = args.require("op")?;
+    if op == "upload" {
+        // Driven client-side: begin/chunk/commit frames with digest
+        // verification (and resume) handled by `Client::upload`.
+        let name = args.require("name")?;
+        let path = args.require("path")?;
+        let chunk = args.get_or("chunk-kb", sg_serve::client::DEFAULT_UPLOAD_CHUNK >> 10)? << 10;
+        let response = client.upload(name, path, args.get("format"), chunk)?;
+        println!("{}", response.render());
+        return if response.get("ok").and_then(Json::as_bool) == Some(true) {
+            Ok(())
+        } else {
+            Err(response
+                .get("error")
+                .and_then(|e| e.get("message"))
+                .and_then(Json::as_str)
+                .unwrap_or("upload failed")
+                .to_string())
+        };
+    }
     let mut request = sg_serve::Client::request_for(op);
     for (flag, field) in [
         ("name", "name"),

@@ -68,14 +68,11 @@ pub struct CachedPrefix {
 }
 
 impl CachedPrefix {
-    /// Estimated heap footprint, used for capacity accounting.
-    fn approx_bytes(&self) -> usize {
-        let g = self.graph.as_ref();
-        let csr = g.csr_offsets().len() * 8
-            + g.csr_targets().len() * 4
-            + g.csr_slot_edges().len() * 4
-            + g.edge_slice().len() * 8
-            + g.weight_slice().map_or(0, |w| w.len() * 4);
+    /// Estimated heap footprint, used for capacity accounting. The graph
+    /// part is measured with the system-wide
+    /// [`crate::catalog::graph_approx_bytes`] yardstick.
+    pub fn approx_bytes(&self) -> usize {
+        let csr = crate::catalog::graph_approx_bytes(&self.graph);
         let mapping = self.mapping.as_ref().map_or(0, |m| m.len() * 8);
         csr + mapping + 256
     }

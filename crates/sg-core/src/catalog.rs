@@ -83,6 +83,20 @@ pub fn load_graph(path: &str, explicit: Option<&str>, trusted: bool) -> Result<C
     res.map_err(|e| format!("loading {path}: {e}"))
 }
 
+/// Estimated heap/mapping footprint of a graph's CSR arrays, in bytes.
+///
+/// This is the shared currency of every byte budget in the system: the
+/// stage cache's capacity accounting, the catalog's [`GraphCatalog::
+/// total_bytes`], and the serving layer's per-client quotas all measure
+/// graphs with this one function, so a graph "costs" the same everywhere.
+pub fn graph_approx_bytes(g: &CsrGraph) -> usize {
+    g.csr_offsets().len() * 8
+        + g.csr_targets().len() * 4
+        + g.csr_slot_edges().len() * 4
+        + g.edge_slice().len() * 8
+        + g.weight_slice().map_or(0, |w| w.len() * 4)
+}
+
 /// Saves a graph to `path` honoring an optional explicit format name.
 /// `.sgr` outputs are written raw (v1); use [`save_graph_with`] to pick
 /// an adjacency encoding.
@@ -148,6 +162,12 @@ impl GraphHandle {
     /// cache entries holding the pipeline input).
     pub fn ref_count(&self) -> usize {
         Arc::strong_count(&self.graph)
+    }
+
+    /// Estimated byte footprint of the registered graph
+    /// ([`graph_approx_bytes`]).
+    pub fn approx_bytes(&self) -> usize {
+        graph_approx_bytes(&self.graph)
     }
 }
 
@@ -255,6 +275,11 @@ impl GraphCatalog {
     /// Number of registered graphs.
     pub fn len(&self) -> usize {
         self.lock().len()
+    }
+
+    /// Estimated total byte footprint of all registered graphs.
+    pub fn total_bytes(&self) -> usize {
+        self.lock().values().map(GraphHandle::approx_bytes).sum()
     }
 
     /// Whether the catalog is empty.

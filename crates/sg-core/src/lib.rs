@@ -53,7 +53,7 @@ pub mod session;
 pub mod spec;
 
 pub use cache::{CacheStats, StageCache, StageKey};
-pub use catalog::{GraphCatalog, GraphFormat, GraphHandle, GraphId};
+pub use catalog::{graph_approx_bytes, GraphCatalog, GraphFormat, GraphHandle, GraphId};
 pub use context::{GraphRef, SgContext};
 pub use engine::{CompressionResult, Engine};
 pub use pipeline::{run_stage, Pipeline, PipelineResult, StageReport};

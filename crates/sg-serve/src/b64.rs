@@ -1,0 +1,112 @@
+//! Standard-alphabet base64 for the upload op's chunk frames.
+//!
+//! The wire protocol is line-delimited JSON, so binary graph bytes must
+//! ride inside string fields; base64 is the framing. Implemented here
+//! because the build container has no crates registry. Encoding always
+//! pads with `=`; decoding is strict — non-alphabet bytes, bad padding,
+//! or trailing garbage are errors, never silently skipped (hostile
+//! clients exercise this).
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes `data` as padded standard base64.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b = [chunk[0], *chunk.get(1).unwrap_or(&0), *chunk.get(2).unwrap_or(&0)];
+        let word = (u32::from(b[0]) << 16) | (u32::from(b[1]) << 8) | u32::from(b[2]);
+        for i in 0..4 {
+            if i <= chunk.len() {
+                out.push(ALPHABET[(word >> (18 - 6 * i)) as usize & 0x3f] as char);
+            } else {
+                out.push('=');
+            }
+        }
+    }
+    out
+}
+
+/// Decodes padded standard base64; rejects malformed input.
+pub fn decode(text: &str) -> Result<Vec<u8>, String> {
+    let bytes = text.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return Err(format!("base64 length {} is not a multiple of 4", bytes.len()));
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (group, chunk) in bytes.chunks(4).enumerate() {
+        let last = group + 1 == bytes.len() / 4;
+        let mut word = 0u32;
+        let mut pads = 0usize;
+        for (i, &c) in chunk.iter().enumerate() {
+            let v = if c == b'=' {
+                // Padding only in the last group's final positions.
+                if !last || i < 2 || chunk[i..].iter().any(|&x| x != b'=') {
+                    return Err("misplaced '=' padding".to_string());
+                }
+                pads += 1;
+                0
+            } else {
+                if pads > 0 {
+                    return Err("data after '=' padding".to_string());
+                }
+                decode_char(c).ok_or_else(|| format!("invalid base64 byte 0x{c:02x}"))?
+            };
+            word = (word << 6) | u32::from(v);
+        }
+        let produced = 3 - pads;
+        // Reject non-canonical encodings (stray low bits under padding).
+        if pads > 0 && word.trailing_zeros() < (6 * pads) as u32 && word != 0 {
+            let mask = (1u32 << (6 * pads)) - 1;
+            if word & mask != 0 {
+                return Err("non-canonical base64 (padding bits set)".to_string());
+            }
+        }
+        for i in 0..produced {
+            out.push((word >> (16 - 8 * i)) as u8);
+        }
+    }
+    Ok(out)
+}
+
+fn decode_char(c: u8) -> Option<u8> {
+    match c {
+        b'A'..=b'Z' => Some(c - b'A'),
+        b'a'..=b'z' => Some(c - b'a' + 26),
+        b'0'..=b'9' => Some(c - b'0' + 52),
+        b'+' => Some(62),
+        b'/' => Some(63),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_all_lengths() {
+        for len in 0..64usize {
+            let data: Vec<u8> = (0..len).map(|i| (i * 37 + len) as u8).collect();
+            let enc = encode(&data);
+            assert_eq!(enc.len() % 4, 0);
+            assert_eq!(decode(&enc).expect("decodes"), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(b"f"), "Zg==");
+        assert_eq!(encode(b"fo"), "Zm8=");
+        assert_eq!(encode(b"foo"), "Zm9v");
+        assert_eq!(encode(b"foobar"), "Zm9vYmFy");
+        assert_eq!(decode("Zm9vYmFy").expect("decodes"), b"foobar");
+    }
+
+    #[test]
+    fn hostile_inputs_rejected() {
+        for bad in ["Zg=", "Z===", "====", "Zg=a", "Zm9v!b==", "ab", "Zg==Zg=="] {
+            assert!(decode(bad).is_err(), "accepted: {bad}");
+        }
+    }
+}

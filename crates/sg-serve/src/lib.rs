@@ -9,7 +9,17 @@
 //! recompute only the divergent suffix (bit-identically to a cold run:
 //! pipelines are pure functions of `(graph, spec, seed)`).
 //!
-//! ## Protocol (v1)
+//! ## Front-line shape
+//!
+//! The connection layer is a fixed acceptor feeding a **bounded worker
+//! pool** (`--workers`) through a bounded queue: overload yields a
+//! stable `busy` error with `retry_after_ms` instead of unbounded
+//! threads, per-frame read deadlines and a max-frame cap kill
+//! slow-loris and oversized clients, token auth (constant-time compare)
+//! gates non-loopback binds, and per-peer byte quotas bound each
+//! client's catalog/cache footprint.
+//!
+//! ## Protocol (v2, v1 still served)
 //!
 //! Line-delimited JSON over TCP or a unix socket — one request per line,
 //! one response per line, in order. The canonical reference (schema,
@@ -19,9 +29,10 @@
 //! |----|--------|
 //! | `ping` | liveness probe |
 //! | `load` | register a server-side graph file under a name (load-once) |
+//! | `upload` | v2: chunked, digest-verified client-side graph transfer into the catalog |
 //! | `compress` | run a pipeline spec; report shape/digest/per-stage timings, optionally write the result server-side |
 //! | `analyze` | `compress` + accuracy metrics vs the loaded original |
-//! | `stats` | server-wide stats (graphs, cache, uptime) or one graph's structure |
+//! | `stats` | server-wide stats (graphs, cache, pool, clients, uploads) or one graph's structure |
 //! | `evict` | drop a graph and its cache entries, and/or clear the cache |
 //! | `shutdown` | stop accepting and drain in-flight connections |
 //!
@@ -53,13 +64,17 @@
 //! The CLI front ends are `slimgraph serve` (daemon) and `slimgraph
 //! client` (one-shot requests and scripted sessions).
 
+pub mod b64;
 pub mod client;
 pub mod json;
 pub mod net;
+pub mod pool;
 pub mod proto;
+pub mod quota;
 pub mod server;
+pub mod upload;
 
 pub use client::Client;
 pub use json::Json;
-pub use proto::{ErrorCode, ProtoError, Request, PROTOCOL_VERSION};
+pub use proto::{ErrorCode, ProtoError, Request, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 pub use server::{graph_digest, ServeConfig, Server};

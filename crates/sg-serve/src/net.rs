@@ -35,7 +35,11 @@ impl Stream {
                 format!("unix sockets are not available on this platform ({path})"),
             ));
         }
-        Ok(Stream::Tcp(TcpStream::connect(addr)?))
+        let stream = TcpStream::connect(addr)?;
+        // Request/response lines are tiny; Nagle + delayed ACK would add
+        // ~40ms per turn on loopback.
+        stream.set_nodelay(true)?;
+        Ok(Stream::Tcp(stream))
     }
 
     /// An independently readable/writable handle to the same connection.
@@ -53,6 +57,40 @@ impl Stream {
             Stream::Tcp(s) => s.set_read_timeout(timeout),
             #[cfg(unix)]
             Stream::Unix(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    /// Bounds blocking writes so a client that stops draining its receive
+    /// buffer cannot pin a worker forever.
+    pub fn set_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_write_timeout(timeout),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_write_timeout(timeout),
+        }
+    }
+
+    /// Half-closes the write side (FIN, not RST), so a final response line
+    /// already in flight survives the close even if the peer writes
+    /// afterwards.
+    pub fn shutdown_write(&self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Write),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.shutdown(std::net::Shutdown::Write),
+        }
+    }
+
+    /// Stable identity of the remote peer for quota accounting: the remote
+    /// IP for TCP (port excluded — one user opens many connections), the
+    /// literal `"unix"` for unix-domain peers (same-host trust domain).
+    pub fn peer_id(&self) -> String {
+        match self {
+            Stream::Tcp(s) => {
+                s.peer_addr().map_or_else(|_| "unknown".to_string(), |a| a.ip().to_string())
+            }
+            #[cfg(unix)]
+            Stream::Unix(_) => "unix".to_string(),
         }
     }
 }
@@ -138,7 +176,10 @@ impl Listener {
     /// Blocks for the next connection.
     pub fn accept(&self) -> io::Result<Stream> {
         match self {
-            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| {
+                let _ = s.set_nodelay(true); // small-frame protocol, see connect()
+                Stream::Tcp(s)
+            }),
             #[cfg(unix)]
             Listener::Unix(l, _) => l.accept().map(|(s, _)| Stream::Unix(s)),
         }

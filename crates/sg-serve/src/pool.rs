@@ -1,0 +1,140 @@
+//! The bounded hand-off queue between the acceptor and the session
+//! workers.
+//!
+//! Admission control lives at this seam: the acceptor calls
+//! [`ConnQueue::try_push`], which either enqueues the connection for the
+//! next free worker or — when `capacity` connections are already waiting
+//! — hands it straight back so the acceptor can answer a `busy` error
+//! instead of letting work pile up unboundedly. Workers block in
+//! [`ConnQueue::pop`] until a connection (or shutdown) arrives, so the
+//! daemon's thread count is fixed at `--workers` + the acceptor no
+//! matter how hard clients hammer it.
+
+use crate::net::Stream;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct Inner {
+    queue: VecDeque<Stream>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue of accepted-but-unserved connections.
+pub struct ConnQueue {
+    inner: Mutex<Inner>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl ConnQueue {
+    /// A queue admitting at most `capacity` waiting connections
+    /// (`capacity` is clamped to ≥ 1 so admission is never vacuously
+    /// refused).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner { queue: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueues `conn` for the next free worker, or returns it when the
+    /// queue is full (admission rejected) or already closed (shutdown).
+    pub fn try_push(&self, conn: Stream) -> Result<(), Stream> {
+        let mut inner = self.lock();
+        if inner.closed || inner.queue.len() >= self.capacity {
+            return Err(conn);
+        }
+        inner.queue.push_back(conn);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next connection; `None` once the queue is closed
+    /// and drained (worker shutdown signal).
+    pub fn pop(&self) -> Option<Stream> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(conn) = inner.queue.pop_front() {
+                return Some(conn);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue: queued-but-unserved connections are dropped
+    /// (their clients see EOF, the standard shutdown signal) and every
+    /// blocked worker wakes up to exit.
+    pub fn close(&self) {
+        let mut inner = self.lock();
+        inner.closed = true;
+        inner.queue.clear();
+        drop(inner);
+        self.ready.notify_all();
+    }
+
+    /// Connections currently waiting for a worker.
+    pub fn depth(&self) -> usize {
+        self.lock().queue.len()
+    }
+
+    /// The admission bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::Listener;
+
+    /// Builds n real connected streams (the queue holds `Stream`s, so
+    /// tests need actual sockets).
+    fn streams(n: usize) -> Vec<Stream> {
+        let listener = Listener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        (0..n)
+            .map(|_| {
+                let _client = Stream::connect(&addr).expect("connect");
+                listener.accept().expect("accept")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn admission_is_bounded_and_fifo_wakeups_work() {
+        let queue = ConnQueue::new(2);
+        let mut conns = streams(3);
+        assert!(queue.try_push(conns.remove(0)).is_ok());
+        assert!(queue.try_push(conns.remove(0)).is_ok());
+        assert_eq!(queue.depth(), 2);
+        // Third is refused and handed back intact.
+        assert!(queue.try_push(conns.remove(0)).is_err());
+        assert!(queue.pop().is_some());
+        assert!(queue.pop().is_some());
+        assert_eq!(queue.depth(), 0);
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers_and_refuses_pushes() {
+        let queue = std::sync::Arc::new(ConnQueue::new(4));
+        let waiter = {
+            let queue = std::sync::Arc::clone(&queue);
+            std::thread::spawn(move || queue.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        queue.close();
+        assert!(waiter.join().expect("join").is_none(), "closed pop yields None");
+        let mut conn = streams(1);
+        assert!(queue.try_push(conn.remove(0)).is_err(), "closed queue admits nothing");
+    }
+}

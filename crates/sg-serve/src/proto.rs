@@ -3,9 +3,17 @@
 //! One request per line, one response per line, in order. Every request
 //! is a JSON object with an `"op"` field; `"v"` (protocol version,
 //! default [`PROTOCOL_VERSION`]) and `"id"` (echoed verbatim into the
-//! response) are optional. Responses always carry `"v"`, the echoed
-//! `"id"` (when given), and `"ok"`; failures add an `"error"` object with
-//! a stable machine-readable `code` and a human `message`.
+//! response) are optional. Responses always carry `"v"` (echoing the
+//! request's version), the echoed `"id"` (when given), and `"ok"`;
+//! failures add an `"error"` object with a stable machine-readable
+//! `code` and a human `message`, plus `retry_after_ms` for `busy`.
+//!
+//! Version negotiation: this build speaks [`PROTOCOL_VERSION`] and
+//! accepts any version down to [`MIN_PROTOCOL_VERSION`]. v2 adds the
+//! `upload` op, the `token` envelope field, and the `busy` /
+//! `auth-required` / `quota-exceeded` / `frame-too-large` / `timeout` /
+//! `digest-mismatch` error codes; v1 requests are still served
+//! unchanged (they simply cannot name the v2-only ops).
 //!
 //! The full message schema is documented in `docs/PROTOCOL.md` at the
 //! repository root; this module is the single point where request syntax
@@ -13,10 +21,13 @@
 
 use crate::json::Json;
 
-/// Protocol version spoken by this build. Versioning is strict-equal: a
-/// request carrying any other `"v"` is rejected with code `version` (the
-/// protocol has no negotiation — clients match the daemon).
-pub const PROTOCOL_VERSION: u64 = 1;
+/// Highest protocol version spoken by this build.
+pub const PROTOCOL_VERSION: u64 = 2;
+
+/// Oldest protocol version still accepted. Requests carrying `"v"`
+/// outside `MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION` are rejected with
+/// code `version`.
+pub const MIN_PROTOCOL_VERSION: u64 = 1;
 
 /// Machine-readable error codes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -25,7 +36,7 @@ pub enum ErrorCode {
     BadRequest,
     /// Unsupported protocol version.
     Version,
-    /// Unknown `"op"`.
+    /// Unknown `"op"` (or an op newer than the request's version).
     UnknownOp,
     /// `"graph"` names nothing in the catalog.
     UnknownGraph,
@@ -33,6 +44,18 @@ pub enum ErrorCode {
     BadSpec,
     /// Filesystem or socket failure while serving the request.
     Io,
+    /// Admission control rejected the connection; retry later.
+    Busy,
+    /// The daemon requires a `"token"` and none (or a wrong one) came.
+    AuthRequired,
+    /// The peer's catalog or cache byte budget is exhausted.
+    QuotaExceeded,
+    /// A request line exceeded the daemon's max frame size.
+    FrameTooLarge,
+    /// The connection blew its read deadline mid-frame (slow-loris).
+    Timeout,
+    /// Uploaded bytes hash to a different digest than declared.
+    DigestMismatch,
 }
 
 impl ErrorCode {
@@ -45,6 +68,12 @@ impl ErrorCode {
             ErrorCode::UnknownGraph => "unknown-graph",
             ErrorCode::BadSpec => "bad-spec",
             ErrorCode::Io => "io",
+            ErrorCode::Busy => "busy",
+            ErrorCode::AuthRequired => "auth-required",
+            ErrorCode::QuotaExceeded => "quota-exceeded",
+            ErrorCode::FrameTooLarge => "frame-too-large",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::DigestMismatch => "digest-mismatch",
         }
     }
 }
@@ -56,13 +85,50 @@ pub struct ProtoError {
     pub code: ErrorCode,
     /// Human-readable message.
     pub message: String,
+    /// For `busy`: suggested client backoff before reconnecting.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl ProtoError {
     /// Convenience constructor.
     pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
-        Self { code, message: message.into() }
+        Self { code, message: message.into(), retry_after_ms: None }
     }
+
+    /// A `busy` rejection advising the client to retry after `ms`.
+    pub fn busy(ms: u64) -> Self {
+        Self {
+            code: ErrorCode::Busy,
+            message: "all workers busy; retry later".to_string(),
+            retry_after_ms: Some(ms),
+        }
+    }
+}
+
+/// One phase of a chunked client-side graph upload (v2).
+#[derive(Clone, Debug)]
+pub enum UploadPhase {
+    /// Open (or resume) an upload slot for `name`.
+    Begin {
+        /// Total byte length of the graph file being transferred.
+        total_bytes: u64,
+        /// Expected fnv1a graph digest (hex, as printed by `stats`).
+        digest: String,
+        /// Storage format of the uploaded bytes (`text`/`bin`/`sgr`),
+        /// else inferred from the upload's catalog name.
+        format: Option<String>,
+    },
+    /// Append `data` (base64) at `offset`; out-of-order offsets rejected.
+    Chunk {
+        /// Byte offset of this chunk within the file.
+        offset: u64,
+        /// Base64-encoded chunk payload.
+        data: String,
+    },
+    /// All bytes sent: verify digest, load, insert into the catalog.
+    Commit,
+    /// Drop the partial upload.
+    Abort,
 }
 
 /// A parsed request.
@@ -80,6 +146,13 @@ pub enum Request {
         format: Option<String>,
         /// Skip the `.sgr` checksum pass (trusted files).
         no_verify: bool,
+    },
+    /// Chunked client-side graph transfer into the catalog (v2).
+    Upload {
+        /// Catalog name the finished graph will be registered under.
+        name: String,
+        /// Which phase of the transfer this request advances.
+        phase: UploadPhase,
     },
     /// Run a compression pipeline against a loaded graph.
     Compress {
@@ -119,13 +192,17 @@ pub enum Request {
     Shutdown,
 }
 
-/// Parsed request envelope: the operation plus the echoed request id.
+/// Parsed request envelope: the operation plus routing metadata.
 #[derive(Clone, Debug)]
 pub struct Envelope {
     /// The operation.
     pub request: Request,
     /// Client-chosen correlation id, echoed verbatim.
     pub id: Option<Json>,
+    /// Protocol version the request was phrased in (echoed in responses).
+    pub version: u64,
+    /// Auth token, when the client sent one.
+    pub token: Option<String>,
 }
 
 fn str_field(obj: &Json, key: &str) -> Result<Option<String>, ProtoError> {
@@ -165,6 +242,44 @@ fn u64_field(obj: &Json, key: &str, default: u64) -> Result<u64, ProtoError> {
     }
 }
 
+fn require_u64(obj: &Json, key: &str) -> Result<u64, ProtoError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => {
+            Err(ProtoError::new(ErrorCode::BadRequest, format!("missing field '{key}'")))
+        }
+        Some(v) => v.as_u64().ok_or_else(|| {
+            ProtoError::new(
+                ErrorCode::BadRequest,
+                format!("field '{key}' must be an unsigned integer"),
+            )
+        }),
+    }
+}
+
+fn parse_upload(value: &Json) -> Result<Request, ProtoError> {
+    let name = require_str(value, "name")?;
+    let phase = match require_str(value, "phase")?.as_str() {
+        "begin" => UploadPhase::Begin {
+            total_bytes: require_u64(value, "total_bytes")?,
+            digest: require_str(value, "digest")?,
+            format: str_field(value, "format")?,
+        },
+        "chunk" => UploadPhase::Chunk {
+            offset: require_u64(value, "offset")?,
+            data: require_str(value, "data")?,
+        },
+        "commit" => UploadPhase::Commit,
+        "abort" => UploadPhase::Abort,
+        other => {
+            return Err(ProtoError::new(
+                ErrorCode::BadRequest,
+                format!("unknown upload phase '{other}' (begin/chunk/commit/abort)"),
+            ))
+        }
+    };
+    Ok(Request::Upload { name, phase })
+}
+
 /// Parses one request line into its envelope.
 pub fn parse_request(line: &str) -> Result<Envelope, ProtoError> {
     let value = Json::parse(line)
@@ -174,14 +289,16 @@ pub fn parse_request(line: &str) -> Result<Envelope, ProtoError> {
     }
     let id = value.get("id").cloned();
     let version = u64_field(&value, "v", PROTOCOL_VERSION)?;
-    if version != PROTOCOL_VERSION {
+    if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
         return Err(ProtoError::new(
             ErrorCode::Version,
             format!(
-                "unsupported protocol version {version} (this daemon speaks {PROTOCOL_VERSION})"
+                "unsupported protocol version {version} \
+                 (this daemon speaks {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION})"
             ),
         ));
     }
+    let token = str_field(&value, "token")?;
     let op = require_str(&value, "op")?;
     let request = match op.as_str() {
         "ping" => Request::Ping,
@@ -191,6 +308,13 @@ pub fn parse_request(line: &str) -> Result<Envelope, ProtoError> {
             format: str_field(&value, "format")?,
             no_verify: bool_field(&value, "no_verify", false)?,
         },
+        "upload" if version >= 2 => parse_upload(&value)?,
+        "upload" => {
+            return Err(ProtoError::new(
+                ErrorCode::UnknownOp,
+                "op 'upload' requires protocol v2 (request declared v1)",
+            ))
+        }
         "compress" => Request::Compress {
             graph: require_str(&value, "graph")?,
             spec: require_str(&value, "spec")?,
@@ -220,13 +344,14 @@ pub fn parse_request(line: &str) -> Result<Envelope, ProtoError> {
             return Err(ProtoError::new(ErrorCode::UnknownOp, format!("unknown op '{other}'")))
         }
     };
-    Ok(Envelope { request, id })
+    Ok(Envelope { request, id, version, token })
 }
 
-/// Starts a success response: `{"v":1,"id":…,"ok":true}` ready for
-/// op-specific fields.
-pub fn ok_response(id: Option<&Json>) -> Json {
-    let mut out = Json::obj().with("v", Json::u64(PROTOCOL_VERSION));
+/// Starts a success response: `{"v":…,"id":…,"ok":true}` ready for
+/// op-specific fields. `version` echoes the request's declared version
+/// so v1 clients keep seeing `"v":1`.
+pub fn ok_response(version: u64, id: Option<&Json>) -> Json {
+    let mut out = Json::obj().with("v", Json::u64(version));
     if let Some(id) = id {
         out = out.with("id", id.clone());
     }
@@ -234,17 +359,18 @@ pub fn ok_response(id: Option<&Json>) -> Json {
 }
 
 /// Builds a failure response.
-pub fn error_response(id: Option<&Json>, err: &ProtoError) -> Json {
-    let mut out = Json::obj().with("v", Json::u64(PROTOCOL_VERSION));
+pub fn error_response(version: u64, id: Option<&Json>, err: &ProtoError) -> Json {
+    let mut out = Json::obj().with("v", Json::u64(version));
     if let Some(id) = id {
         out = out.with("id", id.clone());
     }
-    out.with("ok", Json::Bool(false)).with(
-        "error",
-        Json::obj()
-            .with("code", Json::str(err.code.name()))
-            .with("message", Json::str(err.message.clone())),
-    )
+    let mut error = Json::obj()
+        .with("code", Json::str(err.code.name()))
+        .with("message", Json::str(err.message.clone()));
+    if let Some(ms) = err.retry_after_ms {
+        error = error.with("retry_after_ms", Json::u64(ms));
+    }
+    out.with("ok", Json::Bool(false)).with("error", error)
 }
 
 #[cfg(test)]
@@ -256,6 +382,17 @@ mod tests {
         let cases = [
             ("{\"op\":\"ping\"}", "ping"),
             ("{\"op\":\"load\",\"name\":\"g\",\"path\":\"/x.sgr\"}", "load"),
+            (
+                "{\"op\":\"upload\",\"name\":\"g\",\"phase\":\"begin\",\
+                 \"total_bytes\":10,\"digest\":\"abc\"}",
+                "upload",
+            ),
+            (
+                "{\"op\":\"upload\",\"name\":\"g\",\"phase\":\"chunk\",\"offset\":0,\"data\":\"\"}",
+                "upload",
+            ),
+            ("{\"op\":\"upload\",\"name\":\"g\",\"phase\":\"commit\"}", "upload"),
+            ("{\"op\":\"upload\",\"name\":\"g\",\"phase\":\"abort\"}", "upload"),
             ("{\"op\":\"compress\",\"graph\":\"g\",\"spec\":\"uniform:p=0.5\"}", "compress"),
             ("{\"op\":\"analyze\",\"graph\":\"g\",\"spec\":\"lowdeg\",\"seed\":7}", "analyze"),
             ("{\"op\":\"stats\"}", "stats"),
@@ -268,6 +405,7 @@ mod tests {
             let got = match env.request {
                 Request::Ping => "ping",
                 Request::Load { .. } => "load",
+                Request::Upload { .. } => "upload",
                 Request::Compress { .. } => "compress",
                 Request::Analyze { .. } => "analyze",
                 Request::Stats { .. } => "stats",
@@ -285,6 +423,8 @@ mod tests {
         )
         .expect("parses");
         assert_eq!(env.id, Some(Json::Str("req-9".into())));
+        assert_eq!(env.version, 1);
+        assert!(env.token.is_none());
         match env.request {
             Request::Compress { seed, output, .. } => {
                 assert_eq!(seed, 42, "seed defaults to 42");
@@ -292,9 +432,32 @@ mod tests {
             }
             other => panic!("wrong op: {other:?}"),
         }
-        // Numeric ids echo too.
+        // Numeric ids echo too; omitted "v" means the current version.
         let env = parse_request("{\"id\":7,\"op\":\"ping\"}").expect("parses");
         assert_eq!(env.id, Some(Json::Num("7".into())));
+        assert_eq!(env.version, PROTOCOL_VERSION);
+        // Tokens ride the envelope, not the op.
+        let env = parse_request("{\"op\":\"ping\",\"token\":\"sesame\"}").expect("parses");
+        assert_eq!(env.token.as_deref(), Some("sesame"));
+    }
+
+    #[test]
+    fn version_negotiation() {
+        // Both supported versions parse; the envelope records which.
+        for v in [1, 2] {
+            let env = parse_request(&format!("{{\"v\":{v},\"op\":\"ping\"}}")).expect("parses");
+            assert_eq!(env.version, v);
+        }
+        // Outside the window: stable `version` code.
+        for v in [0, 3, 99] {
+            let err =
+                parse_request(&format!("{{\"v\":{v},\"op\":\"ping\"}}")).expect_err("rejects");
+            assert_eq!(err.code, ErrorCode::Version, "v={v}");
+        }
+        // v2-only ops are invisible to v1 requests.
+        let err = parse_request("{\"v\":1,\"op\":\"upload\",\"name\":\"g\",\"phase\":\"commit\"}")
+            .expect_err("rejects");
+        assert_eq!(err.code, ErrorCode::UnknownOp);
     }
 
     #[test]
@@ -303,7 +466,7 @@ mod tests {
             ("not json", ErrorCode::BadRequest),
             ("[1,2]", ErrorCode::BadRequest),
             ("{\"op\":\"frobnicate\"}", ErrorCode::UnknownOp),
-            ("{\"v\":2,\"op\":\"ping\"}", ErrorCode::Version),
+            ("{\"v\":99,\"op\":\"ping\"}", ErrorCode::Version),
             ("{\"op\":\"load\",\"name\":\"g\"}", ErrorCode::BadRequest),
             ("{\"op\":\"compress\",\"graph\":\"g\"}", ErrorCode::BadRequest),
             (
@@ -312,6 +475,13 @@ mod tests {
             ),
             ("{\"op\":\"evict\"}", ErrorCode::BadRequest),
             ("{\"op\":1}", ErrorCode::BadRequest),
+            ("{\"op\":\"upload\",\"name\":\"g\"}", ErrorCode::BadRequest),
+            ("{\"op\":\"upload\",\"name\":\"g\",\"phase\":\"sideways\"}", ErrorCode::BadRequest),
+            (
+                "{\"op\":\"upload\",\"name\":\"g\",\"phase\":\"chunk\",\"data\":\"\"}",
+                ErrorCode::BadRequest,
+            ),
+            ("{\"op\":\"ping\",\"token\":7}", ErrorCode::BadRequest),
         ];
         for (line, code) in cases {
             let err = parse_request(line).expect_err(line);
@@ -322,12 +492,21 @@ mod tests {
     #[test]
     fn responses_envelope_correctly() {
         let id = Json::Str("a".into());
-        let ok = ok_response(Some(&id)).with("pong", Json::Bool(true));
-        assert_eq!(ok.render(), "{\"v\":1,\"id\":\"a\",\"ok\":true,\"pong\":true}");
-        let err = error_response(None, &ProtoError::new(ErrorCode::UnknownGraph, "no 'g'"));
+        let ok = ok_response(2, Some(&id)).with("pong", Json::Bool(true));
+        assert_eq!(ok.render(), "{\"v\":2,\"id\":\"a\",\"ok\":true,\"pong\":true}");
+        // v1 requests get v1-stamped responses.
+        let ok = ok_response(1, None);
+        assert_eq!(ok.render(), "{\"v\":1,\"ok\":true}");
+        let err = error_response(1, None, &ProtoError::new(ErrorCode::UnknownGraph, "no 'g'"));
         assert_eq!(
             err.render(),
             "{\"v\":1,\"ok\":false,\"error\":{\"code\":\"unknown-graph\",\"message\":\"no 'g'\"}}"
+        );
+        let busy = error_response(2, None, &ProtoError::busy(250));
+        assert_eq!(
+            busy.render(),
+            "{\"v\":2,\"ok\":false,\"error\":{\"code\":\"busy\",\
+             \"message\":\"all workers busy; retry later\",\"retry_after_ms\":250}}"
         );
     }
 }

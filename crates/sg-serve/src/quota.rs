@@ -1,0 +1,207 @@
+//! Per-peer byte budgets on catalog and cache footprint.
+//!
+//! The peer identity is [`crate::net::Stream::peer_id`]: the remote IP
+//! for TCP, `"unix"` for unix-domain clients. Two budgets exist, both
+//! measured with the system-wide `sg_core::graph_approx_bytes`
+//! yardstick and both disabled when 0:
+//!
+//! - **catalog**: graphs a peer registered (`load` or committed
+//!   `upload`) count against it; evicting the graph refunds it. The
+//!   book remembers which peer owns each graph name so the refund goes
+//!   to the right account regardless of who evicts.
+//! - **cache**: each pipeline run charges the peer for the stage
+//!   outputs it newly materialized (executed, non-cached stages). The
+//!   accounting is deliberately approximate — LRU evictions inside the
+//!   stage cache are not refunded — so it bounds *materialization
+//!   pressure*, not residency; `evict cache:true` clears the stage
+//!   cache and zeroes every peer's cache account with it.
+
+use crate::json::Json;
+use crate::proto::{ErrorCode, ProtoError};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+#[derive(Clone, Copy, Default)]
+struct Usage {
+    catalog_bytes: u64,
+    cache_bytes: u64,
+    requests: u64,
+}
+
+struct Inner {
+    clients: BTreeMap<String, Usage>,
+    /// graph name → (owning peer, charged bytes), for eviction refunds.
+    owners: BTreeMap<String, (String, u64)>,
+}
+
+/// The per-peer accounting ledger. Budgets of 0 mean unlimited (usage is
+/// still tracked for `stats`).
+pub struct QuotaBook {
+    catalog_budget: u64,
+    cache_budget: u64,
+    inner: Mutex<Inner>,
+}
+
+impl QuotaBook {
+    /// A ledger with the given budgets (0 = unlimited).
+    pub fn new(catalog_budget: u64, cache_budget: u64) -> Self {
+        Self {
+            catalog_budget,
+            cache_budget,
+            inner: Mutex::new(Inner { clients: BTreeMap::new(), owners: BTreeMap::new() }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Counts one served request for `peer`.
+    pub fn bump_requests(&self, peer: &str) {
+        self.lock().clients.entry(peer.to_string()).or_default().requests += 1;
+    }
+
+    /// Rejects early when `peer` registering `declared_bytes` more would
+    /// blow its catalog budget (advisory pre-check for upload `begin`;
+    /// the binding check is [`QuotaBook::charge_catalog`] at commit).
+    pub fn check_catalog_headroom(
+        &self,
+        peer: &str,
+        declared_bytes: u64,
+    ) -> Result<(), ProtoError> {
+        if self.catalog_budget == 0 {
+            return Ok(());
+        }
+        let used = self.lock().clients.get(peer).map_or(0, |u| u.catalog_bytes);
+        if used.saturating_add(declared_bytes) > self.catalog_budget {
+            return Err(self.catalog_exceeded(peer, used, declared_bytes));
+        }
+        Ok(())
+    }
+
+    /// Charges `peer` for registering graph `name` at `bytes`; fails
+    /// without charging when the catalog budget would be exceeded.
+    pub fn charge_catalog(&self, peer: &str, name: &str, bytes: u64) -> Result<(), ProtoError> {
+        let mut inner = self.lock();
+        let used = inner.clients.get(peer).map_or(0, |u| u.catalog_bytes);
+        if self.catalog_budget > 0 && used.saturating_add(bytes) > self.catalog_budget {
+            drop(inner);
+            return Err(self.catalog_exceeded(peer, used, bytes));
+        }
+        inner.clients.entry(peer.to_string()).or_default().catalog_bytes += bytes;
+        inner.owners.insert(name.to_string(), (peer.to_string(), bytes));
+        Ok(())
+    }
+
+    /// Refunds the owning peer when graph `name` is evicted.
+    pub fn release_graph(&self, name: &str) {
+        let mut inner = self.lock();
+        if let Some((peer, bytes)) = inner.owners.remove(name) {
+            if let Some(usage) = inner.clients.get_mut(&peer) {
+                usage.catalog_bytes = usage.catalog_bytes.saturating_sub(bytes);
+            }
+        }
+    }
+
+    /// Rejects pipeline work from a peer whose cache account is full.
+    pub fn check_cache(&self, peer: &str) -> Result<(), ProtoError> {
+        if self.cache_budget == 0 {
+            return Ok(());
+        }
+        let used = self.lock().clients.get(peer).map_or(0, |u| u.cache_bytes);
+        if used >= self.cache_budget {
+            return Err(ProtoError::new(
+                ErrorCode::QuotaExceeded,
+                format!(
+                    "cache quota exceeded for {peer}: {used} of {} bytes materialized; \
+                     clear with evict cache:true",
+                    self.cache_budget
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Charges `peer` for stage outputs a run newly materialized.
+    pub fn charge_cache(&self, peer: &str, bytes: u64) {
+        if bytes > 0 {
+            self.lock().clients.entry(peer.to_string()).or_default().cache_bytes += bytes;
+        }
+    }
+
+    /// Zeroes every peer's cache account (the stage cache was cleared).
+    pub fn reset_cache(&self) {
+        for usage in self.lock().clients.values_mut() {
+            usage.cache_bytes = 0;
+        }
+    }
+
+    /// Stats-visible per-peer accounts, in peer order.
+    pub fn snapshot(&self) -> Vec<Json> {
+        self.lock()
+            .clients
+            .iter()
+            .map(|(peer, u)| {
+                Json::obj()
+                    .with("peer", Json::str(peer.clone()))
+                    .with("requests", Json::u64(u.requests))
+                    .with("catalog_bytes", Json::u64(u.catalog_bytes))
+                    .with("cache_bytes", Json::u64(u.cache_bytes))
+            })
+            .collect()
+    }
+
+    fn catalog_exceeded(&self, peer: &str, used: u64, wanted: u64) -> ProtoError {
+        ProtoError::new(
+            ErrorCode::QuotaExceeded,
+            format!(
+                "catalog quota exceeded for {peer}: {used} bytes held, {wanted} more requested, \
+                 budget {} bytes; evict a graph to make room",
+                self.catalog_budget
+            ),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_budget_charges_and_refunds() {
+        let book = QuotaBook::new(100, 0);
+        book.charge_catalog("a", "g1", 60).expect("fits");
+        let err = book.charge_catalog("a", "g2", 50).expect_err("over");
+        assert_eq!(err.code, ErrorCode::QuotaExceeded);
+        // A different peer has its own budget.
+        book.charge_catalog("b", "g3", 90).expect("separate account");
+        // Evicting refunds the owner even when someone else evicts.
+        book.release_graph("g1");
+        book.charge_catalog("a", "g2", 50).expect("room after refund");
+        // Failed charges did not leak into the account.
+        book.release_graph("g2");
+        book.charge_catalog("a", "g4", 100).expect("full budget available");
+    }
+
+    #[test]
+    fn headroom_precheck_matches_budget() {
+        let book = QuotaBook::new(100, 0);
+        book.check_catalog_headroom("a", 100).expect("fits");
+        assert!(book.check_catalog_headroom("a", 101).is_err());
+        book.charge_catalog("a", "g", 40).expect("charge");
+        assert!(book.check_catalog_headroom("a", 61).is_err());
+        // Unlimited budget never rejects.
+        QuotaBook::new(0, 0).check_catalog_headroom("a", u64::MAX).expect("unlimited");
+    }
+
+    #[test]
+    fn cache_budget_gates_after_the_fact() {
+        let book = QuotaBook::new(0, 100);
+        book.check_cache("a").expect("empty account");
+        book.charge_cache("a", 100);
+        assert_eq!(book.check_cache("a").expect_err("full").code, ErrorCode::QuotaExceeded);
+        book.check_cache("b").expect("other peers unaffected");
+        book.reset_cache();
+        book.check_cache("a").expect("cleared");
+    }
+}

@@ -1,24 +1,52 @@
-//! The serve loop: accept connections, answer protocol requests through
-//! one shared [`SgSession`].
+//! The serve loop: a fixed acceptor, a bounded worker pool, and one
+//! shared [`SgSession`] answering protocol requests.
 //!
-//! Each connection gets its own scoped handler thread; all handlers share
-//! the session (catalog + registry + stage cache), so a graph loaded by
-//! one client serves every client, and chain prefixes cached by one
-//! request accelerate the next — with bit-identical results, because
-//! pipelines are pure functions of `(graph, spec, seed)`.
+//! PR 5's daemon spawned one thread per connection; under a connection
+//! storm that meant unbounded threads. This layer is now front-line
+//! shaped: the acceptor hands connections to `workers` session threads
+//! through a bounded [`ConnQueue`]; when the queue is full new clients
+//! get a stable `busy` error (with `retry_after_ms`) on a half-closed
+//! socket instead of a thread. Per-connection *frame* deadlines (time
+//! from a request's first byte to its newline) kill slow-loris writers,
+//! a max-frame-size cap kills oversized requests, and write timeouts
+//! kill clients that stop draining responses — while a connection that
+//! is merely *idle* between requests is never disconnected.
+//!
+//! All workers share the session (catalog + registry + stage cache), so
+//! a graph loaded by one client serves every client, and chain prefixes
+//! cached by one request accelerate the next — with bit-identical
+//! results, because pipelines are pure functions of `(graph, spec,
+//! seed)`. On top sit three protections for non-loopback deployments:
+//! token auth (constant-time compare, refused-at-bind without a token),
+//! per-peer byte quotas on catalog and cache footprint, and chunked
+//! digest-verified graph upload with disconnect reaping.
 
 use crate::json::Json;
-use crate::net::{Listener, Stream};
+use crate::net::{Listener, Stream, UNIX_PREFIX};
+use crate::pool::ConnQueue;
 use crate::proto::{
     error_response, ok_response, parse_request, Envelope, ErrorCode, ProtoError, Request,
+    UploadPhase, PROTOCOL_VERSION,
 };
+use crate::upload::UploadRegistry;
+use crate::{b64, quota::QuotaBook};
 use sg_algos::{cc, pagerank, tc};
 use sg_core::{GraphCatalog, PipelineSpec, SchemeRegistry, SessionRun, SgSession, StageCache};
 use sg_graph::CsrGraph;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Socket-level read timeout: the granularity at which a blocked worker
+/// re-checks the shutdown flag and the frame deadline. Distinct from —
+/// and much smaller than — the configurable frame deadline
+/// (`ServeConfig::read_timeout_ms`).
+const DRAIN_POLL: Duration = Duration::from_millis(50);
+
+/// How long a response write may block before the client is declared
+/// dead (it stopped draining its receive buffer).
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Configuration of one daemon instance.
 #[derive(Clone, Debug)]
@@ -31,6 +59,31 @@ pub struct ServeConfig {
     /// Emit one JSON event line per request to stdout (the transcript CI
     /// archives).
     pub transcript: bool,
+    /// Session worker threads; also the max concurrently served
+    /// connections.
+    pub workers: usize,
+    /// Accepted-but-unserved connections admitted beyond the workers;
+    /// when full, new connections are rejected with `busy`.
+    pub queue_depth: usize,
+    /// Frame deadline: max milliseconds from a request's first byte to
+    /// its terminating newline (slow-loris cutoff). Idle connections
+    /// (no partial frame buffered) are exempt.
+    pub read_timeout_ms: u64,
+    /// Max bytes of one request line; longer frames are rejected with
+    /// `frame-too-large` and the connection is dropped.
+    pub max_frame_bytes: usize,
+    /// Shared secret required on every non-`ping` request when set.
+    /// Mandatory for non-loopback TCP binds.
+    pub token: Option<String>,
+    /// Per-peer catalog byte budget (0 = unlimited).
+    pub catalog_quota_bytes: u64,
+    /// Per-peer cache byte budget (0 = unlimited).
+    pub cache_quota_bytes: u64,
+    /// How long a disconnected client's partial upload survives for
+    /// resumption (0 = reaped with the connection).
+    pub upload_grace_ms: u64,
+    /// Backoff hint carried by `busy` rejections.
+    pub retry_after_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -39,6 +92,15 @@ impl Default for ServeConfig {
             listen: "127.0.0.1:0".to_string(),
             cache_bytes: sg_core::cache::DEFAULT_CACHE_BYTES,
             transcript: true,
+            workers: 4,
+            queue_depth: 8,
+            read_timeout_ms: 10_000,
+            max_frame_bytes: 4 << 20,
+            token: None,
+            catalog_quota_bytes: 0,
+            cache_quota_bytes: 0,
+            upload_grace_ms: 60_000,
+            retry_after_ms: 200,
         }
     }
 }
@@ -68,14 +130,65 @@ pub fn graph_digest(g: &CsrGraph) -> u64 {
     h
 }
 
+/// Compares secrets without an early exit, so response timing does not
+/// leak how long a matching prefix was.
+fn token_eq(expected: &str, presented: &str) -> bool {
+    let (a, b) = (expected.as_bytes(), presented.as_bytes());
+    let mut diff = a.len() ^ b.len();
+    for i in 0..a.len().max(b.len()) {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= usize::from(x ^ y);
+    }
+    diff == 0
+}
+
+/// Whether `listen` requires token auth: any TCP bind that is not
+/// provably loopback (unix sockets are same-host by construction).
+fn non_loopback(listen: &str) -> bool {
+    if listen.starts_with(UNIX_PREFIX) {
+        return false;
+    }
+    let host = listen.rsplit_once(':').map_or(listen, |(h, _)| h);
+    let host = host.trim_start_matches('[').trim_end_matches(']');
+    if host == "localhost" {
+        return false;
+    }
+    match host.parse::<std::net::IpAddr>() {
+        Ok(ip) => !ip.is_loopback(),
+        Err(_) => true, // unresolvable hostname: assume reachable, require auth
+    }
+}
+
+/// Pool and rejection counters, surfaced in `stats`.
+#[derive(Default)]
+struct PoolCounters {
+    active: AtomicU64,
+    peak_active: AtomicU64,
+    admitted: AtomicU64,
+    busy_rejected: AtomicU64,
+    timeouts: AtomicU64,
+    frames_rejected: AtomicU64,
+    auth_failures: AtomicU64,
+}
+
 /// Shared daemon state.
 struct ServeState {
     session: SgSession,
+    uploads: UploadRegistry,
+    quotas: QuotaBook,
     started: Instant,
     requests: AtomicU64,
+    next_conn: AtomicU64,
+    counters: PoolCounters,
     shutdown: AtomicBool,
     addr: String,
     transcript: bool,
+    token: Option<String>,
+    read_timeout: Duration,
+    max_frame_bytes: usize,
+    retry_after_ms: u64,
+    workers: usize,
 }
 
 impl ServeState {
@@ -101,16 +214,31 @@ impl ServeState {
     }
 }
 
+/// Identity of one connection: the quota peer plus the upload-ownership
+/// conn id.
+struct ConnCtx {
+    conn_id: u64,
+    peer: String,
+}
+
 /// A bound (but not yet running) daemon. Binding and running are split so
 /// callers can learn the resolved ephemeral address before blocking.
 pub struct Server {
     listener: Listener,
+    queue: ConnQueue,
     state: Arc<ServeState>,
 }
 
 impl Server {
     /// Binds the configured address and prepares the shared session.
+    /// Non-loopback TCP binds are refused unless a token is configured.
     pub fn bind(cfg: &ServeConfig) -> std::io::Result<Server> {
+        if non_loopback(&cfg.listen) && cfg.token.is_none() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("refusing non-loopback bind {} without a token (set --token)", cfg.listen),
+            ));
+        }
         let listener = Listener::bind(&cfg.listen)?;
         let addr = listener.local_addr()?;
         let session = SgSession::with_cache(
@@ -118,15 +246,26 @@ impl Server {
             Arc::new(SchemeRegistry::with_defaults()),
             Arc::new(StageCache::with_capacity(cfg.cache_bytes)),
         );
+        let uploads = UploadRegistry::new(Duration::from_millis(cfg.upload_grace_ms))?;
         Ok(Server {
             listener,
+            queue: ConnQueue::new(cfg.queue_depth),
             state: Arc::new(ServeState {
                 session,
+                uploads,
+                quotas: QuotaBook::new(cfg.catalog_quota_bytes, cfg.cache_quota_bytes),
                 started: Instant::now(),
                 requests: AtomicU64::new(0),
+                next_conn: AtomicU64::new(1),
+                counters: PoolCounters::default(),
                 shutdown: AtomicBool::new(false),
                 addr,
                 transcript: cfg.transcript,
+                token: cfg.token.clone(),
+                read_timeout: Duration::from_millis(cfg.read_timeout_ms.max(1)),
+                max_frame_bytes: cfg.max_frame_bytes.max(1024),
+                retry_after_ms: cfg.retry_after_ms,
+                workers: cfg.workers.max(1),
             }),
         })
     }
@@ -136,77 +275,196 @@ impl Server {
         &self.state.addr
     }
 
-    /// Runs the accept loop until a `shutdown` request arrives. Connection
-    /// handlers run on scoped threads and are joined before this returns,
-    /// so no request is abandoned mid-flight.
+    /// Runs the acceptor + worker pool until a `shutdown` request
+    /// arrives. All threads are joined before this returns, so no
+    /// request is abandoned mid-flight.
     pub fn run(self) -> std::io::Result<()> {
         let state = &self.state;
+        let queue = &self.queue;
         std::thread::scope(|scope| {
-            loop {
+            for _ in 0..state.workers {
+                scope.spawn(move || worker_loop(state, queue));
+            }
+            let result = loop {
                 let conn = match self.listener.accept() {
                     Ok(conn) => conn,
                     Err(e) => {
                         if state.shutdown.load(Ordering::SeqCst) {
-                            break;
+                            break Ok(());
                         }
-                        return Err(e);
+                        break Err(e);
                     }
                 };
                 if state.shutdown.load(Ordering::SeqCst) {
-                    break; // the wake-up connection, or a late client
+                    break Ok(()); // the wake-up connection, or a late client
                 }
-                scope.spawn(move || handle_connection(state, conn));
-            }
-            Ok(())
+                match queue.try_push(conn) {
+                    Ok(()) => {}
+                    Err(conn) => {
+                        state.counters.busy_rejected.fetch_add(1, Ordering::Relaxed);
+                        // A rejection write can block on a hostile client;
+                        // a short scoped thread keeps the acceptor hot and
+                        // is itself bounded by the write timeout.
+                        scope.spawn(move || reject_busy(state, conn));
+                    }
+                }
+            };
+            // Unblock every worker; queued-but-unserved connections are
+            // dropped (their clients see EOF).
+            queue.close();
+            result
         })
     }
 }
 
-fn handle_connection(state: &ServeState, stream: Stream) {
-    // Bounded reads let the handler notice a server shutdown even while a
-    // client holds the connection open without sending.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
-    let Ok(write_half) = stream.try_clone() else { return };
-    let mut writer = std::io::BufWriter::new(write_half);
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+/// Writes the `busy` rejection and half-closes, so the response line
+/// survives even if the peer was still writing its request.
+fn reject_busy(state: &ServeState, stream: Stream) {
+    let mut stream = stream;
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_read_timeout(Some(DRAIN_POLL));
+    let response = error_response(PROTOCOL_VERSION, None, &ProtoError::busy(state.retry_after_ms));
+    let _ = stream
+        .write_all(response.render().as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .and_then(|()| stream.flush());
+    let _ = stream.shutdown_write();
+    // Brief drain: absorb bytes the client already sent so the close does
+    // not RST the in-flight response out of its receive buffer.
+    let mut sink = [0u8; 4096];
+    for _ in 0..4 {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// One session worker: serve queued connections until shutdown.
+fn worker_loop(state: &ServeState, queue: &ConnQueue) {
+    while let Some(conn) = queue.pop() {
+        if state.shutdown.load(Ordering::SeqCst) {
+            continue; // drain mode: drop without serving
+        }
+        let conn_id = state.next_conn.fetch_add(1, Ordering::Relaxed);
+        state.counters.admitted.fetch_add(1, Ordering::Relaxed);
+        let active = state.counters.active.fetch_add(1, Ordering::SeqCst) + 1;
+        state.counters.peak_active.fetch_max(active, Ordering::SeqCst);
+        handle_connection(state, conn_id, conn);
+        state.counters.active.fetch_sub(1, Ordering::SeqCst);
+        // Partial uploads owned by this connection are orphaned (resumable
+        // within the grace period) or reaped, and expired orphans from
+        // other connections go with them.
+        state.uploads.disconnect(conn_id);
+        state.uploads.reap();
+    }
+}
+
+/// What the framing loop produced.
+enum Frame {
+    /// One complete request line (newline stripped).
+    Line(String),
+    /// Clean end of stream (or peer vanished).
+    Gone,
+    /// The daemon is shutting down.
+    Shutdown,
+    /// The frame deadline expired with a partial request buffered.
+    TimedOut,
+    /// The buffered frame exceeded the size cap.
+    TooLarge,
+}
+
+/// Accumulates bytes until a newline. The *socket* timeout is
+/// [`DRAIN_POLL`] (shutdown-flag granularity); the *frame* deadline is
+/// `state.read_timeout`, measured from the first buffered byte of the
+/// current frame — an idle connection with an empty buffer has no
+/// deadline, so slow-but-legal clients are never cut.
+fn next_frame(state: &ServeState, stream: &mut Stream, buf: &mut Vec<u8>) -> Frame {
+    let mut frame_started = (!buf.is_empty()).then(Instant::now);
     loop {
-        line.clear();
-        // Accumulate one line, tolerating read timeouts (partial content
-        // stays in `line` across retries).
-        let eof = loop {
-            match reader.read_line(&mut line) {
-                Ok(0) => break true,
-                Ok(_) if line.ends_with('\n') => break false,
-                Ok(_) => continue,
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                    ) =>
-                {
-                    if state.shutdown.load(Ordering::SeqCst) {
-                        return;
-                    }
-                }
-                Err(_) => return,
+        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            if pos > state.max_frame_bytes {
+                return Frame::TooLarge;
+            }
+            let line: Vec<u8> = buf.drain(..=pos).collect();
+            let text = String::from_utf8_lossy(&line[..line.len() - 1]);
+            return Frame::Line(text.trim_end_matches('\r').to_string());
+        }
+        if buf.len() > state.max_frame_bytes {
+            return Frame::TooLarge;
+        }
+        if state.shutdown.load(Ordering::SeqCst) {
+            return Frame::Shutdown;
+        }
+        if let Some(started) = frame_started {
+            if started.elapsed() >= state.read_timeout {
+                return Frame::TimedOut;
+            }
+        }
+        let mut chunk = [0u8; 16 * 1024];
+        match stream.read(&mut chunk) {
+            Ok(0) => return Frame::Gone,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                frame_started.get_or_insert_with(Instant::now);
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => return Frame::Gone,
+        }
+    }
+}
+
+fn handle_connection(state: &ServeState, conn_id: u64, stream: Stream) {
+    let _ = stream.set_read_timeout(Some(DRAIN_POLL));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let ctx = ConnCtx { conn_id, peer: stream.peer_id() };
+    let Ok(mut writer) = stream.try_clone() else { return };
+    let mut reader = stream;
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let line = match next_frame(state, &mut reader, &mut buf) {
+            Frame::Line(line) => line,
+            Frame::Gone | Frame::Shutdown => return,
+            Frame::TimedOut => {
+                state.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                let err = ProtoError::new(
+                    ErrorCode::Timeout,
+                    format!(
+                        "request frame incomplete after {} ms (deadline is measured from the \
+                         frame's first byte)",
+                        state.read_timeout.as_millis()
+                    ),
+                );
+                farewell(&mut writer, &error_response(PROTOCOL_VERSION, None, &err));
+                return;
+            }
+            Frame::TooLarge => {
+                state.counters.frames_rejected.fetch_add(1, Ordering::Relaxed);
+                let err = ProtoError::new(
+                    ErrorCode::FrameTooLarge,
+                    format!("request frame exceeds {} bytes", state.max_frame_bytes),
+                );
+                farewell(&mut writer, &error_response(PROTOCOL_VERSION, None, &err));
+                return;
             }
         };
-        if eof && line.trim().is_empty() {
-            return;
-        }
         if line.trim().is_empty() {
             continue;
         }
-        // A busy client sending back-to-back requests never hits the
-        // read-timeout branch, so re-check the flag per request: once any
-        // client asked for shutdown, no connection serves further work.
+        // A busy client sending back-to-back requests may never hit the
+        // poll branch, so re-check the flag per request: once any client
+        // asked for shutdown, no connection serves further work.
         if state.shutdown.load(Ordering::SeqCst) {
             return;
         }
         state.requests.fetch_add(1, Ordering::Relaxed);
+        state.quotas.bump_requests(&ctx.peer);
         let started = Instant::now();
-        let (response, op, shutdown) = respond(state, line.trim());
+        let (response, op, shutdown) = respond(state, &ctx, line.trim());
         state.log_event(
             &op,
             response.get("ok").and_then(Json::as_bool).unwrap_or(false),
@@ -222,25 +480,61 @@ fn handle_connection(state: &ServeState, stream: Stream) {
             state.wake_acceptor();
             return;
         }
-        if written.is_err() || eof {
+        if written.is_err() {
             return;
         }
     }
 }
 
-/// Parses + dispatches one request line; returns the response, the op
-/// name (for the transcript), and whether this was a shutdown.
-fn respond(state: &ServeState, line: &str) -> (Json, String, bool) {
+/// Writes one final response and half-closes, for connections being
+/// dropped for cause. The half-close (FIN, not RST) plus a brief drain
+/// of whatever the client is still sending keeps the error line
+/// deliverable: closing with unread bytes pending would RST the
+/// response out of the peer's receive buffer.
+fn farewell(writer: &mut Stream, response: &Json) {
+    let _ = writer
+        .write_all(response.render().as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush());
+    let _ = writer.shutdown_write();
+    let mut sink = [0u8; 4096];
+    for _ in 0..8 {
+        match writer.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// Parses + authenticates + dispatches one request line; returns the
+/// response, the op name (for the transcript), and whether this was a
+/// shutdown.
+fn respond(state: &ServeState, ctx: &ConnCtx, line: &str) -> (Json, String, bool) {
     let envelope = match parse_request(line) {
         Ok(envelope) => envelope,
-        Err(err) => return (error_response(None, &err), "invalid".to_string(), false),
+        Err(err) => {
+            return (error_response(PROTOCOL_VERSION, None, &err), "invalid".to_string(), false)
+        }
     };
-    let Envelope { request, id } = envelope;
+    let Envelope { request, id, version, token } = envelope;
     let op = op_name(&request).to_string();
+    // Everything except the liveness probe requires the shared secret
+    // when one is configured.
+    if let Some(expected) = &state.token {
+        let presented_ok = token.as_deref().is_some_and(|t| token_eq(expected, t));
+        if !presented_ok && !matches!(request, Request::Ping) {
+            state.counters.auth_failures.fetch_add(1, Ordering::Relaxed);
+            let err = ProtoError::new(
+                ErrorCode::AuthRequired,
+                "this daemon requires a token (send \"token\" in the request envelope)",
+            );
+            return (error_response(version, id.as_ref(), &err), op, false);
+        }
+    }
     let shutdown = matches!(request, Request::Shutdown);
-    let response = match dispatch(state, request, id.as_ref()) {
+    let response = match dispatch(state, ctx, request, version, id.as_ref()) {
         Ok(ok) => ok,
-        Err(err) => error_response(id.as_ref(), &err),
+        Err(err) => error_response(version, id.as_ref(), &err),
     };
     (response, op, shutdown)
 }
@@ -249,6 +543,7 @@ fn op_name(request: &Request) -> &'static str {
     match request {
         Request::Ping => "ping",
         Request::Load { .. } => "load",
+        Request::Upload { .. } => "upload",
         Request::Compress { .. } => "compress",
         Request::Analyze { .. } => "analyze",
         Request::Stats { .. } => "stats",
@@ -257,26 +552,74 @@ fn op_name(request: &Request) -> &'static str {
     }
 }
 
-fn dispatch(state: &ServeState, request: Request, id: Option<&Json>) -> Result<Json, ProtoError> {
+/// Describes a freshly registered graph (shared by `load` and committed
+/// `upload` responses).
+fn registered_response(
+    version: u64,
+    id: Option<&Json>,
+    handle: &sg_core::GraphHandle,
+    loaded: bool,
+) -> Json {
+    ok_response(version, id)
+        .with("name", Json::str(handle.name()))
+        .with("graph_id", Json::u64(handle.id().0))
+        .with("source", Json::str(handle.source()))
+        .with("vertices", Json::u64(handle.graph().num_vertices() as u64))
+        .with("edges", Json::u64(handle.graph().num_edges() as u64))
+        .with("loaded", Json::Bool(loaded))
+}
+
+/// Registers `graph` in the catalog under the peer's catalog quota;
+/// rolls the registration back if the peer's budget is blown.
+fn insert_with_quota(
+    state: &ServeState,
+    peer: &str,
+    name: &str,
+    graph: CsrGraph,
+    source: &str,
+) -> Result<sg_core::GraphHandle, ProtoError> {
+    let bytes = sg_core::graph_approx_bytes(&graph) as u64;
+    let handle = state
+        .session
+        .catalog()
+        .insert(name, graph, source)
+        .map_err(|e| ProtoError::new(ErrorCode::BadRequest, e))?;
+    if let Err(err) = state.quotas.charge_catalog(peer, name, bytes) {
+        state.session.catalog().remove(name);
+        return Err(err);
+    }
+    Ok(handle)
+}
+
+fn dispatch(
+    state: &ServeState,
+    ctx: &ConnCtx,
+    request: Request,
+    version: u64,
+    id: Option<&Json>,
+) -> Result<Json, ProtoError> {
     match request {
-        Request::Ping => Ok(ok_response(id).with("pong", Json::Bool(true))),
+        Request::Ping => Ok(ok_response(version, id).with("pong", Json::Bool(true))),
         Request::Load { name, path, format, no_verify } => {
+            let fresh = state.session.catalog().get(&name).is_none();
             let (handle, loaded) = state
                 .session
                 .catalog()
                 .open(&name, &path, format.as_deref(), no_verify)
                 .map_err(|e| ProtoError::new(ErrorCode::Io, e))?;
-            Ok(ok_response(id)
-                .with("name", Json::str(handle.name()))
-                .with("graph_id", Json::u64(handle.id().0))
-                .with("source", Json::str(handle.source()))
-                .with("vertices", Json::u64(handle.graph().num_vertices() as u64))
-                .with("edges", Json::u64(handle.graph().num_edges() as u64))
-                .with("loaded", Json::Bool(loaded)))
+            if loaded && fresh {
+                let bytes = handle.approx_bytes() as u64;
+                if let Err(err) = state.quotas.charge_catalog(&ctx.peer, &name, bytes) {
+                    state.session.evict(&name);
+                    return Err(err);
+                }
+            }
+            Ok(registered_response(version, id, &handle, loaded))
         }
+        Request::Upload { name, phase } => dispatch_upload(state, ctx, &name, phase, version, id),
         Request::Compress { graph, spec, seed, output, output_format } => {
-            let run = run_pipeline(state, &graph, &spec, seed)?;
-            let mut response = run_response(ok_response(id), &run);
+            let run = run_pipeline(state, ctx, &graph, &spec, seed)?;
+            let mut response = run_response(ok_response(version, id), &run);
             if let Some(path) = output {
                 sg_core::catalog::save_graph(&run.graph, &path, output_format.as_deref())
                     .map_err(|e| ProtoError::new(ErrorCode::Io, e))?;
@@ -287,7 +630,7 @@ fn dispatch(state: &ServeState, request: Request, id: Option<&Json>) -> Result<J
         Request::Analyze { graph, spec, seed } => {
             let handle =
                 state.session.catalog().get(&graph).ok_or_else(|| unknown_graph(&graph))?;
-            let run = run_pipeline(state, &graph, &spec, seed)?;
+            let run = run_pipeline(state, ctx, &graph, &spec, seed)?;
             let original = handle.graph();
             let compressed = run.graph.as_ref();
             let mut metrics = Json::obj()
@@ -321,19 +664,20 @@ fn dispatch(state: &ServeState, request: Request, id: Option<&Json>) -> Result<J
                 metrics =
                     metrics.with("pagerank_kl", Json::Null).with("bfs_critical_kept", Json::Null);
             }
-            Ok(run_response(ok_response(id), &run).with("metrics", metrics))
+            Ok(run_response(ok_response(version, id), &run).with("metrics", metrics))
         }
         Request::Stats { graph: Some(name) } => {
             let handle = state.session.catalog().get(&name).ok_or_else(|| unknown_graph(&name))?;
             let g = handle.graph();
             let stats = sg_graph::properties::degree_stats(g);
-            Ok(ok_response(id)
+            Ok(ok_response(version, id)
                 .with("name", Json::str(handle.name()))
                 .with("graph_id", Json::u64(handle.id().0))
                 .with("source", Json::str(handle.source()))
                 .with("vertices", Json::u64(g.num_vertices() as u64))
                 .with("edges", Json::u64(g.num_edges() as u64))
                 .with("weighted", Json::Bool(g.is_weighted()))
+                .with("bytes", Json::u64(handle.approx_bytes() as u64))
                 .with(
                     "degrees",
                     Json::obj()
@@ -357,10 +701,36 @@ fn dispatch(state: &ServeState, request: Request, id: Option<&Json>) -> Result<J
                         .with("source", Json::str(h.source()))
                         .with("vertices", Json::u64(h.graph().num_vertices() as u64))
                         .with("edges", Json::u64(h.graph().num_edges() as u64))
+                        .with("bytes", Json::u64(h.approx_bytes() as u64))
                 })
                 .collect();
-            Ok(ok_response(id)
+            let c = &state.counters;
+            let server = Json::obj()
+                .with("protocol_version", Json::u64(PROTOCOL_VERSION))
+                .with("workers", Json::u64(state.workers as u64))
+                .with("active", Json::u64(c.active.load(Ordering::SeqCst)))
+                .with("peak_active", Json::u64(c.peak_active.load(Ordering::SeqCst)))
+                .with("admitted", Json::u64(c.admitted.load(Ordering::Relaxed)))
+                .with("busy_rejected", Json::u64(c.busy_rejected.load(Ordering::Relaxed)))
+                .with("timeouts", Json::u64(c.timeouts.load(Ordering::Relaxed)))
+                .with("frames_rejected", Json::u64(c.frames_rejected.load(Ordering::Relaxed)))
+                .with("auth_failures", Json::u64(c.auth_failures.load(Ordering::Relaxed)));
+            let uploads: Vec<Json> = state
+                .uploads
+                .snapshot()
+                .into_iter()
+                .map(|u| {
+                    Json::obj()
+                        .with("name", Json::str(u.name))
+                        .with("peer", Json::str(u.peer))
+                        .with("received", Json::u64(u.received))
+                        .with("total_bytes", Json::u64(u.total_bytes))
+                        .with("orphaned", Json::Bool(u.orphaned))
+                })
+                .collect();
+            Ok(ok_response(version, id)
                 .with("graphs", Json::Arr(graphs))
+                .with("catalog_bytes", Json::u64(state.session.catalog().total_bytes() as u64))
                 .with(
                     "cache",
                     Json::obj()
@@ -370,25 +740,124 @@ fn dispatch(state: &ServeState, request: Request, id: Option<&Json>) -> Result<J
                         .with("misses", Json::u64(cache.misses))
                         .with("evictions", Json::u64(cache.evictions)),
                 )
+                .with("server", server)
+                .with("clients", Json::Arr(state.quotas.snapshot()))
+                .with("uploads", Json::Arr(uploads))
                 .with("requests", Json::u64(state.requests.load(Ordering::Relaxed)))
                 .with("uptime_ms", Json::u64(state.started.elapsed().as_millis() as u64)))
         }
         Request::Evict { graph, cache } => {
-            let mut response = ok_response(id);
+            let mut response = ok_response(version, id);
             if let Some(name) = graph {
                 let (handle, purged) =
                     state.session.evict(&name).ok_or_else(|| unknown_graph(&name))?;
+                state.quotas.release_graph(&name);
                 response = response
                     .with("evicted", Json::str(handle.name()))
                     .with("cache_entries_dropped", Json::u64(purged as u64));
             }
             if cache {
                 let dropped = state.session.cache().clear();
+                state.quotas.reset_cache();
                 response = response.with("cache_cleared", Json::u64(dropped as u64));
             }
             Ok(response)
         }
-        Request::Shutdown => Ok(ok_response(id).with("shutting_down", Json::Bool(true))),
+        Request::Shutdown => Ok(ok_response(version, id).with("shutting_down", Json::Bool(true))),
+    }
+}
+
+fn dispatch_upload(
+    state: &ServeState,
+    ctx: &ConnCtx,
+    name: &str,
+    phase: UploadPhase,
+    version: u64,
+    id: Option<&Json>,
+) -> Result<Json, ProtoError> {
+    match phase {
+        UploadPhase::Begin { total_bytes, digest, format } => {
+            if state.session.catalog().get(name).is_some() {
+                return Err(ProtoError::new(
+                    ErrorCode::BadRequest,
+                    format!("graph '{name}' is already loaded (evict it to replace)"),
+                ));
+            }
+            // Early headroom check on the declared *file* size; the
+            // binding check happens at commit against the loaded graph's
+            // real footprint.
+            state.quotas.check_catalog_headroom(&ctx.peer, total_bytes)?;
+            let offset = state.uploads.begin(
+                ctx.conn_id,
+                &ctx.peer,
+                name,
+                total_bytes,
+                &digest,
+                format.as_deref(),
+            )?;
+            Ok(ok_response(version, id)
+                .with("name", Json::str(name))
+                .with("offset", Json::u64(offset))
+                .with("resumed", Json::Bool(offset > 0)))
+        }
+        UploadPhase::Chunk { offset, data } => {
+            let bytes = b64::decode(&data)
+                .map_err(|e| ProtoError::new(ErrorCode::BadRequest, format!("chunk data: {e}")))?;
+            let received = state.uploads.chunk(ctx.conn_id, name, offset, &bytes)?;
+            Ok(ok_response(version, id)
+                .with("name", Json::str(name))
+                .with("received", Json::u64(received)))
+        }
+        UploadPhase::Commit => {
+            let finished = state.uploads.commit(ctx.conn_id, name)?;
+            let spool = finished.path.to_string_lossy().into_owned();
+            // The declared format applies to the uploaded bytes; with
+            // none given, infer from the catalog name's extension (the
+            // spool path carries no meaningful one).
+            let format = match &finished.format {
+                Some(f) => Some(f.clone()),
+                None => match sg_core::GraphFormat::resolve(name, None) {
+                    Ok(sg_core::GraphFormat::Bin) => Some("bin".to_string()),
+                    Ok(sg_core::GraphFormat::Sgr) => Some("sgr".to_string()),
+                    _ => Some("text".to_string()),
+                },
+            };
+            let loaded = sg_core::catalog::load_graph(&spool, format.as_deref(), false);
+            state.uploads.discard_spool(&finished);
+            // The client proved the file loadable when it computed the
+            // declared digest, so a spool that fails to load here means
+            // the transfer corrupted it.
+            let graph = loaded.map_err(|e| {
+                ProtoError::new(
+                    ErrorCode::DigestMismatch,
+                    format!(
+                        "uploaded bytes do not load ({e}) — transfer corrupted, upload dropped"
+                    ),
+                )
+            })?;
+            let actual = format!("{:016x}", graph_digest(&graph));
+            if actual != finished.digest {
+                return Err(ProtoError::new(
+                    ErrorCode::DigestMismatch,
+                    format!(
+                        "uploaded graph digests to {actual}, client declared {} — transfer \
+                         corrupted, upload dropped",
+                        finished.digest
+                    ),
+                ));
+            }
+            let source = format!("upload:{}", finished.peer);
+            let handle = insert_with_quota(state, &finished.peer, name, graph, &source)?;
+            Ok(registered_response(version, id, &handle, true)
+                .with("checksum", Json::str(actual))
+                .with("uploaded_bytes", Json::u64(finished.total_bytes)))
+        }
+        UploadPhase::Abort => {
+            state.uploads.abort(ctx.conn_id, name)?;
+            Ok(ok_response(version, id)
+                .with("name", Json::str(name))
+                .with("aborted", Json::Bool(true)))
+        }
     }
 }
 
@@ -398,18 +867,35 @@ fn unknown_graph(name: &str) -> ProtoError {
 
 fn run_pipeline(
     state: &ServeState,
+    ctx: &ConnCtx,
     graph: &str,
     spec: &str,
     seed: u64,
 ) -> Result<SessionRun, ProtoError> {
     let spec = PipelineSpec::parse(spec).map_err(|e| ProtoError::new(ErrorCode::BadSpec, e))?;
-    state.session.run_named(graph, &spec, seed).map_err(|e| {
+    // Cache quota: peers whose executed stages have already filled their
+    // cache byte budget are refused further pipeline work until they (or
+    // anyone) clear the cache with `evict cache:true`.
+    state.quotas.check_cache(&ctx.peer)?;
+    let run = state.session.run_named(graph, &spec, seed).map_err(|e| {
         if e.contains("no graph loaded") {
             ProtoError::new(ErrorCode::UnknownGraph, e)
         } else {
             ProtoError::new(ErrorCode::BadSpec, e)
         }
-    })
+    })?;
+    // Charge what this run newly materialized: executed (non-cached)
+    // stage outputs. Approximate by design — cache evictions are not
+    // refunded — and documented as such in PROTOCOL.md.
+    let executed_bytes: u64 = run
+        .stages
+        .iter()
+        .filter(|s| !s.cached)
+        .filter_map(|s| s.graph.as_ref())
+        .map(|g| sg_core::graph_approx_bytes(g) as u64)
+        .sum();
+    state.quotas.charge_cache(&ctx.peer, executed_bytes);
+    Ok(run)
 }
 
 /// Appends the shared compress/analyze result fields: output shape,
@@ -440,4 +926,42 @@ fn run_response(envelope: Json, run: &SessionRun) -> Json {
         .with("stages_executed", Json::u64(run.stages_executed() as u64))
         .with("stages_cached", Json::u64(run.stages_cached() as u64))
         .with("stages", Json::Arr(stages))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_detection() {
+        for addr in ["127.0.0.1:0", "localhost:9000", "[::1]:80", "unix:/tmp/x.sock"] {
+            assert!(!non_loopback(addr), "{addr} is loopback");
+        }
+        for addr in ["0.0.0.0:9000", "192.168.1.4:9000", "[::]:80", "example.com:9000"] {
+            assert!(non_loopback(addr), "{addr} is not loopback");
+        }
+    }
+
+    #[test]
+    fn token_compare_is_exact() {
+        assert!(token_eq("sesame", "sesame"));
+        assert!(!token_eq("sesame", "sesamE"));
+        assert!(!token_eq("sesame", "sesam"));
+        assert!(!token_eq("sesame", ""));
+        assert!(!token_eq("", "sesame"));
+        assert!(token_eq("", ""));
+    }
+
+    #[test]
+    fn non_loopback_bind_requires_token() {
+        let cfg = ServeConfig { listen: "0.0.0.0:0".to_string(), ..ServeConfig::default() };
+        let err = match Server::bind(&cfg) {
+            Err(err) => err,
+            Ok(_) => panic!("tokenless non-loopback bind must be refused"),
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        let cfg = ServeConfig { token: Some("secret".to_string()), ..cfg };
+        let server = Server::bind(&cfg).expect("token unlocks the bind");
+        drop(server);
+    }
 }
