@@ -10,7 +10,13 @@
 //! op in the `BenchRecord` schema so CI tracks serving tail latency.
 //!
 //! Run: `cargo run --release -p sg-bench --bin loadgen
-//!       [-- --workers N] [--clients N] [--requests N] [--n N] [--json]`
+//!       [-- --workers N] [--clients N] [--requests N] [--n N] [--json]
+//!       [--trace-out FILE]`
+//!
+//! `--trace-out` records sg-obs spans on both sides of the wire — the
+//! daemon runs in-process, so one Chrome trace-event file interleaves
+//! client `loadgen.request` spans with the server's `serve.request` and
+//! `session.stage` spans on their real threads.
 
 use sg_bench::{json_requested, render_json, render_table, BenchRecord};
 use sg_serve::{Client, Json, ServeConfig, Server};
@@ -47,6 +53,7 @@ fn main() {
     let mut clients: usize = 0; // 0 → 2x workers
     let mut requests: usize = 20;
     let mut n: usize = 5_000;
+    let mut trace_out: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -61,8 +68,17 @@ fn main() {
             "--requests" => requests = grab("requests"),
             "--n" => n = grab("n"),
             "--json" => {}
+            "--trace-out" => {
+                trace_out =
+                    Some(it.next().unwrap_or_else(|| panic!("--trace-out needs a path")).clone());
+            }
             other => panic!("unknown flag {other}"),
         }
+    }
+    // Enable span recording before the daemon binds, so its request and
+    // stage spans land in the same trace as the client-side ones.
+    if trace_out.is_some() {
+        sg_obs::trace::set_trace_enabled(true);
     }
     let workers = workers.max(1);
     let clients = if clients == 0 { workers * 2 } else { clients };
@@ -127,7 +143,10 @@ fn main() {
                             // the hint, reconnect, and retry until served.
                             let response = loop {
                                 let start = Instant::now();
-                                let response = client.request(&request).expect("one response");
+                                let response = {
+                                    let _sp = sg_obs::span!("loadgen.request", op = op, client = c);
+                                    client.request(&request).expect("one response")
+                                };
                                 let code = response
                                     .get("error")
                                     .and_then(|e| e.get("code"))
@@ -210,6 +229,25 @@ fn main() {
             ("throughput_rps".into(), throughput),
         ],
     }];
+    // Full latency distribution on the sg-obs grid: cumulative
+    // (Prometheus-style `le`) bucket counts, so CI can check shape and
+    // monotonicity rather than just two quantiles. `le_+Inf` equals the
+    // total sample count by construction.
+    let mut bucket_timings: Vec<(String, f64)> = sg_obs::registry::LATENCY_BUCKETS_MS
+        .iter()
+        .map(|&bound| {
+            let covered = all.iter().filter(|&&ms| ms <= bound).count();
+            (format!("le_{bound}"), covered as f64)
+        })
+        .collect();
+    bucket_timings.push(("le_+Inf".to_string(), all.len() as f64));
+    records.push(BenchRecord {
+        workload: workload.clone(),
+        label: "loadgen:latency_histogram".into(),
+        params: shared_params.clone(),
+        ratio: None,
+        timings_ms: bucket_timings,
+    });
     let mut rows = Vec::new();
     for (op, ms) in &mut by_op {
         ms.sort_by(|a, b| a.total_cmp(b));
@@ -233,6 +271,12 @@ fn main() {
     let _ = closer.request(&Client::request_for("shutdown"));
     daemon.join().expect("daemon thread").expect("clean exit");
     let _ = std::fs::remove_dir_all(&dir);
+
+    // Written after the daemon joins: every server thread's ring is final.
+    if let Some(path) = &trace_out {
+        sg_obs::trace::write_chrome_trace(std::path::Path::new(path)).expect("write trace");
+        eprintln!("loadgen: trace written to {path}");
+    }
 
     if json {
         println!("{}", render_json(&records));

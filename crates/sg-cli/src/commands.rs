@@ -21,6 +21,12 @@ slimgraph — practical lossy graph compression (Slim Graph, SC'19)
 USAGE:
   slimgraph <command> [--flag value]...
 
+GLOBAL FLAGS (any command):
+  --trace-out FILE   record execution spans (sessions, stages, requests)
+                     and write Chrome trace-event JSON on exit — open in
+                     chrome://tracing or Perfetto. Observation-only:
+                     results are bit-identical with tracing on or off.
+
 COMMANDS:
   compress   Compress a graph and write the result
              --input FILE  --output FILE
@@ -68,7 +74,7 @@ COMMANDS:
   client     Send requests to a running daemon (blocking, line-JSON)
              --connect HOST:PORT|unix:/path.sock  [--token SECRET]
              one-shot: --op ping|load|upload|compress|analyze|stats|
-                            evict|shutdown
+                            metrics|evict|shutdown
                load:      --name NAME --path FILE [--format F] [--no-verify]
                upload:    --name NAME --path FILE [--format F]
                           [--chunk-kb N]  (chunked, digest-verified
@@ -77,6 +83,8 @@ COMMANDS:
                           [--output FILE] [--output-format F]
                analyze:   --graph NAME --spec SPEC [--seed N]
                stats:     [--graph NAME]
+               metrics:   counters/gauges/latency histograms as a table
+                          (--json for the raw response line; v2 op)
                evict:     [--graph NAME] [--cache]
              scripted: --script FILE (one JSON request per line)
   help       Show this message
@@ -112,16 +120,35 @@ SCHEME SPEC:
 /// Entry point shared with tests.
 pub fn run(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv)?;
+    // --trace-out FILE: record sg-obs spans for the whole command and
+    // write a Chrome trace-event JSON (chrome://tracing / Perfetto) on
+    // the way out — even when the command itself fails, so aborted runs
+    // are debuggable too. Tracing is observation-only: results are
+    // bit-identical with or without it.
+    let trace_out = args.get("trace-out").map(str::to_string);
+    if trace_out.is_some() {
+        sg_obs::trace::set_trace_enabled(true);
+    }
+    let result = dispatch_command(&args);
+    if let Some(path) = trace_out {
+        sg_obs::trace::write_chrome_trace(std::path::Path::new(&path))
+            .map_err(|e| format!("writing trace to {path}: {e}"))?;
+        eprintln!("slimgraph: trace written to {path}");
+    }
+    result
+}
+
+fn dispatch_command(args: &Args) -> Result<(), String> {
     match args.command.as_str() {
-        "compress" => compress(&args),
-        "analyze" => analyze(&args),
-        "tune" => tune(&args),
-        "stats" => stats(&args),
-        "convert" => convert(&args),
-        "generate" => generate(&args),
+        "compress" => compress(args),
+        "analyze" => analyze(args),
+        "tune" => tune(args),
+        "stats" => stats(args),
+        "convert" => convert(args),
+        "generate" => generate(args),
         "schemes" => schemes(),
-        "serve" => serve(&args),
-        "client" => client(&args),
+        "serve" => serve(args),
+        "client" => client(args),
         "help" | "--help" | "-h" => {
             println!("{HELP}");
             Ok(())
@@ -292,7 +319,9 @@ fn tune(args: &Args) -> Result<(), String> {
     let outcome = sg_tune::tune(&g, &registry, &cfg)?;
 
     if args.flag("json") {
-        println!("{}", outcome.to_json());
+        // The diagnostics block is non-contractual (see OBSERVABILITY.md);
+        // warm-start consumers only read frontier/winner and are unaffected.
+        println!("{}", outcome.to_json_with_diagnostics());
     } else {
         println!("target:      {}", target.render());
         println!("budget:      {budget} edges (input m = {})", g.num_edges());
@@ -475,7 +504,13 @@ fn client(args: &Args) -> Result<(), String> {
         request = request.with("cache", Json::Bool(true));
     }
     let response = client.request(&request)?;
-    println!("{}", response.render());
+    // `metrics` answers are deep JSON; render a human table unless the
+    // caller asked for the raw line with --json (scripts/CI scrape that).
+    if op == "metrics" && !args.flag("json") {
+        print!("{}", metrics_table(&response));
+    } else {
+        println!("{}", response.render());
+    }
     if response.get("ok").and_then(Json::as_bool) == Some(true) {
         Ok(())
     } else {
@@ -486,6 +521,91 @@ fn client(args: &Args) -> Result<(), String> {
             .unwrap_or("request failed")
             .to_string())
     }
+}
+
+/// Renders a `metrics` response as an aligned human table: counters and
+/// gauges by name, histograms with count / total time / estimated p50
+/// and p99 (bucket upper bounds — the resolution the fixed grid affords).
+fn metrics_table(response: &Json) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let server = response.get("server");
+    let build = server.and_then(|s| s.get("build")).and_then(Json::as_str).unwrap_or("?");
+    let proto = server.and_then(|s| s.get("protocol_version")).and_then(Json::as_u64).unwrap_or(0);
+    let workers = server.and_then(|s| s.get("workers")).and_then(Json::as_u64).unwrap_or(0);
+    let uptime = response.get("uptime_ms").and_then(Json::as_u64).unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "server   build {build}, protocol v{proto}, {workers} workers, up {uptime} ms"
+    );
+    if let Some(cache) = response.get("cache") {
+        let g = |k: &str| cache.get(k).and_then(Json::as_u64).unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "cache    {} entries, {} bytes, {} hits / {} misses, {} evictions",
+            g("entries"),
+            g("bytes"),
+            g("hits"),
+            g("misses"),
+            g("evictions")
+        );
+    }
+    let metrics = response.get("metrics");
+    let section = |name: &str| metrics.and_then(|m| m.get(name));
+    if let Some(Json::Obj(counters)) = section("counters") {
+        let _ = writeln!(out, "\ncounters");
+        for (name, value) in counters {
+            let _ = writeln!(out, "  {name:<42} {:>12}", value.render());
+        }
+    }
+    if let Some(Json::Obj(gauges)) = section("gauges") {
+        let _ = writeln!(out, "\ngauges");
+        for (name, value) in gauges {
+            let _ = writeln!(out, "  {name:<42} {:>12}", value.render());
+        }
+    }
+    if let Some(Json::Obj(histograms)) = section("histograms") {
+        let _ = writeln!(
+            out,
+            "\nhistograms{:>34} {:>12} {:>9} {:>9}",
+            "count", "sum_ms", "p50_ms", "p99_ms"
+        );
+        for (name, hist) in histograms {
+            let count = hist.get("count").and_then(Json::as_u64).unwrap_or(0);
+            let sum = hist.get("sum_ms").and_then(Json::as_f64).unwrap_or(0.0);
+            let _ = writeln!(
+                out,
+                "  {name:<42} {count:>12} {sum:>12.3} {:>9} {:>9}",
+                bucket_quantile(hist, 0.50),
+                bucket_quantile(hist, 0.99),
+            );
+        }
+    }
+    out
+}
+
+/// Upper-bound quantile estimate from cumulative buckets: the `le` of the
+/// first bucket covering `q` of the population (`+Inf` past the last
+/// finite bound).
+fn bucket_quantile(hist: &Json, q: f64) -> String {
+    let total = hist.get("count").and_then(Json::as_u64).unwrap_or(0);
+    let Some(buckets) = hist.get("buckets").and_then(Json::as_arr) else {
+        return "-".to_string();
+    };
+    if total == 0 {
+        return "-".to_string();
+    }
+    let rank = (q * total as f64).ceil().max(1.0) as u64;
+    for bucket in buckets {
+        if bucket.get("count").and_then(Json::as_u64).unwrap_or(0) >= rank {
+            return match bucket.get("le") {
+                Some(Json::Str(s)) => s.clone(),
+                Some(le) => le.render(),
+                None => "-".to_string(),
+            };
+        }
+    }
+    "+Inf".to_string()
 }
 
 fn convert(args: &Args) -> Result<(), String> {

@@ -106,6 +106,34 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
+/// Process-wide observability mirror of every cache instance's
+/// counters, aggregated under `core.cache.*` in [`sg_obs::global`].
+/// Strictly advisory: nothing reads these back (scheme-keyed hit/miss
+/// attribution lives in the session layer, which knows stage names).
+struct CacheObs {
+    hits: Arc<sg_obs::Counter>,
+    misses: Arc<sg_obs::Counter>,
+    evictions: Arc<sg_obs::Counter>,
+    insertions: Arc<sg_obs::Counter>,
+    bytes: Arc<sg_obs::Gauge>,
+    entries: Arc<sg_obs::Gauge>,
+}
+
+fn obs() -> &'static CacheObs {
+    static OBS: std::sync::OnceLock<CacheObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = sg_obs::global();
+        CacheObs {
+            hits: reg.counter("core.cache.hits"),
+            misses: reg.counter("core.cache.misses"),
+            evictions: reg.counter("core.cache.evictions"),
+            insertions: reg.counter("core.cache.insertions"),
+            bytes: reg.gauge("core.cache.bytes"),
+            entries: reg.gauge("core.cache.entries"),
+        }
+    })
+}
+
 /// A bounded, thread-safe map from [`StageKey`] to [`CachedPrefix`].
 pub struct StageCache {
     inner: Mutex<Inner>,
@@ -150,10 +178,12 @@ impl StageCache {
             Some(slot) => {
                 slot.stamp = stamp;
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                obs().hits.inc();
                 Some(slot.value.clone())
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                obs().misses.inc();
                 None
             }
         }
@@ -179,8 +209,13 @@ impl StageCache {
         let stamp = inner.clock;
         if let Some(old) = inner.map.insert(key, Slot { value, bytes, stamp }) {
             inner.bytes -= old.bytes;
+            obs().bytes.sub(old.bytes as i64);
+        } else {
+            obs().entries.add(1);
         }
         inner.bytes += bytes;
+        obs().insertions.inc();
+        obs().bytes.add(bytes as i64);
         while inner.bytes > self.capacity_bytes {
             // O(n) LRU scan; entry counts are modest (big graphs hit the
             // byte cap long before the map gets large).
@@ -192,6 +227,9 @@ impl StageCache {
             let slot = inner.map.remove(&victim).expect("victim just found");
             inner.bytes -= slot.bytes;
             self.evictions.fetch_add(1, Ordering::Relaxed);
+            obs().evictions.inc();
+            obs().bytes.sub(slot.bytes as i64);
+            obs().entries.sub(1);
         }
     }
 
@@ -204,8 +242,11 @@ impl StageCache {
         for key in &victims {
             let slot = inner.map.remove(key).expect("key just listed");
             inner.bytes -= slot.bytes;
+            obs().bytes.sub(slot.bytes as i64);
         }
         self.evictions.fetch_add(victims.len() as u64, Ordering::Relaxed);
+        obs().evictions.add(victims.len() as u64);
+        obs().entries.sub(victims.len() as i64);
         victims.len()
     }
 
@@ -213,6 +254,9 @@ impl StageCache {
     pub fn clear(&self) -> usize {
         let mut inner = self.lock();
         let n = inner.map.len();
+        obs().bytes.sub(inner.bytes as i64);
+        obs().entries.sub(n as i64);
+        obs().evictions.add(n as u64);
         inner.map.clear();
         inner.bytes = 0;
         self.evictions.fetch_add(n as u64, Ordering::Relaxed);
@@ -235,6 +279,16 @@ impl StageCache {
 impl Default for StageCache {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl Drop for StageCache {
+    /// Keeps the process-wide `core.cache.bytes`/`entries` gauges honest
+    /// when a cache instance (a per-test daemon's, say) goes away.
+    fn drop(&mut self) {
+        let inner = self.lock();
+        obs().bytes.sub(inner.bytes as i64);
+        obs().entries.sub(inner.map.len() as i64);
     }
 }
 

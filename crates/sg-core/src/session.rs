@@ -183,6 +183,10 @@ impl SgSession {
     ) -> Result<SessionRun, String> {
         let resolved = spec.resolve(&self.registry, base)?;
         let n = resolved.len();
+        let mut run_span = sg_obs::span!("session.run", stages = n, seed = seed);
+        if sg_obs::metrics_enabled() {
+            sg_obs::global().counter("session.runs").inc();
+        }
         let key_at =
             |len: usize| StageKey { graph: handle.id(), prefix: prefix_hash(&resolved, len), seed };
 
@@ -192,7 +196,23 @@ impl SgSession {
         let mut mapping: Option<Arc<Vec<Option<VertexId>>>> = None;
         let mut outcomes: Vec<StageOutcome> = Vec::with_capacity(n);
         for len in (1..=n).rev() {
-            let Some(hit) = self.cache.get(&key_at(len)) else { continue };
+            // Scheme-keyed hit/miss attribution: each probe is charged to
+            // the scheme ending the probed prefix (observation only).
+            let probe_scheme = resolved.stages[len - 1].name.as_str();
+            let Some(hit) = self.cache.get(&key_at(len)) else {
+                if sg_obs::metrics_enabled() {
+                    sg_obs::global().counter(&format!("core.cache.miss.{probe_scheme}")).inc();
+                }
+                continue;
+            };
+            if sg_obs::metrics_enabled() {
+                let reg = sg_obs::global();
+                reg.counter(&format!("core.cache.hit.{probe_scheme}")).inc();
+                reg.counter("session.stages_cached").add(len as u64);
+                for stage in resolved.stages.iter().take(len) {
+                    reg.counter(&format!("session.stage_cached.{}", stage.name)).inc();
+                }
+            }
             for (i, report) in hit.reports.iter().enumerate() {
                 let graph = if i + 1 == len {
                     Some(Arc::clone(&hit.graph))
@@ -211,7 +231,16 @@ impl SgSession {
         let mut reports: Vec<StageReport> = outcomes.iter().map(|o| o.report.clone()).collect();
         for (i, stage) in resolved.stages.iter().enumerate().skip(start) {
             let scheme = self.registry.create(&stage.name, &stage.params)?;
-            let (r, report) = pipeline::run_stage(scheme.as_ref(), &current, seed, i);
+            let (r, report) = {
+                let _stage_span = sg_obs::span!("session.stage", scheme = stage.name, index = i);
+                pipeline::run_stage(scheme.as_ref(), &current, seed, i)
+            };
+            if sg_obs::metrics_enabled() {
+                let reg = sg_obs::global();
+                reg.counter("session.stages_executed").inc();
+                reg.counter(&format!("session.stage_executed.{}", stage.name)).inc();
+                reg.histogram("session.stage_ms").observe(report.elapsed);
+            }
             mapping = compose_arc_mappings(mapping, r.vertex_mapping);
             current = Arc::new(r.graph);
             reports.push(report.clone());
@@ -230,6 +259,10 @@ impl SgSession {
             });
         }
 
+        if run_span.is_recording() {
+            run_span.arg("cached", start.to_string());
+            run_span.arg("executed", (n - start).to_string());
+        }
         Ok(SessionRun {
             graph: current,
             vertex_mapping: mapping,

@@ -1,0 +1,84 @@
+//! # sg-obs — unified observability for the Slim Graph workspace
+//!
+//! A zero-dependency telemetry substrate shared by every layer of the
+//! workspace: the serve front line, the session engine, the stage
+//! cache, and the rayon shim's thread pool. Two independent facilities:
+//!
+//! - **Metrics** ([`Registry`]): named monotonic [`Counter`]s, [`Gauge`]s,
+//!   and fixed-bucket latency [`Histogram`]s. The hot path is a single
+//!   relaxed atomic add; registration (the only locking) happens once
+//!   per name. A process-wide default registry is reachable via
+//!   [`global()`]; subsystems that need isolation (one daemon per test,
+//!   say) instantiate their own [`Registry`].
+//! - **Tracing** ([`trace`]): lightweight [`span!`] guards that record
+//!   `(name, ts, dur, args)` events into a bounded per-thread ring
+//!   buffer, exported as Chrome trace-event JSON
+//!   ([`trace::chrome_trace_json`]) loadable in `chrome://tracing` or
+//!   Perfetto.
+//!
+//! ## Observation only — the neutrality contract
+//!
+//! Telemetry never influences computation: no code may branch on a
+//! counter, gauge, histogram, or span, and no timestamp may enter a
+//! digest, checksum, or equivalence comparison. Results are bit-identical
+//! at any `SG_THREADS` with telemetry enabled or disabled —
+//! `tests/obs_equivalence.rs` pins this.
+//!
+//! ## Overhead
+//!
+//! Both facilities check one relaxed [`AtomicBool`] first. Metrics
+//! default **on** (cost: one `fetch_add` per event — far below the work
+//! they measure); tracing defaults **off** (a disabled `span!` is the
+//! flag load and nothing else: no clock read, no allocation). Disable
+//! everything with [`set_metrics_enabled`]`(false)` for a zero-telemetry
+//! run.
+//!
+//! ```
+//! let reg = sg_obs::Registry::new();
+//! let served = reg.counter("serve.requests");
+//! served.inc();
+//! let lat = reg.histogram("serve.service_ms");
+//! lat.observe_ms(1.25);
+//! assert_eq!(reg.snapshot().counters, vec![("serve.requests".to_string(), 1)]);
+//!
+//! sg_obs::trace::set_trace_enabled(true);
+//! {
+//!     let mut sp = sg_obs::span!("stage", scheme = "spanner");
+//!     let _ = &mut sp; // ... the traced work ...
+//! }
+//! sg_obs::trace::set_trace_enabled(false);
+//! assert!(sg_obs::trace::chrome_trace_json().contains("\"traceEvents\""));
+//! ```
+
+pub mod registry;
+pub mod trace;
+
+pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
+pub use trace::Span;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+static METRICS_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Globally enables/disables metric recording. Counters, gauges, and
+/// histograms become no-ops when disabled; already-accumulated values
+/// remain readable. Tracing has its own switch
+/// ([`trace::set_trace_enabled`]).
+pub fn set_metrics_enabled(on: bool) {
+    METRICS_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether metric recording is currently enabled (default: true).
+pub fn metrics_enabled() -> bool {
+    METRICS_ENABLED.load(Ordering::Relaxed)
+}
+
+/// The process-wide default registry. Library layers without a natural
+/// owner (sessions, the stage cache, the rayon shim) record here; the
+/// serve daemon additionally keeps a per-instance [`Registry`] so
+/// concurrent daemons in one process don't blend their request metrics.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}

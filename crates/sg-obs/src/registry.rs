@@ -1,0 +1,336 @@
+//! The metrics side of sg-obs: named counters, gauges, and fixed-bucket
+//! latency histograms behind a [`Registry`].
+//!
+//! Handles are `Arc`s: callers on hot paths resolve a name once (one
+//! mutex acquisition) and keep the handle; every subsequent event is a
+//! single relaxed atomic operation. Snapshots are advisory — they read
+//! each atomic independently while writers proceed, so a snapshot taken
+//! mid-burst may be internally skewed by in-flight events (histogram
+//! totals are derived from the bucket reads themselves, so cumulative
+//! counts are monotone by construction).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Finite upper bounds (milliseconds) of the default latency histogram
+/// buckets; an implicit `+inf` bucket follows. Spanning 50 µs to 10 s
+/// covers everything from a cached `ping` to a cold multi-stage pipeline
+/// on a large graph.
+pub const LATENCY_BUCKETS_MS: [f64; 17] = [
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0,
+    5000.0, 10000.0,
+];
+
+/// A monotonically increasing event count.
+#[derive(Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one (no-op while metrics are disabled).
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (no-op while metrics are disabled).
+    pub fn add(&self, n: u64) {
+        if crate::metrics_enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed value (queue depths, byte totals, last-op
+/// chunk counts).
+#[derive(Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Overwrites the value (no-op while metrics are disabled).
+    pub fn set(&self, v: i64) {
+        if crate::metrics_enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `delta` (no-op while metrics are disabled).
+    pub fn add(&self, delta: i64) {
+        if crate::metrics_enabled() {
+            self.value.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Subtracts `delta` (no-op while metrics are disabled).
+    pub fn sub(&self, delta: i64) {
+        self.add(-delta);
+    }
+
+    /// Raises the value to at least `v` (running-maximum gauges such as
+    /// the pool's `peak_active`).
+    pub fn max_of(&self, v: i64) {
+        if crate::metrics_enabled() {
+            self.value.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket latency histogram. Bucket bounds are chosen at
+/// construction and never change, so `observe` is a branch-light scan
+/// plus one atomic add — no allocation, no locking.
+pub struct Histogram {
+    bounds_ms: Vec<f64>,
+    /// One slot per finite bound plus the `+inf` overflow slot.
+    buckets: Vec<AtomicU64>,
+    sum_micros: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over the given finite bucket bounds (must be sorted
+    /// ascending); an overflow bucket is appended automatically.
+    pub fn with_bounds(bounds_ms: &[f64]) -> Histogram {
+        debug_assert!(bounds_ms.windows(2).all(|w| w[0] < w[1]), "bounds must be ascending");
+        Histogram {
+            bounds_ms: bounds_ms.to_vec(),
+            buckets: (0..=bounds_ms.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_micros: AtomicU64::new(0),
+        }
+    }
+
+    /// A histogram over [`LATENCY_BUCKETS_MS`].
+    pub fn latency() -> Histogram {
+        Histogram::with_bounds(&LATENCY_BUCKETS_MS)
+    }
+
+    /// Records one observation in milliseconds (no-op while metrics are
+    /// disabled).
+    pub fn observe_ms(&self, ms: f64) {
+        if !crate::metrics_enabled() {
+            return;
+        }
+        let idx =
+            self.bounds_ms.iter().position(|bound| ms <= *bound).unwrap_or(self.bounds_ms.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add((ms.max(0.0) * 1e3) as u64, Ordering::Relaxed);
+    }
+
+    /// Records one observed duration.
+    pub fn observe(&self, d: Duration) {
+        self.observe_ms(d.as_secs_f64() * 1e3);
+    }
+
+    /// Total observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let mut cumulative = Vec::with_capacity(self.buckets.len());
+        let mut running = 0u64;
+        for bucket in &self.buckets {
+            running += bucket.load(Ordering::Relaxed);
+            cumulative.push(running);
+        }
+        HistogramSnapshot {
+            name: name.to_string(),
+            bounds_ms: self.bounds_ms.clone(),
+            cumulative,
+            sum_ms: self.sum_micros.load(Ordering::Relaxed) as f64 / 1e3,
+        }
+    }
+}
+
+/// A point-in-time read of one histogram, in cumulative (Prometheus
+/// `le`) form: `cumulative[i]` counts observations ≤ `bounds_ms[i]`,
+/// with the final entry covering `+inf` (== total count). Monotone
+/// non-decreasing by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    pub name: String,
+    pub bounds_ms: Vec<f64>,
+    pub cumulative: Vec<u64>,
+    pub sum_ms: f64,
+}
+
+impl HistogramSnapshot {
+    /// Total observations (the `+inf` cumulative entry).
+    pub fn count(&self) -> u64 {
+        self.cumulative.last().copied().unwrap_or(0)
+    }
+}
+
+/// A point-in-time read of a whole [`Registry`], sorted by name.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, i64)>,
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Merges another snapshot after this one's entries (used to splice
+    /// the process-global registry into a daemon's per-instance view).
+    /// Names are expected to be disjoint; on collision both entries are
+    /// kept, first-registry-first.
+    pub fn merged(mut self, other: Snapshot) -> Snapshot {
+        self.counters.extend(other.counters);
+        self.gauges.extend(other.gauges);
+        self.histograms.extend(other.histograms);
+        self
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// A namespace of metrics. See the crate docs for the global-vs-owned
+/// instance convention.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Arc::clone(self.lock().counters.entry(name.to_string()).or_default())
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        Arc::clone(self.lock().gauges.entry(name.to_string()).or_default())
+    }
+
+    /// The latency histogram named `name` (default buckets), created on
+    /// first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        Arc::clone(
+            self.lock()
+                .histograms
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::latency())),
+        )
+    }
+
+    /// Reads every metric in the registry.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.lock();
+        Snapshot {
+            counters: inner.counters.iter().map(|(n, c)| (n.clone(), c.get())).collect(),
+            gauges: inner.gauges.iter().map(|(n, g)| (n.clone(), g.get())).collect(),
+            histograms: inner.histograms.iter().map(|(n, h)| h.snapshot(n)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests here share the process-wide `metrics_enabled` flag with
+    /// `disabled_metrics_record_nothing`, so they serialize on one lock.
+    fn flag_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let _hold = flag_lock();
+        let reg = Registry::new();
+        let c = reg.counter("c");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert!(Arc::ptr_eq(&c, &reg.counter("c")), "same name, same counter");
+        let g = reg.gauge("g");
+        g.set(10);
+        g.sub(3);
+        g.max_of(2); // below current value: no effect
+        assert_eq!(g.get(), 7);
+        g.max_of(12);
+        assert_eq!(g.get(), 12);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_monotone() {
+        let _hold = flag_lock();
+        let h = Histogram::with_bounds(&[1.0, 10.0, 100.0]);
+        for ms in [0.5, 0.7, 5.0, 50.0, 5000.0] {
+            h.observe_ms(ms);
+        }
+        let snap = h.snapshot("h");
+        assert_eq!(snap.cumulative, vec![2, 3, 4, 5]);
+        assert_eq!(snap.count(), 5);
+        assert!(snap.cumulative.windows(2).all(|w| w[0] <= w[1]));
+        assert!((snap.sum_ms - 5056.2).abs() < 0.5);
+    }
+
+    #[test]
+    fn boundary_observations_land_in_the_le_bucket() {
+        let _hold = flag_lock();
+        let h = Histogram::with_bounds(&[1.0, 10.0]);
+        h.observe_ms(1.0); // le=1 bucket, Prometheus-style
+        h.observe_ms(10.0);
+        h.observe_ms(10.1); // overflow
+        assert_eq!(h.snapshot("h").cumulative, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn snapshot_sorted_and_merge_appends() {
+        let _hold = flag_lock();
+        let a = Registry::new();
+        a.counter("b.two").inc();
+        a.counter("a.one").add(2);
+        a.histogram("lat").observe_ms(3.0);
+        let b = Registry::new();
+        b.counter("z.three").add(7);
+        let snap = a.snapshot().merged(b.snapshot());
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a.one", "b.two", "z.three"]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].count(), 1);
+    }
+
+    #[test]
+    fn disabled_metrics_record_nothing() {
+        let _hold = flag_lock();
+        let reg = Registry::new();
+        let c = reg.counter("c");
+        let h = reg.histogram("h");
+        crate::set_metrics_enabled(false);
+        c.inc();
+        h.observe_ms(1.0);
+        crate::set_metrics_enabled(true);
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+}

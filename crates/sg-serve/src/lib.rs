@@ -33,6 +33,7 @@
 //! | `compress` | run a pipeline spec; report shape/digest/per-stage timings, optionally write the result server-side |
 //! | `analyze` | `compress` + accuracy metrics vs the loaded original |
 //! | `stats` | server-wide stats (graphs, cache, pool, clients, uploads) or one graph's structure |
+//! | `metrics` | v2: full sg-obs snapshot — counters, gauges, cumulative latency histograms (see `docs/OBSERVABILITY.md`) |
 //! | `evict` | drop a graph and its cache entries, and/or clear the cache |
 //! | `shutdown` | stop accepting and drain in-flight connections |
 //!

@@ -13,9 +13,13 @@
 use crate::net::Stream;
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 struct Inner {
-    queue: VecDeque<Stream>,
+    /// Each connection is stamped at admission so the popping worker can
+    /// report how long it sat queued (the `serve.queue_wait_ms`
+    /// histogram — queue wait and service time are separate tails).
+    queue: VecDeque<(Stream, Instant)>,
     closed: bool,
 }
 
@@ -49,19 +53,20 @@ impl ConnQueue {
         if inner.closed || inner.queue.len() >= self.capacity {
             return Err(conn);
         }
-        inner.queue.push_back(conn);
+        inner.queue.push_back((conn, Instant::now()));
         drop(inner);
         self.ready.notify_one();
         Ok(())
     }
 
-    /// Blocks for the next connection; `None` once the queue is closed
-    /// and drained (worker shutdown signal).
-    pub fn pop(&self) -> Option<Stream> {
+    /// Blocks for the next connection, returning it with the time it
+    /// spent waiting in the queue; `None` once the queue is closed and
+    /// drained (worker shutdown signal).
+    pub fn pop(&self) -> Option<(Stream, Duration)> {
         let mut inner = self.lock();
         loop {
-            if let Some(conn) = inner.queue.pop_front() {
-                return Some(conn);
+            if let Some((conn, admitted)) = inner.queue.pop_front() {
+                return Some((conn, admitted.elapsed()));
             }
             if inner.closed {
                 return None;

@@ -10,10 +10,10 @@
 //!
 //! Version negotiation: this build speaks [`PROTOCOL_VERSION`] and
 //! accepts any version down to [`MIN_PROTOCOL_VERSION`]. v2 adds the
-//! `upload` op, the `token` envelope field, and the `busy` /
-//! `auth-required` / `quota-exceeded` / `frame-too-large` / `timeout` /
-//! `digest-mismatch` error codes; v1 requests are still served
-//! unchanged (they simply cannot name the v2-only ops).
+//! `upload` and `metrics` ops, the `token` envelope field, and the
+//! `busy` / `auth-required` / `quota-exceeded` / `frame-too-large` /
+//! `timeout` / `digest-mismatch` error codes; v1 requests are still
+//! served unchanged (they simply cannot name the v2-only ops).
 //!
 //! The full message schema is documented in `docs/PROTOCOL.md` at the
 //! repository root; this module is the single point where request syntax
@@ -181,6 +181,9 @@ pub enum Request {
         /// Restrict to one loaded graph.
         graph: Option<String>,
     },
+    /// Observability snapshot: every counter, gauge, and latency
+    /// histogram the daemon and its libraries recorded (v2).
+    Metrics,
     /// Drop a graph (and its cache entries) and/or clear the stage cache.
     Evict {
         /// Graph to evict.
@@ -328,6 +331,13 @@ pub fn parse_request(line: &str) -> Result<Envelope, ProtoError> {
             seed: u64_field(&value, "seed", 42)?,
         },
         "stats" => Request::Stats { graph: str_field(&value, "graph")? },
+        "metrics" if version >= 2 => Request::Metrics,
+        "metrics" => {
+            return Err(ProtoError::new(
+                ErrorCode::UnknownOp,
+                "op 'metrics' requires protocol v2 (request declared v1)",
+            ))
+        }
         "evict" => {
             let graph = str_field(&value, "graph")?;
             let cache = bool_field(&value, "cache", false)?;
@@ -396,6 +406,7 @@ mod tests {
             ("{\"op\":\"compress\",\"graph\":\"g\",\"spec\":\"uniform:p=0.5\"}", "compress"),
             ("{\"op\":\"analyze\",\"graph\":\"g\",\"spec\":\"lowdeg\",\"seed\":7}", "analyze"),
             ("{\"op\":\"stats\"}", "stats"),
+            ("{\"op\":\"metrics\"}", "metrics"),
             ("{\"op\":\"evict\",\"graph\":\"g\"}", "evict"),
             ("{\"op\":\"evict\",\"cache\":true}", "evict"),
             ("{\"op\":\"shutdown\"}", "shutdown"),
@@ -409,6 +420,7 @@ mod tests {
                 Request::Compress { .. } => "compress",
                 Request::Analyze { .. } => "analyze",
                 Request::Stats { .. } => "stats",
+                Request::Metrics => "metrics",
                 Request::Evict { .. } => "evict",
                 Request::Shutdown => "shutdown",
             };
@@ -457,6 +469,8 @@ mod tests {
         // v2-only ops are invisible to v1 requests.
         let err = parse_request("{\"v\":1,\"op\":\"upload\",\"name\":\"g\",\"phase\":\"commit\"}")
             .expect_err("rejects");
+        assert_eq!(err.code, ErrorCode::UnknownOp);
+        let err = parse_request("{\"v\":1,\"op\":\"metrics\"}").expect_err("rejects");
         assert_eq!(err.code, ErrorCode::UnknownOp);
     }
 

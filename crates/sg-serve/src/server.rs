@@ -160,16 +160,56 @@ fn non_loopback(listen: &str) -> bool {
     }
 }
 
-/// Pool and rejection counters, surfaced in `stats`.
-#[derive(Default)]
-struct PoolCounters {
-    active: AtomicU64,
-    peak_active: AtomicU64,
-    admitted: AtomicU64,
-    busy_rejected: AtomicU64,
-    timeouts: AtomicU64,
-    frames_rejected: AtomicU64,
-    auth_failures: AtomicU64,
+/// Per-daemon observability: a dedicated [`sg_obs::Registry`] (so
+/// concurrent daemons in one process — the integration tests spawn
+/// several — don't blend request metrics) plus pre-resolved handles for
+/// every hot-path counter. Replaces the hand-rolled `PoolCounters` of
+/// PR 6; the `stats` response reads the same numbers from here, and the
+/// v2 `metrics` op exposes the whole registry (merged with the
+/// process-global one carrying session/cache/pool-shim metrics).
+struct ServeMetrics {
+    registry: sg_obs::Registry,
+    requests: Arc<sg_obs::Counter>,
+    errors: Arc<sg_obs::Counter>,
+    admitted: Arc<sg_obs::Counter>,
+    busy_rejected: Arc<sg_obs::Counter>,
+    timeouts: Arc<sg_obs::Counter>,
+    frames_rejected: Arc<sg_obs::Counter>,
+    auth_failures: Arc<sg_obs::Counter>,
+    active: Arc<sg_obs::Gauge>,
+    peak_active: Arc<sg_obs::Gauge>,
+    /// Admission-to-worker-pickup wait per connection.
+    queue_wait: Arc<sg_obs::Histogram>,
+    /// Request parse+dispatch+render time, all ops pooled (per-op
+    /// variants are registered on demand as `serve.service_ms.<op>`).
+    service: Arc<sg_obs::Histogram>,
+}
+
+impl ServeMetrics {
+    fn new() -> ServeMetrics {
+        let registry = sg_obs::Registry::new();
+        ServeMetrics {
+            requests: registry.counter("serve.requests"),
+            errors: registry.counter("serve.errors"),
+            admitted: registry.counter("serve.admitted"),
+            busy_rejected: registry.counter("serve.busy_rejected"),
+            timeouts: registry.counter("serve.timeouts"),
+            frames_rejected: registry.counter("serve.frames_rejected"),
+            auth_failures: registry.counter("serve.auth_failures"),
+            active: registry.gauge("serve.active"),
+            peak_active: registry.gauge("serve.peak_active"),
+            queue_wait: registry.histogram("serve.queue_wait_ms"),
+            service: registry.histogram("serve.service_ms"),
+            registry,
+        }
+    }
+
+    /// Records one served request in the pooled and per-op service-time
+    /// histograms.
+    fn observe_service(&self, op: &str, elapsed: Duration) {
+        self.service.observe(elapsed);
+        self.registry.histogram(&format!("serve.service_ms.{op}")).observe(elapsed);
+    }
 }
 
 /// Shared daemon state.
@@ -178,9 +218,8 @@ struct ServeState {
     uploads: UploadRegistry,
     quotas: QuotaBook,
     started: Instant,
-    requests: AtomicU64,
     next_conn: AtomicU64,
-    counters: PoolCounters,
+    metrics: ServeMetrics,
     shutdown: AtomicBool,
     addr: String,
     transcript: bool,
@@ -255,9 +294,8 @@ impl Server {
                 uploads,
                 quotas: QuotaBook::new(cfg.catalog_quota_bytes, cfg.cache_quota_bytes),
                 started: Instant::now(),
-                requests: AtomicU64::new(0),
                 next_conn: AtomicU64::new(1),
-                counters: PoolCounters::default(),
+                metrics: ServeMetrics::new(),
                 shutdown: AtomicBool::new(false),
                 addr,
                 transcript: cfg.transcript,
@@ -301,7 +339,7 @@ impl Server {
                 match queue.try_push(conn) {
                     Ok(()) => {}
                     Err(conn) => {
-                        state.counters.busy_rejected.fetch_add(1, Ordering::Relaxed);
+                        state.metrics.busy_rejected.inc();
                         // A rejection write can block on a hostile client;
                         // a short scoped thread keeps the acceptor hot and
                         // is itself bounded by the write timeout.
@@ -342,16 +380,17 @@ fn reject_busy(state: &ServeState, stream: Stream) {
 
 /// One session worker: serve queued connections until shutdown.
 fn worker_loop(state: &ServeState, queue: &ConnQueue) {
-    while let Some(conn) = queue.pop() {
+    while let Some((conn, waited)) = queue.pop() {
         if state.shutdown.load(Ordering::SeqCst) {
             continue; // drain mode: drop without serving
         }
         let conn_id = state.next_conn.fetch_add(1, Ordering::Relaxed);
-        state.counters.admitted.fetch_add(1, Ordering::Relaxed);
-        let active = state.counters.active.fetch_add(1, Ordering::SeqCst) + 1;
-        state.counters.peak_active.fetch_max(active, Ordering::SeqCst);
+        state.metrics.admitted.inc();
+        state.metrics.queue_wait.observe(waited);
+        state.metrics.active.add(1);
+        state.metrics.peak_active.max_of(state.metrics.active.get());
         handle_connection(state, conn_id, conn);
-        state.counters.active.fetch_sub(1, Ordering::SeqCst);
+        state.metrics.active.sub(1);
         // Partial uploads owned by this connection are orphaned (resumable
         // within the grace period) or reaped, and expired orphans from
         // other connections go with them.
@@ -430,7 +469,7 @@ fn handle_connection(state: &ServeState, conn_id: u64, stream: Stream) {
             Frame::Line(line) => line,
             Frame::Gone | Frame::Shutdown => return,
             Frame::TimedOut => {
-                state.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                state.metrics.timeouts.inc();
                 let err = ProtoError::new(
                     ErrorCode::Timeout,
                     format!(
@@ -443,7 +482,7 @@ fn handle_connection(state: &ServeState, conn_id: u64, stream: Stream) {
                 return;
             }
             Frame::TooLarge => {
-                state.counters.frames_rejected.fetch_add(1, Ordering::Relaxed);
+                state.metrics.frames_rejected.inc();
                 let err = ProtoError::new(
                     ErrorCode::FrameTooLarge,
                     format!("request frame exceeds {} bytes", state.max_frame_bytes),
@@ -461,16 +500,34 @@ fn handle_connection(state: &ServeState, conn_id: u64, stream: Stream) {
         if state.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        state.requests.fetch_add(1, Ordering::Relaxed);
+        state.metrics.requests.inc();
         state.quotas.bump_requests(&ctx.peer);
         let started = Instant::now();
-        let (response, op, shutdown) = respond(state, &ctx, line.trim());
-        state.log_event(
-            &op,
-            response.get("ok").and_then(Json::as_bool).unwrap_or(false),
-            started.elapsed(),
-            "",
-        );
+        let mut req_span = sg_obs::span!("serve.request");
+        let (response, meta) = respond(state, &ctx, line.trim());
+        let elapsed = started.elapsed();
+        let ok = response.get("ok").and_then(Json::as_bool).unwrap_or(false);
+        if !ok {
+            state.metrics.errors.inc();
+        }
+        state.metrics.observe_service(&meta.op, elapsed);
+        if req_span.is_recording() {
+            req_span.arg("op", meta.op.as_str());
+            req_span.arg("ok", if ok { "true" } else { "false" });
+            if let Some(graph) = &meta.graph {
+                req_span.arg("graph", graph.as_str());
+            }
+            // Cache flags, when the op reports them: how much of the
+            // pipeline was served from the stage cache.
+            for key in ["stages_cached", "stages_executed"] {
+                if let Some(v) = response.get(key).and_then(Json::as_u64) {
+                    req_span.arg(key, v.to_string());
+                }
+            }
+        }
+        drop(req_span);
+        let (op, shutdown) = (meta.op, meta.shutdown);
+        state.log_event(&op, ok, elapsed, "");
         let written = writer
             .write_all(response.render().as_bytes())
             .and_then(|()| writer.write_all(b"\n"))
@@ -506,37 +563,59 @@ fn farewell(writer: &mut Stream, response: &Json) {
     }
 }
 
-/// Parses + authenticates + dispatches one request line; returns the
-/// response, the op name (for the transcript), and whether this was a
-/// shutdown.
-fn respond(state: &ServeState, ctx: &ConnCtx, line: &str) -> (Json, String, bool) {
+/// What [`respond`] learned about a request besides its response: the
+/// op name (transcript + per-op histograms), the graph it targeted (the
+/// request span's `graph` arg), and whether it was a shutdown.
+struct RespondMeta {
+    op: String,
+    graph: Option<String>,
+    shutdown: bool,
+}
+
+/// The graph a request targets, when it names one.
+fn request_graph(request: &Request) -> Option<&str> {
+    match request {
+        Request::Load { name, .. } | Request::Upload { name, .. } => Some(name),
+        Request::Compress { graph, .. } | Request::Analyze { graph, .. } => Some(graph),
+        Request::Stats { graph } | Request::Evict { graph, .. } => graph.as_deref(),
+        Request::Ping | Request::Metrics | Request::Shutdown => None,
+    }
+}
+
+/// Parses + authenticates + dispatches one request line.
+fn respond(state: &ServeState, ctx: &ConnCtx, line: &str) -> (Json, RespondMeta) {
     let envelope = match parse_request(line) {
         Ok(envelope) => envelope,
         Err(err) => {
-            return (error_response(PROTOCOL_VERSION, None, &err), "invalid".to_string(), false)
+            let meta = RespondMeta { op: "invalid".to_string(), graph: None, shutdown: false };
+            return (error_response(PROTOCOL_VERSION, None, &err), meta);
         }
     };
     let Envelope { request, id, version, token } = envelope;
-    let op = op_name(&request).to_string();
+    let mut meta = RespondMeta {
+        op: op_name(&request).to_string(),
+        graph: request_graph(&request).map(str::to_string),
+        shutdown: false,
+    };
     // Everything except the liveness probe requires the shared secret
     // when one is configured.
     if let Some(expected) = &state.token {
         let presented_ok = token.as_deref().is_some_and(|t| token_eq(expected, t));
         if !presented_ok && !matches!(request, Request::Ping) {
-            state.counters.auth_failures.fetch_add(1, Ordering::Relaxed);
+            state.metrics.auth_failures.inc();
             let err = ProtoError::new(
                 ErrorCode::AuthRequired,
                 "this daemon requires a token (send \"token\" in the request envelope)",
             );
-            return (error_response(version, id.as_ref(), &err), op, false);
+            return (error_response(version, id.as_ref(), &err), meta);
         }
     }
-    let shutdown = matches!(request, Request::Shutdown);
+    meta.shutdown = matches!(request, Request::Shutdown);
     let response = match dispatch(state, ctx, request, version, id.as_ref()) {
         Ok(ok) => ok,
         Err(err) => error_response(version, id.as_ref(), &err),
     };
-    (response, op, shutdown)
+    (response, meta)
 }
 
 fn op_name(request: &Request) -> &'static str {
@@ -547,6 +626,7 @@ fn op_name(request: &Request) -> &'static str {
         Request::Compress { .. } => "compress",
         Request::Analyze { .. } => "analyze",
         Request::Stats { .. } => "stats",
+        Request::Metrics => "metrics",
         Request::Evict { .. } => "evict",
         Request::Shutdown => "shutdown",
     }
@@ -704,17 +784,18 @@ fn dispatch(
                         .with("bytes", Json::u64(h.approx_bytes() as u64))
                 })
                 .collect();
-            let c = &state.counters;
+            let m = &state.metrics;
             let server = Json::obj()
+                .with("build", Json::str(env!("CARGO_PKG_VERSION")))
                 .with("protocol_version", Json::u64(PROTOCOL_VERSION))
                 .with("workers", Json::u64(state.workers as u64))
-                .with("active", Json::u64(c.active.load(Ordering::SeqCst)))
-                .with("peak_active", Json::u64(c.peak_active.load(Ordering::SeqCst)))
-                .with("admitted", Json::u64(c.admitted.load(Ordering::Relaxed)))
-                .with("busy_rejected", Json::u64(c.busy_rejected.load(Ordering::Relaxed)))
-                .with("timeouts", Json::u64(c.timeouts.load(Ordering::Relaxed)))
-                .with("frames_rejected", Json::u64(c.frames_rejected.load(Ordering::Relaxed)))
-                .with("auth_failures", Json::u64(c.auth_failures.load(Ordering::Relaxed)));
+                .with("active", Json::u64(m.active.get().max(0) as u64))
+                .with("peak_active", Json::u64(m.peak_active.get().max(0) as u64))
+                .with("admitted", Json::u64(m.admitted.get()))
+                .with("busy_rejected", Json::u64(m.busy_rejected.get()))
+                .with("timeouts", Json::u64(m.timeouts.get()))
+                .with("frames_rejected", Json::u64(m.frames_rejected.get()))
+                .with("auth_failures", Json::u64(m.auth_failures.get()));
             let uploads: Vec<Json> = state
                 .uploads
                 .snapshot()
@@ -743,7 +824,36 @@ fn dispatch(
                 .with("server", server)
                 .with("clients", Json::Arr(state.quotas.snapshot()))
                 .with("uploads", Json::Arr(uploads))
-                .with("requests", Json::u64(state.requests.load(Ordering::Relaxed)))
+                .with("requests", Json::u64(state.metrics.requests.get()))
+                .with("uptime_ms", Json::u64(state.started.elapsed().as_millis() as u64)))
+        }
+        Request::Metrics => {
+            // One snapshot covering both registries: this daemon's own
+            // (request/queue/pool-front metrics) merged with the
+            // process-global one (session stages, StageCache, the rayon
+            // shim's chunk gauges). In-process embedders running several
+            // daemons share the global half; the serve.* half is always
+            // exclusively this daemon's.
+            let snapshot = state.metrics.registry.snapshot().merged(sg_obs::global().snapshot());
+            let cache = state.session.cache().stats();
+            Ok(ok_response(version, id)
+                .with("metrics", snapshot_json(&snapshot))
+                .with(
+                    "cache",
+                    Json::obj()
+                        .with("entries", Json::u64(cache.entries as u64))
+                        .with("bytes", Json::u64(cache.bytes as u64))
+                        .with("hits", Json::u64(cache.hits))
+                        .with("misses", Json::u64(cache.misses))
+                        .with("evictions", Json::u64(cache.evictions)),
+                )
+                .with(
+                    "server",
+                    Json::obj()
+                        .with("build", Json::str(env!("CARGO_PKG_VERSION")))
+                        .with("protocol_version", Json::u64(PROTOCOL_VERSION))
+                        .with("workers", Json::u64(state.workers as u64)),
+                )
                 .with("uptime_ms", Json::u64(state.started.elapsed().as_millis() as u64)))
         }
         Request::Evict { graph, cache } => {
@@ -861,6 +971,44 @@ fn dispatch_upload(
     }
 }
 
+/// Renders a registry snapshot as the `metrics` response body: flat
+/// name→value objects for counters and gauges, and per-histogram objects
+/// with cumulative (Prometheus-style `le`) buckets. The final bucket's
+/// bound is the string `"+Inf"`; every earlier `le` is milliseconds.
+fn snapshot_json(snapshot: &sg_obs::Snapshot) -> Json {
+    let mut counters = Json::obj();
+    for (name, value) in &snapshot.counters {
+        counters = counters.with(name, Json::u64(*value));
+    }
+    let mut gauges = Json::obj();
+    for (name, value) in &snapshot.gauges {
+        gauges = gauges.with(name, Json::f64(*value as f64));
+    }
+    let mut histograms = Json::obj();
+    for hist in &snapshot.histograms {
+        let buckets: Vec<Json> = hist
+            .cumulative
+            .iter()
+            .enumerate()
+            .map(|(i, &count)| {
+                let le = match hist.bounds_ms.get(i) {
+                    Some(bound) => Json::f64(*bound),
+                    None => Json::str("+Inf"),
+                };
+                Json::obj().with("le", le).with("count", Json::u64(count))
+            })
+            .collect();
+        histograms = histograms.with(
+            &hist.name,
+            Json::obj()
+                .with("count", Json::u64(hist.count()))
+                .with("sum_ms", Json::f64(hist.sum_ms))
+                .with("buckets", Json::Arr(buckets)),
+        );
+    }
+    Json::obj().with("counters", counters).with("gauges", gauges).with("histograms", histograms)
+}
+
 fn unknown_graph(name: &str) -> ProtoError {
     ProtoError::new(ErrorCode::UnknownGraph, format!("no graph loaded as '{name}'"))
 }
@@ -926,6 +1074,15 @@ fn run_response(envelope: Json, run: &SessionRun) -> Json {
         .with("stages_executed", Json::u64(run.stages_executed() as u64))
         .with("stages_cached", Json::u64(run.stages_cached() as u64))
         .with("stages", Json::Arr(stages))
+        // Non-contractual (PROTOCOL.md): execution diagnostics for humans
+        // and dashboards. Tests and clients must not assert on this block;
+        // its shape may change in any release without a version bump.
+        .with(
+            "diagnostics",
+            Json::obj()
+                .with("stages_total", Json::u64(run.stages.len() as u64))
+                .with("stages_executed", Json::u64(run.stages_executed() as u64)),
+        )
 }
 
 #[cfg(test)]

@@ -190,6 +190,23 @@ impl TuneOutcome {
         out.push_str("]}");
         out
     }
+
+    /// [`TuneOutcome::to_json`] plus a trailing **non-contractual**
+    /// `diagnostics` block carrying the execution counters
+    /// (`stages_total` / `stages_executed`). Split from `to_json` on
+    /// purpose: the counters vary with `SG_THREADS` interleaving, so the
+    /// contractual serialization must not contain them (tests compare
+    /// `to_json` across cache/thread settings), while humans and
+    /// dashboards reading `tune --json` output still get them. Nothing
+    /// may assert on this block; its shape can change without notice.
+    pub fn to_json_with_diagnostics(&self) -> String {
+        let contractual = self.to_json();
+        let base = contractual.strip_suffix('}').unwrap_or(&contractual);
+        format!(
+            "{base},\"diagnostics\":{{\"stages_total\":{},\"stages_executed\":{}}}}}",
+            self.stages_total, self.stages_executed
+        )
+    }
 }
 
 /// Every candidate runs with the master seed itself as its pipeline seed.

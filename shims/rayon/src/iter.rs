@@ -59,8 +59,10 @@ where
     }
     let workers = crate::current_num_threads().min(bounds.len());
     if workers <= 1 || crate::pool::on_worker_thread() {
+        crate::obs::record_op(bounds.len(), 1);
         return bounds.into_iter().map(|r| per_chunk(p, r)).collect();
     }
+    crate::obs::record_op(bounds.len(), workers);
     let cursor = AtomicUsize::new(0);
     let collected: std::sync::Mutex<Vec<(usize, R)>> =
         std::sync::Mutex::new(Vec::with_capacity(bounds.len()));
@@ -105,6 +107,7 @@ where
     }
     let workers = crate::current_num_threads().min(bounds.len());
     if workers <= 1 || crate::pool::on_worker_thread() {
+        crate::obs::record_op(bounds.len(), 1);
         // Inline: one live partial at a time.
         let mut acc: Option<R> = None;
         for range in bounds {
@@ -116,6 +119,7 @@ where
         }
         return acc;
     }
+    crate::obs::record_op(bounds.len(), workers);
     let cursor = AtomicUsize::new(0);
     // Per-chunk partials land in `slots`; the caller merges them in chunk
     // order as they become ready. `live_tickets` lets the caller stop

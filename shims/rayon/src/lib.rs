@@ -48,6 +48,7 @@
 //! can never deadlock and never changes results.
 
 pub mod iter;
+mod obs;
 pub mod pool;
 pub mod range;
 pub mod slice;

@@ -1,0 +1,63 @@
+//! Pool self-telemetry: every terminal parallel operation reports its
+//! chunk count and worker occupancy to the workspace observability
+//! registry ([`sg_obs::global`]).
+//!
+//! Strictly observation-only — nothing in the shim reads these values
+//! back, so scheduling (and therefore every result) is identical with
+//! metrics enabled, disabled, or the handles never resolved. This module
+//! is the one divergence from the crates.io rayon surface (see
+//! Cargo.toml).
+
+use sg_obs::{Counter, Gauge};
+use std::sync::{Arc, OnceLock};
+
+struct PoolMetrics {
+    /// Terminal parallel operations driven through the pool (including
+    /// inline runs at one worker or under nested parallelism).
+    ops: Arc<Counter>,
+    /// Total chunks across all operations.
+    chunks: Arc<Counter>,
+    /// Operations that ran inline on the calling thread.
+    inline_ops: Arc<Counter>,
+    /// Chunk count of the most recent operation.
+    last_chunks: Arc<Gauge>,
+    /// Worker tickets of the most recent operation.
+    last_workers: Arc<Gauge>,
+    /// `last_workers / current_num_threads`, in percent: how much of the
+    /// configured pool the last operation could occupy (small inputs
+    /// yield fewer chunks than threads).
+    utilization_pct: Arc<Gauge>,
+}
+
+fn metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = sg_obs::global();
+        PoolMetrics {
+            ops: reg.counter("rayon.ops"),
+            chunks: reg.counter("rayon.chunks"),
+            inline_ops: reg.counter("rayon.inline_ops"),
+            last_chunks: reg.gauge("rayon.last_chunks"),
+            last_workers: reg.gauge("rayon.last_workers"),
+            utilization_pct: reg.gauge("rayon.utilization_pct"),
+        }
+    })
+}
+
+/// Records one terminal operation split into `chunks` pieces and handed
+/// to `workers` pool tickets (1 == ran inline).
+pub(crate) fn record_op(chunks: usize, workers: usize) {
+    if !sg_obs::metrics_enabled() {
+        return;
+    }
+    let m = metrics();
+    m.ops.inc();
+    m.chunks.add(chunks as u64);
+    if workers <= 1 {
+        m.inline_ops.inc();
+    }
+    m.last_chunks.set(chunks as i64);
+    m.last_workers.set(workers as i64);
+    let configured = crate::current_num_threads().max(1);
+    m.utilization_pct.set((workers.min(configured) * 100 / configured) as i64);
+}

@@ -278,6 +278,7 @@ where
         let piece = unsafe { std::slice::from_raw_parts_mut(base.0.add(start), stop - start) };
         piece.sort_by(|a, b| cmp(a, b));
     };
+    crate::obs::record_op(n_runs, threads.min(n_runs));
     crate::pool::submit(threads.min(n_runs), &ticket).join();
     // Merge run index lists pairwise until one permutation remains. Pair k
     // of a round merges runs 2k and 2k+1, which cover adjacent disjoint

@@ -15,6 +15,8 @@
 //! * [`store`] — `.sgr` zero-copy CSR container + mmap loader (`sg-store`)
 //! * [`serve`] — compression-as-a-service daemon + protocol client
 //!   (`sg-serve`)
+//! * [`obs`] — zero-dependency metrics registry + span tracing shared by
+//!   every layer above (`sg-obs`, see docs/OBSERVABILITY.md)
 
 pub use sg_algos as algos;
 pub use sg_core as core;
@@ -22,6 +24,7 @@ pub use sg_dist as dist;
 pub use sg_graph as graph;
 pub use sg_lowrank as lowrank;
 pub use sg_metrics as metrics;
+pub use sg_obs as obs;
 pub use sg_serve as serve;
 pub use sg_store as store;
 pub use sg_tune as tune;
