@@ -11,12 +11,17 @@
 //!
 //! Run: `cargo run --release -p sg-bench --bin loadgen
 //!       [-- --workers N] [--clients N] [--requests N] [--n N] [--json]
-//!       [--trace-out FILE]`
+//!       [--trace-out FILE] [--slow-ms N] [--slowlog-out FILE]`
 //!
 //! `--trace-out` records sg-obs spans on both sides of the wire — the
 //! daemon runs in-process, so one Chrome trace-event file interleaves
 //! client `loadgen.request` spans with the server's `serve.request` and
 //! `session.stage` spans on their real threads.
+//!
+//! `--slow-ms` sets the daemon's slowlog threshold (0 records every
+//! request) and `--slowlog-out` scrapes the v2 `slowlog` op after the
+//! storm, writing the raw response line — a per-request log artifact
+//! for CI.
 
 use sg_bench::{json_requested, render_json, render_table, BenchRecord};
 use sg_serve::{Client, Json, ServeConfig, Server};
@@ -54,6 +59,8 @@ fn main() {
     let mut requests: usize = 20;
     let mut n: usize = 5_000;
     let mut trace_out: Option<String> = None;
+    let mut slow_ms: Option<u64> = None;
+    let mut slowlog_out: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -71,6 +78,11 @@ fn main() {
             "--trace-out" => {
                 trace_out =
                     Some(it.next().unwrap_or_else(|| panic!("--trace-out needs a path")).clone());
+            }
+            "--slow-ms" => slow_ms = Some(grab("slow-ms") as u64),
+            "--slowlog-out" => {
+                slowlog_out =
+                    Some(it.next().unwrap_or_else(|| panic!("--slowlog-out needs a path")).clone());
             }
             other => panic!("unknown flag {other}"),
         }
@@ -95,11 +107,20 @@ fn main() {
     // Queue depth sized to the oversubscription so waiting clients park
     // in the queue; `busy` turn-aways still happen in bursts and are
     // retried below.
+    // With an explicit --slow-ms the slowlog ring is sized to hold the
+    // whole storm, so --slowlog-out is a complete request log artifact.
+    let defaults = ServeConfig::default();
     let cfg = ServeConfig {
         listen: "127.0.0.1:0".into(),
         transcript: false,
         workers,
         queue_depth: clients,
+        slow_ms: slow_ms.unwrap_or(defaults.slow_ms),
+        slowlog_capacity: if slow_ms.is_some() {
+            (clients * requests + 8).max(defaults.slowlog_capacity)
+        } else {
+            defaults.slowlog_capacity
+        },
         ..Default::default()
     };
     let server = Server::bind(&cfg).expect("bind");
@@ -241,6 +262,12 @@ fn main() {
         })
         .collect();
     bucket_timings.push(("le_+Inf".to_string(), all.len() as f64));
+    // Exact first moment alongside the bucketized distribution: the sum
+    // and mean are what a drift gate can band tightly, where individual
+    // bucket counts wobble run to run.
+    let sum_ms: f64 = all.iter().sum();
+    bucket_timings.push(("sum_ms".to_string(), sum_ms));
+    bucket_timings.push(("mean_ms".to_string(), sum_ms / (all.len().max(1) as f64)));
     records.push(BenchRecord {
         workload: workload.clone(),
         label: "loadgen:latency_histogram".into(),
@@ -268,6 +295,19 @@ fn main() {
     }
 
     let mut closer = Client::connect(&addr).expect("connect");
+    // Scrape the slow-request ring before shutting the daemon down; the
+    // raw response line is the artifact (schema: docs/PROTOCOL.md).
+    if let Some(path) = &slowlog_out {
+        let response = closer.request(&Client::request_for("slowlog")).expect("slowlog response");
+        assert_eq!(
+            response.get("ok"),
+            Some(&Json::Bool(true)),
+            "slowlog scrape failed: {}",
+            response.render()
+        );
+        std::fs::write(path, response.render() + "\n").expect("write slowlog");
+        eprintln!("loadgen: slowlog written to {path}");
+    }
     let _ = closer.request(&Client::request_for("shutdown"));
     daemon.join().expect("daemon thread").expect("clean exit");
     let _ = std::fs::remove_dir_all(&dir);

@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 
 /// Flags that take no value: present means `true`. Everything else is
 /// `--flag value`.
-const BOOLEAN_FLAGS: [&str; 4] = ["json", "no-verify", "cache", "quiet"];
+const BOOLEAN_FLAGS: [&str; 5] = ["json", "no-verify", "cache", "quiet", "alloc-profile"];
 
 /// Parsed command line: a subcommand plus `--key value` options.
 #[derive(Debug, Default)]

@@ -26,6 +26,13 @@ GLOBAL FLAGS (any command):
                      and write Chrome trace-event JSON on exit — open in
                      chrome://tracing or Perfetto. Observation-only:
                      results are bit-identical with tracing on or off.
+  --metrics-out FILE write the process-final sg-obs metrics snapshot
+                     (counters, gauges, latency histograms) as JSON on
+                     exit — the same shape the daemon's `metrics` op
+                     returns under \"metrics\".
+  --alloc-profile    turn on the tracking allocator: alloc.* gauges in
+                     metrics snapshots and per-stage alloc_bytes span
+                     args. Observation-only; results are bit-identical.
 
 COMMANDS:
   compress   Compress a graph and write the result
@@ -71,10 +78,13 @@ COMMANDS:
                                 budgets (0 = unlimited)
              [--upload-grace-ms N]  how long a disconnected client's
                                 partial upload survives for resumption
+             [--slow-ms N]      slow-request threshold for the slowlog
+                                ring (0 logs every request; default 500)
+             [--slowlog-cap N]  slowlog ring bound (records kept)
   client     Send requests to a running daemon (blocking, line-JSON)
              --connect HOST:PORT|unix:/path.sock  [--token SECRET]
              one-shot: --op ping|load|upload|compress|analyze|stats|
-                            metrics|evict|shutdown
+                            metrics|slowlog|evict|shutdown
                load:      --name NAME --path FILE [--format F] [--no-verify]
                upload:    --name NAME --path FILE [--format F]
                           [--chunk-kb N]  (chunked, digest-verified
@@ -85,6 +95,9 @@ COMMANDS:
                stats:     [--graph NAME]
                metrics:   counters/gauges/latency histograms as a table
                           (--json for the raw response line; v2 op)
+               slowlog:   the daemon's slow-request ring as a table —
+                          seq, op, trace id, queue wait, service time,
+                          stages (--json for the raw line; v2 op)
                evict:     [--graph NAME] [--cache]
              scripted: --script FILE (one JSON request per line)
   help       Show this message
@@ -129,11 +142,25 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     if trace_out.is_some() {
         sg_obs::trace::set_trace_enabled(true);
     }
+    // --metrics-out FILE: dump the process-final metrics snapshot as JSON
+    // on the way out (same write-even-on-failure contract as the trace).
+    // --alloc-profile arms the tracking allocator first so the snapshot
+    // carries alloc.* gauges and stage spans carry alloc_bytes deltas.
+    let metrics_out = args.get("metrics-out").map(str::to_string);
+    if args.flag("alloc-profile") {
+        sg_obs::alloc::set_profiling(true);
+    }
     let result = dispatch_command(&args);
     if let Some(path) = trace_out {
         sg_obs::trace::write_chrome_trace(std::path::Path::new(&path))
             .map_err(|e| format!("writing trace to {path}: {e}"))?;
         eprintln!("slimgraph: trace written to {path}");
+    }
+    if let Some(path) = metrics_out {
+        let snapshot = sg_serve::snapshot_json(&sg_obs::global_snapshot()).render();
+        std::fs::write(&path, snapshot + "\n")
+            .map_err(|e| format!("writing metrics to {path}: {e}"))?;
+        eprintln!("slimgraph: metrics written to {path}");
     }
     result
 }
@@ -436,6 +463,8 @@ fn serve(args: &Args) -> Result<(), String> {
         cache_quota_bytes: args.get_or("cache-quota-mb", 0u64)? << 20,
         upload_grace_ms: args.get_or("upload-grace-ms", defaults.upload_grace_ms)?,
         retry_after_ms: defaults.retry_after_ms,
+        slow_ms: args.get_or("slow-ms", defaults.slow_ms)?,
+        slowlog_capacity: args.get_or("slowlog-cap", defaults.slowlog_capacity)?,
     };
     let server =
         sg_serve::Server::bind(&cfg).map_err(|e| format!("binding {}: {e}", cfg.listen))?;
@@ -508,6 +537,8 @@ fn client(args: &Args) -> Result<(), String> {
     // caller asked for the raw line with --json (scripts/CI scrape that).
     if op == "metrics" && !args.flag("json") {
         print!("{}", metrics_table(&response));
+    } else if op == "slowlog" && !args.flag("json") {
+        print!("{}", slowlog_table(&response));
     } else {
         println!("{}", response.render());
     }
@@ -580,6 +611,62 @@ fn metrics_table(response: &Json) -> String {
                 bucket_quantile(hist, 0.99),
             );
         }
+    }
+    out
+}
+
+/// Renders a `slowlog` response as an aligned human table: one row per
+/// retained record (oldest first), newest-relative ordering preserved by
+/// the monotone `seq` column. Stage counts render `-` for ops that have
+/// none (ping, metrics, …).
+fn slowlog_table(response: &Json) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let g = |k: &str| response.get(k).and_then(Json::as_u64).unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "slowlog  threshold {} ms, capacity {}, {} recorded, {} returned",
+        g("slow_ms"),
+        g("capacity"),
+        g("recorded"),
+        g("returned")
+    );
+    let Some(records) = response.get("slowlog").and_then(Json::as_arr) else {
+        return out;
+    };
+    if records.is_empty() {
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "\n{:>6} {:<10} {:<18} {:>6} {:>12} {:>11} {:>7} {:>7}  peer",
+        "seq", "op", "trace", "ok", "queue_ms", "service_ms", "exec", "cached"
+    );
+    for record in records {
+        let s = |k: &str| record.get(k).and_then(Json::as_str).unwrap_or("-").to_string();
+        let f = |k: &str| record.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+        let stage = |k: &str| match record.get(k).and_then(Json::as_u64) {
+            Some(n) => n.to_string(),
+            None => "-".to_string(),
+        };
+        let ok = match record.get("ok").and_then(Json::as_bool) {
+            Some(true) => "ok",
+            Some(false) => "err",
+            None => "-",
+        };
+        let _ = writeln!(
+            out,
+            "{:>6} {:<10} {:<18} {:>6} {:>12.3} {:>11.3} {:>7} {:>7}  {}",
+            record.get("seq").and_then(Json::as_u64).unwrap_or(0),
+            s("op"),
+            s("trace"),
+            ok,
+            f("queue_wait_ms"),
+            f("service_ms"),
+            stage("stages_executed"),
+            stage("stages_cached"),
+            s("peer"),
+        );
     }
     out
 }

@@ -17,6 +17,13 @@ mod commands;
 
 use std::process::ExitCode;
 
+/// The sg-obs tracking allocator wraps the system allocator for the
+/// whole binary. It is inert (one relaxed load per call) until
+/// `--alloc-profile` turns profiling on; results are bit-identical
+/// either way (see docs/OBSERVABILITY.md).
+#[global_allocator]
+static ALLOC: sg_obs::alloc::TrackingAlloc = sg_obs::alloc::TrackingAlloc;
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match commands::run(&argv) {

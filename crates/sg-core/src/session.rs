@@ -231,10 +231,26 @@ impl SgSession {
         let mut reports: Vec<StageReport> = outcomes.iter().map(|o| o.report.clone()).collect();
         for (i, stage) in resolved.stages.iter().enumerate().skip(start) {
             let scheme = self.registry.create(&stage.name, &stage.params)?;
-            let (r, report) = {
-                let _stage_span = sg_obs::span!("session.stage", scheme = stage.name, index = i);
-                pipeline::run_stage(scheme.as_ref(), &current, seed, i)
-            };
+            let mut stage_span = sg_obs::span!("session.stage", scheme = stage.name, index = i);
+            // With the tracking allocator profiling, bracket the stage so
+            // its span (and a per-scheme counter) carries the allocation
+            // cost of that compression scheme. Process-wide counters:
+            // under concurrency the delta includes other threads' churn.
+            let alloc_before =
+                sg_obs::alloc::profiling_enabled().then(|| sg_obs::alloc::stats().allocated_bytes);
+            let (r, report) = pipeline::run_stage(scheme.as_ref(), &current, seed, i);
+            if let Some(before) = alloc_before {
+                let delta = sg_obs::alloc::stats().allocated_bytes.saturating_sub(before);
+                if stage_span.is_recording() {
+                    stage_span.arg("alloc_bytes", delta.to_string());
+                }
+                if sg_obs::metrics_enabled() {
+                    sg_obs::global()
+                        .counter(&format!("session.stage_alloc_bytes.{}", stage.name))
+                        .add(delta);
+                }
+            }
+            drop(stage_span);
             if sg_obs::metrics_enabled() {
                 let reg = sg_obs::global();
                 reg.counter("session.stages_executed").inc();

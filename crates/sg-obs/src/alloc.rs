@@ -1,0 +1,211 @@
+//! Opt-in allocation profiling: a `#[global_allocator]` wrapper around
+//! the system allocator that counts bytes and allocations with relaxed
+//! atomics.
+//!
+//! Binaries (and the umbrella test crate) opt in at link time:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: sg_obs::alloc::TrackingAlloc = sg_obs::alloc::TrackingAlloc;
+//! ```
+//!
+//! Counting is additionally gated at **runtime** by [`set_profiling`]
+//! (default off): while off, every allocator call pays one relaxed
+//! atomic load on top of the system allocator and records nothing, so
+//! the wrapper can ship installed everywhere. While on, each alloc/free
+//! updates cumulative byte and call counters plus a running
+//! live-bytes/peak-bytes estimate — enough to attach per-stage
+//! allocation deltas to `session.stage` spans and expose `alloc.*`
+//! gauges through [`crate::global_snapshot`].
+//!
+//! The profile is observation-only (the neutrality contract): results
+//! are bit-identical with profiling on or off, pinned by
+//! `tests/obs_deep.rs`. Counters are process-wide, so deltas taken
+//! around a region on one thread include whatever other threads
+//! allocated meanwhile — treat per-span deltas as attribution under low
+//! concurrency, not an exact accounting.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static PROFILING: AtomicBool = AtomicBool::new(false);
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+static FREED_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static FREE_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Turns allocation counting on or off process-wide. Counters keep
+/// their values across off/on transitions; use [`reset`] to zero them.
+pub fn set_profiling(on: bool) {
+    PROFILING.store(on, Ordering::Relaxed);
+}
+
+/// Whether allocation counting is currently enabled (default: false).
+pub fn profiling_enabled() -> bool {
+    PROFILING.load(Ordering::Relaxed)
+}
+
+/// Zeroes every counter. Call while the process is quiescent (between
+/// benchmark runs, at test start); concurrent frees of memory allocated
+/// before the reset can make `freed_bytes` exceed `allocated_bytes`,
+/// which [`stats`] clamps rather than underflows.
+pub fn reset() {
+    ALLOCATED_BYTES.store(0, Ordering::Relaxed);
+    FREED_BYTES.store(0, Ordering::Relaxed);
+    PEAK_BYTES.store(0, Ordering::Relaxed);
+    ALLOC_CALLS.store(0, Ordering::Relaxed);
+    FREE_CALLS.store(0, Ordering::Relaxed);
+}
+
+/// A point-in-time read of the allocation counters. `live_bytes` is
+/// derived (`allocated - freed`, clamped at zero) and `peak_bytes` is
+/// the running maximum of that estimate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    pub allocated_bytes: u64,
+    pub freed_bytes: u64,
+    pub live_bytes: u64,
+    pub peak_bytes: u64,
+    pub allocs: u64,
+    pub frees: u64,
+}
+
+/// Reads the current counters (meaningful only in a binary that
+/// installed [`TrackingAlloc`] and enabled [`set_profiling`]).
+pub fn stats() -> AllocStats {
+    let allocated = ALLOCATED_BYTES.load(Ordering::Relaxed);
+    let freed = FREED_BYTES.load(Ordering::Relaxed);
+    AllocStats {
+        allocated_bytes: allocated,
+        freed_bytes: freed,
+        live_bytes: allocated.saturating_sub(freed),
+        peak_bytes: PEAK_BYTES.load(Ordering::Relaxed),
+        allocs: ALLOC_CALLS.load(Ordering::Relaxed),
+        frees: FREE_CALLS.load(Ordering::Relaxed),
+    }
+}
+
+fn note_alloc(size: usize) {
+    let allocated = ALLOCATED_BYTES.fetch_add(size as u64, Ordering::Relaxed) + size as u64;
+    ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+    let live = allocated.saturating_sub(FREED_BYTES.load(Ordering::Relaxed));
+    PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+}
+
+fn note_free(size: usize) {
+    FREED_BYTES.fetch_add(size as u64, Ordering::Relaxed);
+    FREE_CALLS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The tracking wrapper itself: forwards every call to [`System`] and,
+/// when profiling is on, records it. Never allocates and never branches
+/// on anything but the profiling flag, so it is safe as a global
+/// allocator.
+pub struct TrackingAlloc;
+
+unsafe impl GlobalAlloc for TrackingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() && PROFILING.load(Ordering::Relaxed) {
+            note_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc_zeroed(layout);
+        if !ptr.is_null() && PROFILING.load(Ordering::Relaxed) {
+            note_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        if PROFILING.load(Ordering::Relaxed) {
+            note_free(layout.size());
+        }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() && PROFILING.load(Ordering::Relaxed) {
+            note_free(layout.size());
+            note_alloc(new_size);
+        }
+        new_ptr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The counters and the profiling flag are process-global;
+    /// serialize the tests that touch them.
+    fn alloc_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Drives the allocator through the `GlobalAlloc` trait directly, so
+    /// the test is deterministic whether or not the test binary installed
+    /// it as the global allocator.
+    fn round_trip(bytes: usize) {
+        let layout = Layout::from_size_align(bytes, 8).expect("layout");
+        unsafe {
+            let ptr = TrackingAlloc.alloc(layout);
+            assert!(!ptr.is_null());
+            TrackingAlloc.dealloc(ptr, layout);
+        }
+    }
+
+    #[test]
+    fn disabled_profiling_records_nothing() {
+        let _hold = alloc_lock();
+        set_profiling(false);
+        reset();
+        round_trip(256);
+        assert_eq!(stats(), AllocStats::default());
+    }
+
+    #[test]
+    fn counters_track_bytes_live_and_peak() {
+        let _hold = alloc_lock();
+        set_profiling(true);
+        reset();
+        round_trip(1024);
+        set_profiling(false);
+        let s = stats();
+        assert!(s.allocated_bytes >= 1024);
+        assert!(s.freed_bytes >= 1024);
+        assert!(s.peak_bytes >= 1024);
+        assert!(s.allocs >= 1);
+        assert!(s.frees >= 1);
+        assert_eq!(s.live_bytes, s.allocated_bytes - s.freed_bytes);
+        reset();
+        assert_eq!(stats(), AllocStats::default());
+    }
+
+    #[test]
+    fn realloc_moves_bytes_between_counters() {
+        let _hold = alloc_lock();
+        set_profiling(true);
+        reset();
+        let layout = Layout::from_size_align(100, 8).expect("layout");
+        unsafe {
+            let ptr = TrackingAlloc.alloc(layout);
+            assert!(!ptr.is_null());
+            let grown = TrackingAlloc.realloc(ptr, layout, 300);
+            assert!(!grown.is_null());
+            TrackingAlloc.dealloc(grown, Layout::from_size_align(300, 8).expect("layout"));
+        }
+        set_profiling(false);
+        let s = stats();
+        assert!(s.allocated_bytes >= 400, "100 + 300 allocated: {s:?}");
+        assert!(s.freed_bytes >= 400, "100 (realloc) + 300 (dealloc) freed: {s:?}");
+        reset();
+    }
+}

@@ -50,11 +50,17 @@
 //! assert!(sg_obs::trace::chrome_trace_json().contains("\"traceEvents\""));
 //! ```
 
+pub mod alloc;
 pub mod registry;
 pub mod trace;
 
+pub use alloc::{AllocStats, TrackingAlloc};
 pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
-pub use trace::Span;
+pub use trace::{Span, TraceIdGuard};
+
+/// Gauge mirroring [`trace::dropped_events`] in the global registry
+/// (pre-registered so every snapshot carries it, zero or not).
+pub const TRACE_DROPPED_GAUGE: &str = "trace.dropped_events";
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
@@ -80,5 +86,41 @@ pub fn metrics_enabled() -> bool {
 /// concurrent daemons in one process don't blend their request metrics.
 pub fn global() -> &'static Registry {
     static GLOBAL: OnceLock<Registry> = OnceLock::new();
-    GLOBAL.get_or_init(Registry::new)
+    GLOBAL.get_or_init(|| {
+        let reg = Registry::new();
+        // Pre-register the observability self-metrics so they appear in
+        // every snapshot even before the first event.
+        let _ = reg.gauge(TRACE_DROPPED_GAUGE);
+        reg
+    })
+}
+
+/// [`global`]'s snapshot plus point-in-time gauges whose sources live
+/// outside the registry: the trace ring's authoritative drop counter
+/// (correct even while metrics are disabled) and — when allocation
+/// profiling is on — the tracking allocator's `alloc.*` gauges. This is
+/// what the serve `metrics` op and the CLI's `--metrics-out` export.
+pub fn global_snapshot() -> Snapshot {
+    let mut snap = global().snapshot();
+    upsert_gauge(&mut snap, TRACE_DROPPED_GAUGE, trace::dropped_events() as i64);
+    if alloc::profiling_enabled() {
+        let a = alloc::stats();
+        upsert_gauge(&mut snap, "alloc.allocated_bytes", a.allocated_bytes as i64);
+        upsert_gauge(&mut snap, "alloc.allocs", a.allocs as i64);
+        upsert_gauge(&mut snap, "alloc.live_bytes", a.live_bytes as i64);
+        upsert_gauge(&mut snap, "alloc.peak_bytes", a.peak_bytes as i64);
+    }
+    snap
+}
+
+/// Sets `name` in the snapshot's (name-sorted) gauge list, inserting in
+/// order when absent.
+fn upsert_gauge(snap: &mut Snapshot, name: &str, value: i64) {
+    match snap.gauges.iter_mut().find(|(n, _)| n == name) {
+        Some((_, slot)) => *slot = value,
+        None => {
+            let at = snap.gauges.partition_point(|(n, _)| n.as_str() < name);
+            snap.gauges.insert(at, (name.to_string(), value));
+        }
+    }
 }

@@ -13,6 +13,16 @@
 //! full, the **oldest** events are overwritten (recent activity is what
 //! trace consumers want) and [`dropped_events`] counts the loss, so a
 //! runaway span source can never exhaust memory.
+//!
+//! ## Request correlation
+//!
+//! A thread-local **trace id** ([`set_trace_id`]) correlates every span
+//! a request produces: while the returned guard is alive, each recorded
+//! span on that thread is tagged `trace=<id>` automatically, so
+//! `serve.request`, `session.run`, and `session.stage` events for one
+//! request share an id one grep can find. Installing the context costs a
+//! thread-local swap whether or not tracing is on (the id also feeds the
+//! serve slowlog, which works with tracing off).
 
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -79,6 +89,43 @@ fn rings() -> &'static Mutex<Vec<(u64, String, SharedRing)>> {
 
 thread_local! {
     static LOCAL_RING: RefCell<Option<SharedRing>> = const { RefCell::new(None) };
+    static TRACE_ID: RefCell<Option<Arc<str>>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously active trace id (if any) when dropped, so
+/// nested request contexts unwind correctly.
+pub struct TraceIdGuard {
+    prev: Option<Arc<str>>,
+}
+
+impl Drop for TraceIdGuard {
+    fn drop(&mut self) {
+        TRACE_ID.with(|cell| *cell.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Installs `id` as the current thread's trace id for the lifetime of
+/// the returned guard. Every span recorded on this thread while the
+/// guard lives carries a `trace=<id>` annotation. The session engine
+/// creates its `session.run` / `session.stage` spans on the calling
+/// thread, so a guard installed around request dispatch correlates all
+/// three span levels.
+pub fn set_trace_id(id: &str) -> TraceIdGuard {
+    let prev = TRACE_ID.with(|cell| cell.borrow_mut().replace(Arc::from(id)));
+    TraceIdGuard { prev }
+}
+
+/// The trace id currently installed on this thread, if any.
+pub fn current_trace_id() -> Option<Arc<str>> {
+    TRACE_ID.with(|cell| cell.borrow().clone())
+}
+
+/// The gauge mirror of [`dropped_events`] in the global registry, so
+/// ring overflow is visible to the `metrics` op, not just the Chrome
+/// trace footer. Resolved once; updated on each overflow.
+fn dropped_gauge() -> &'static Arc<crate::Gauge> {
+    static GAUGE: OnceLock<Arc<crate::Gauge>> = OnceLock::new();
+    GAUGE.get_or_init(|| crate::global().gauge(crate::TRACE_DROPPED_GAUGE))
 }
 
 fn record(event: TraceEvent) {
@@ -95,7 +142,8 @@ fn record(event: TraceEvent) {
         let mut ring = ring.lock().unwrap_or_else(|e| e.into_inner());
         if ring.events.len() >= RING_CAPACITY {
             ring.events.pop_front();
-            DROPPED.fetch_add(1, Ordering::Relaxed);
+            let dropped = DROPPED.fetch_add(1, Ordering::Relaxed) + 1;
+            dropped_gauge().set(dropped as i64);
         }
         ring.events.push_back(event);
     });
@@ -145,7 +193,11 @@ pub fn span(name: &str) -> Span {
     if !trace_enabled() {
         return Span { start: None, name: String::new(), args: Vec::new() };
     }
-    Span { start: Some(Instant::now()), name: name.to_string(), args: Vec::new() }
+    let mut args = Vec::new();
+    if let Some(id) = current_trace_id() {
+        args.push(("trace".to_string(), id.to_string()));
+    }
+    Span { start: Some(Instant::now()), name: name.to_string(), args }
 }
 
 /// Opens a [`Span`] guard: `span!("serve.request")` or
@@ -169,6 +221,7 @@ macro_rules! span {
 /// multi-run tools).
 pub fn reset() {
     DROPPED.store(0, Ordering::Relaxed);
+    dropped_gauge().set(0);
     let rings = rings().lock().unwrap_or_else(|e| e.into_inner());
     for (_, _, ring) in rings.iter() {
         ring.lock().unwrap_or_else(|e| e.into_inner()).events.clear();
@@ -328,6 +381,65 @@ mod tests {
         assert!(mine <= RING_CAPACITY);
         assert!(dropped_events() >= 10);
         reset();
+    }
+
+    #[test]
+    fn trace_id_tags_spans_and_unwinds() {
+        let _hold = trace_lock();
+        reset();
+        set_trace_enabled(true);
+        {
+            let _outer_ctx = set_trace_id("req-1");
+            let _a = crate::span!("tagged.a");
+            {
+                let _inner_ctx = set_trace_id("req-2");
+                let _b = crate::span!("tagged.b");
+            }
+            // Inner guard dropped: outer id is restored.
+            assert_eq!(current_trace_id().as_deref(), Some("req-1"));
+            let _c = crate::span!("tagged.c");
+        }
+        assert!(current_trace_id().is_none(), "guard cleared the context");
+        set_trace_enabled(false);
+        let events: Vec<TraceEvent> = collect()
+            .into_iter()
+            .flat_map(|(_, _, events)| events)
+            .filter(|e| e.name.starts_with("tagged."))
+            .collect();
+        let id_of = |name: &str| {
+            events
+                .iter()
+                .find(|e| e.name == name)
+                .and_then(|e| e.args.iter().find(|(k, _)| k == "trace"))
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(id_of("tagged.a").as_deref(), Some("req-1"));
+        assert_eq!(id_of("tagged.b").as_deref(), Some("req-2"));
+        assert_eq!(id_of("tagged.c").as_deref(), Some("req-1"));
+        reset();
+    }
+
+    #[test]
+    fn dropped_events_mirror_into_the_global_gauge() {
+        let _hold = trace_lock();
+        reset();
+        set_trace_enabled(true);
+        for i in 0..(RING_CAPACITY + 5) {
+            let _sp = crate::span!("drop.tick", i = i);
+        }
+        set_trace_enabled(false);
+        let dropped = dropped_events();
+        assert!(dropped >= 5);
+        let snap = crate::global_snapshot();
+        let gauge = snap
+            .gauges
+            .iter()
+            .find(|(n, _)| n == crate::TRACE_DROPPED_GAUGE)
+            .map(|(_, v)| *v)
+            .expect("gauge registered");
+        assert!(gauge >= dropped as i64);
+        reset();
+        assert_eq!(dropped_gauge().get(), 0);
     }
 
     #[test]

@@ -34,6 +34,7 @@
 //! | `analyze` | `compress` + accuracy metrics vs the loaded original |
 //! | `stats` | server-wide stats (graphs, cache, pool, clients, uploads) or one graph's structure |
 //! | `metrics` | v2: full sg-obs snapshot — counters, gauges, cumulative latency histograms (see `docs/OBSERVABILITY.md`) |
+//! | `slowlog` | v2: the slow-request ring — op, trace id, queue wait, service ms per request over `--slow-ms` |
 //! | `evict` | drop a graph and its cache entries, and/or clear the cache |
 //! | `shutdown` | stop accepting and drain in-flight connections |
 //!
@@ -73,9 +74,11 @@ pub mod pool;
 pub mod proto;
 pub mod quota;
 pub mod server;
+pub mod slowlog;
 pub mod upload;
 
 pub use client::Client;
 pub use json::Json;
 pub use proto::{ErrorCode, ProtoError, Request, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
-pub use server::{graph_digest, ServeConfig, Server};
+pub use server::{graph_digest, snapshot_json, ServeConfig, Server};
+pub use slowlog::{SlowLog, SlowRecord};

@@ -10,7 +10,7 @@
 //!
 //! Version negotiation: this build speaks [`PROTOCOL_VERSION`] and
 //! accepts any version down to [`MIN_PROTOCOL_VERSION`]. v2 adds the
-//! `upload` and `metrics` ops, the `token` envelope field, and the
+//! `upload`, `metrics`, and `slowlog` ops, the `token` envelope field, and the
 //! `busy` / `auth-required` / `quota-exceeded` / `frame-too-large` /
 //! `timeout` / `digest-mismatch` error codes; v1 requests are still
 //! served unchanged (they simply cannot name the v2-only ops).
@@ -184,6 +184,9 @@ pub enum Request {
     /// Observability snapshot: every counter, gauge, and latency
     /// histogram the daemon and its libraries recorded (v2).
     Metrics,
+    /// The slow-request log: the retained ring of requests whose
+    /// service time met the daemon's `--slow-ms` threshold (v2).
+    Slowlog,
     /// Drop a graph (and its cache entries) and/or clear the stage cache.
     Evict {
         /// Graph to evict.
@@ -338,6 +341,13 @@ pub fn parse_request(line: &str) -> Result<Envelope, ProtoError> {
                 "op 'metrics' requires protocol v2 (request declared v1)",
             ))
         }
+        "slowlog" if version >= 2 => Request::Slowlog,
+        "slowlog" => {
+            return Err(ProtoError::new(
+                ErrorCode::UnknownOp,
+                "op 'slowlog' requires protocol v2 (request declared v1)",
+            ))
+        }
         "evict" => {
             let graph = str_field(&value, "graph")?;
             let cache = bool_field(&value, "cache", false)?;
@@ -407,6 +417,7 @@ mod tests {
             ("{\"op\":\"analyze\",\"graph\":\"g\",\"spec\":\"lowdeg\",\"seed\":7}", "analyze"),
             ("{\"op\":\"stats\"}", "stats"),
             ("{\"op\":\"metrics\"}", "metrics"),
+            ("{\"op\":\"slowlog\"}", "slowlog"),
             ("{\"op\":\"evict\",\"graph\":\"g\"}", "evict"),
             ("{\"op\":\"evict\",\"cache\":true}", "evict"),
             ("{\"op\":\"shutdown\"}", "shutdown"),
@@ -421,6 +432,7 @@ mod tests {
                 Request::Analyze { .. } => "analyze",
                 Request::Stats { .. } => "stats",
                 Request::Metrics => "metrics",
+                Request::Slowlog => "slowlog",
                 Request::Evict { .. } => "evict",
                 Request::Shutdown => "shutdown",
             };
@@ -471,6 +483,8 @@ mod tests {
             .expect_err("rejects");
         assert_eq!(err.code, ErrorCode::UnknownOp);
         let err = parse_request("{\"v\":1,\"op\":\"metrics\"}").expect_err("rejects");
+        assert_eq!(err.code, ErrorCode::UnknownOp);
+        let err = parse_request("{\"v\":1,\"op\":\"slowlog\"}").expect_err("rejects");
         assert_eq!(err.code, ErrorCode::UnknownOp);
     }
 

@@ -28,6 +28,7 @@ use crate::proto::{
     error_response, ok_response, parse_request, Envelope, ErrorCode, ProtoError, Request,
     UploadPhase, PROTOCOL_VERSION,
 };
+use crate::slowlog::{SlowLog, SlowRecord, DEFAULT_SLOWLOG_CAPACITY, DEFAULT_SLOW_MS};
 use crate::upload::UploadRegistry;
 use crate::{b64, quota::QuotaBook};
 use sg_algos::{cc, pagerank, tc};
@@ -84,6 +85,11 @@ pub struct ServeConfig {
     pub upload_grace_ms: u64,
     /// Backoff hint carried by `busy` rejections.
     pub retry_after_ms: u64,
+    /// Service-time threshold (ms) above which a request lands in the
+    /// slow-request log; `0` logs every request.
+    pub slow_ms: u64,
+    /// Slow-request records retained (newest kept when full).
+    pub slowlog_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -101,6 +107,8 @@ impl Default for ServeConfig {
             cache_quota_bytes: 0,
             upload_grace_ms: 60_000,
             retry_after_ms: 200,
+            slow_ms: DEFAULT_SLOW_MS,
+            slowlog_capacity: DEFAULT_SLOWLOG_CAPACITY,
         }
     }
 }
@@ -176,6 +184,8 @@ struct ServeMetrics {
     timeouts: Arc<sg_obs::Counter>,
     frames_rejected: Arc<sg_obs::Counter>,
     auth_failures: Arc<sg_obs::Counter>,
+    /// Requests whose service time met the slowlog threshold.
+    slow_requests: Arc<sg_obs::Counter>,
     active: Arc<sg_obs::Gauge>,
     peak_active: Arc<sg_obs::Gauge>,
     /// Admission-to-worker-pickup wait per connection.
@@ -196,6 +206,7 @@ impl ServeMetrics {
             timeouts: registry.counter("serve.timeouts"),
             frames_rejected: registry.counter("serve.frames_rejected"),
             auth_failures: registry.counter("serve.auth_failures"),
+            slow_requests: registry.counter("serve.slow_requests"),
             active: registry.gauge("serve.active"),
             peak_active: registry.gauge("serve.peak_active"),
             queue_wait: registry.histogram("serve.queue_wait_ms"),
@@ -219,7 +230,11 @@ struct ServeState {
     quotas: QuotaBook,
     started: Instant,
     next_conn: AtomicU64,
+    /// Source of server-generated trace ids (requests whose envelope
+    /// carried no client `"id"`).
+    next_trace: AtomicU64,
     metrics: ServeMetrics,
+    slowlog: SlowLog,
     shutdown: AtomicBool,
     addr: String,
     transcript: bool,
@@ -295,7 +310,9 @@ impl Server {
                 quotas: QuotaBook::new(cfg.catalog_quota_bytes, cfg.cache_quota_bytes),
                 started: Instant::now(),
                 next_conn: AtomicU64::new(1),
+                next_trace: AtomicU64::new(1),
                 metrics: ServeMetrics::new(),
+                slowlog: SlowLog::new(cfg.slow_ms, cfg.slowlog_capacity),
                 shutdown: AtomicBool::new(false),
                 addr,
                 transcript: cfg.transcript,
@@ -389,7 +406,7 @@ fn worker_loop(state: &ServeState, queue: &ConnQueue) {
         state.metrics.queue_wait.observe(waited);
         state.metrics.active.add(1);
         state.metrics.peak_active.max_of(state.metrics.active.get());
-        handle_connection(state, conn_id, conn);
+        handle_connection(state, conn_id, conn, waited);
         state.metrics.active.sub(1);
         // Partial uploads owned by this connection are orphaned (resumable
         // within the grace period) or reaped, and expired orphans from
@@ -457,7 +474,7 @@ fn next_frame(state: &ServeState, stream: &mut Stream, buf: &mut Vec<u8>) -> Fra
     }
 }
 
-fn handle_connection(state: &ServeState, conn_id: u64, stream: Stream) {
+fn handle_connection(state: &ServeState, conn_id: u64, stream: Stream, queue_wait: Duration) {
     let _ = stream.set_read_timeout(Some(DRAIN_POLL));
     let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
     let ctx = ConnCtx { conn_id, peer: stream.peer_id() };
@@ -513,6 +530,7 @@ fn handle_connection(state: &ServeState, conn_id: u64, stream: Stream) {
         state.metrics.observe_service(&meta.op, elapsed);
         if req_span.is_recording() {
             req_span.arg("op", meta.op.as_str());
+            req_span.arg("trace", meta.trace_id.as_str());
             req_span.arg("ok", if ok { "true" } else { "false" });
             if let Some(graph) = &meta.graph {
                 req_span.arg("graph", graph.as_str());
@@ -526,6 +544,23 @@ fn handle_connection(state: &ServeState, conn_id: u64, stream: Stream) {
             }
         }
         drop(req_span);
+        let service_ms = elapsed.as_secs_f64() * 1e3;
+        if state.slowlog.qualifies(service_ms) {
+            state.metrics.slow_requests.inc();
+            state.slowlog.record(SlowRecord {
+                seq: 0, // assigned at insert
+                op: meta.op.clone(),
+                trace_id: meta.trace_id.clone(),
+                peer: ctx.peer.clone(),
+                graph: meta.graph.clone(),
+                ok,
+                queue_wait_ms: queue_wait.as_secs_f64() * 1e3,
+                service_ms,
+                stages_executed: response.get("stages_executed").and_then(Json::as_u64),
+                stages_cached: response.get("stages_cached").and_then(Json::as_u64),
+                uptime_ms: state.started.elapsed().as_millis() as u64,
+            });
+        }
         let (op, shutdown) = (meta.op, meta.shutdown);
         state.log_event(&op, ok, elapsed, "");
         let written = writer
@@ -565,10 +600,12 @@ fn farewell(writer: &mut Stream, response: &Json) {
 
 /// What [`respond`] learned about a request besides its response: the
 /// op name (transcript + per-op histograms), the graph it targeted (the
-/// request span's `graph` arg), and whether it was a shutdown.
+/// request span's `graph` arg), the trace id correlating its spans and
+/// slowlog record, and whether it was a shutdown.
 struct RespondMeta {
     op: String,
     graph: Option<String>,
+    trace_id: String,
     shutdown: bool,
 }
 
@@ -578,7 +615,20 @@ fn request_graph(request: &Request) -> Option<&str> {
         Request::Load { name, .. } | Request::Upload { name, .. } => Some(name),
         Request::Compress { graph, .. } | Request::Analyze { graph, .. } => Some(graph),
         Request::Stats { graph } | Request::Evict { graph, .. } => graph.as_deref(),
-        Request::Ping | Request::Metrics | Request::Shutdown => None,
+        Request::Ping | Request::Metrics | Request::Slowlog | Request::Shutdown => None,
+    }
+}
+
+/// The request's trace id: the client-supplied envelope `"id"` (string
+/// form) when present, else a fresh server-generated `srv-N`. Purely
+/// observational — it tags spans and the slowlog, never the result.
+fn trace_id_for(state: &ServeState, id: Option<&Json>) -> String {
+    match id {
+        Some(Json::Str(s)) if !s.is_empty() => s.clone(),
+        Some(Json::Str(_)) | None => {
+            format!("srv-{}", state.next_trace.fetch_add(1, Ordering::Relaxed))
+        }
+        Some(other) => other.render(),
     }
 }
 
@@ -587,7 +637,12 @@ fn respond(state: &ServeState, ctx: &ConnCtx, line: &str) -> (Json, RespondMeta)
     let envelope = match parse_request(line) {
         Ok(envelope) => envelope,
         Err(err) => {
-            let meta = RespondMeta { op: "invalid".to_string(), graph: None, shutdown: false };
+            let meta = RespondMeta {
+                op: "invalid".to_string(),
+                graph: None,
+                trace_id: trace_id_for(state, None),
+                shutdown: false,
+            };
             return (error_response(PROTOCOL_VERSION, None, &err), meta);
         }
     };
@@ -595,8 +650,13 @@ fn respond(state: &ServeState, ctx: &ConnCtx, line: &str) -> (Json, RespondMeta)
     let mut meta = RespondMeta {
         op: op_name(&request).to_string(),
         graph: request_graph(&request).map(str::to_string),
+        trace_id: trace_id_for(state, id.as_ref()),
         shutdown: false,
     };
+    // From here to the end of dispatch, every span this worker thread
+    // opens — session.run, session.stage, anything deeper — carries the
+    // request's trace id.
+    let _trace_ctx = sg_obs::trace::set_trace_id(&meta.trace_id);
     // Everything except the liveness probe requires the shared secret
     // when one is configured.
     if let Some(expected) = &state.token {
@@ -627,6 +687,7 @@ fn op_name(request: &Request) -> &'static str {
         Request::Analyze { .. } => "analyze",
         Request::Stats { .. } => "stats",
         Request::Metrics => "metrics",
+        Request::Slowlog => "slowlog",
         Request::Evict { .. } => "evict",
         Request::Shutdown => "shutdown",
     }
@@ -834,7 +895,7 @@ fn dispatch(
             // shim's chunk gauges). In-process embedders running several
             // daemons share the global half; the serve.* half is always
             // exclusively this daemon's.
-            let snapshot = state.metrics.registry.snapshot().merged(sg_obs::global().snapshot());
+            let snapshot = state.metrics.registry.snapshot().merged(sg_obs::global_snapshot());
             let cache = state.session.cache().stats();
             Ok(ok_response(version, id)
                 .with("metrics", snapshot_json(&snapshot))
@@ -855,6 +916,16 @@ fn dispatch(
                         .with("workers", Json::u64(state.workers as u64)),
                 )
                 .with("uptime_ms", Json::u64(state.started.elapsed().as_millis() as u64)))
+        }
+        Request::Slowlog => {
+            let (records, total) = state.slowlog.snapshot();
+            let entries: Vec<Json> = records.iter().map(SlowRecord::to_json).collect();
+            Ok(ok_response(version, id)
+                .with("slow_ms", Json::u64(state.slowlog.slow_ms()))
+                .with("capacity", Json::u64(state.slowlog.capacity() as u64))
+                .with("recorded", Json::u64(total))
+                .with("returned", Json::u64(entries.len() as u64))
+                .with("slowlog", Json::Arr(entries)))
         }
         Request::Evict { graph, cache } => {
             let mut response = ok_response(version, id);
@@ -975,7 +1046,8 @@ fn dispatch_upload(
 /// name→value objects for counters and gauges, and per-histogram objects
 /// with cumulative (Prometheus-style `le`) buckets. The final bucket's
 /// bound is the string `"+Inf"`; every earlier `le` is milliseconds.
-fn snapshot_json(snapshot: &sg_obs::Snapshot) -> Json {
+/// Also the format of the CLI's `--metrics-out` dump.
+pub fn snapshot_json(snapshot: &sg_obs::Snapshot) -> Json {
     let mut counters = Json::obj();
     for (name, value) in &snapshot.counters {
         counters = counters.with(name, Json::u64(*value));

@@ -1,0 +1,207 @@
+//! The in-daemon slow-request log: a bounded ring of structured records
+//! for requests whose service time met the `--slow-ms` threshold.
+//!
+//! Chrome traces answer "what did the process do"; the slowlog answers
+//! "which *requests* were slow, and what did each one cost" — op, trace
+//! id, queue wait, service time, and how much of the pipeline ran vs
+//! came from the stage cache — without tracing enabled and without
+//! shipping a trace file. The ring keeps the **newest** `capacity`
+//! records (old outliers age out; recent ones are what an operator
+//! debugging a live daemon wants) and a total counter preserves how
+//! many qualified overall.
+//!
+//! A threshold of `0` records every request — the standard way to
+//! "inject" slow requests in tests and to produce a complete request
+//! log artifact from a bench run. The log is observation-only: nothing
+//! reads it but the v2 `slowlog` op.
+
+use crate::json::Json;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Default service-time threshold (milliseconds).
+pub const DEFAULT_SLOW_MS: u64 = 500;
+
+/// Default ring capacity (records kept).
+pub const DEFAULT_SLOWLOG_CAPACITY: usize = 128;
+
+/// One slow request, as captured at response time.
+#[derive(Debug, Clone)]
+pub struct SlowRecord {
+    /// Monotone per-daemon sequence number (1-based, assigned at
+    /// insert); gaps relative to `recorded` reveal aged-out records.
+    pub seq: u64,
+    /// The request op (`compress`, `analyze`, …; `invalid` for parse
+    /// failures).
+    pub op: String,
+    /// The request's trace id — the same id its `serve.request` /
+    /// `session.run` / `session.stage` spans carry.
+    pub trace_id: String,
+    /// Quota/identity peer of the connection.
+    pub peer: String,
+    /// The graph the request targeted, when it named one.
+    pub graph: Option<String>,
+    pub ok: bool,
+    /// How long the *connection* waited for a worker at admission (the
+    /// same value the `serve.queue_wait_ms` histogram observed); later
+    /// requests on a kept-alive connection inherit it.
+    pub queue_wait_ms: f64,
+    /// Parse + dispatch + render time of this request.
+    pub service_ms: f64,
+    /// Pipeline stages actually executed (ops that report them).
+    pub stages_executed: Option<u64>,
+    /// Pipeline stages served from the stage cache.
+    pub stages_cached: Option<u64>,
+    /// Daemon uptime when the record was captured (orders records
+    /// across the ring without wall-clock timestamps).
+    pub uptime_ms: u64,
+}
+
+impl SlowRecord {
+    /// The record as one `slowlog` response entry.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj()
+            .with("seq", Json::u64(self.seq))
+            .with("op", Json::str(self.op.clone()))
+            .with("trace", Json::str(self.trace_id.clone()))
+            .with("peer", Json::str(self.peer.clone()))
+            .with("ok", Json::Bool(self.ok))
+            .with("queue_wait_ms", Json::f64(self.queue_wait_ms))
+            .with("service_ms", Json::f64(self.service_ms))
+            .with("uptime_ms", Json::u64(self.uptime_ms));
+        if let Some(graph) = &self.graph {
+            obj = obj.with("graph", Json::str(graph.clone()));
+        }
+        if let Some(n) = self.stages_executed {
+            obj = obj.with("stages_executed", Json::u64(n));
+        }
+        if let Some(n) = self.stages_cached {
+            obj = obj.with("stages_cached", Json::u64(n));
+        }
+        obj
+    }
+}
+
+struct Inner {
+    ring: VecDeque<SlowRecord>,
+    /// Total qualifying requests ever recorded (monotone; `>= ring.len()`).
+    total: u64,
+}
+
+/// The bounded ring itself. One per daemon, shared by all workers; the
+/// lock is taken only for qualifying requests and `slowlog` reads, so
+/// the fast path (a request under the threshold) costs one float
+/// compare.
+pub struct SlowLog {
+    slow_ms: u64,
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl SlowLog {
+    /// A log capturing requests with `service_ms >= slow_ms`, keeping
+    /// the newest `capacity` records (clamped to ≥ 1).
+    pub fn new(slow_ms: u64, capacity: usize) -> SlowLog {
+        SlowLog {
+            slow_ms,
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner { ring: VecDeque::new(), total: 0 }),
+        }
+    }
+
+    /// The configured threshold (ms).
+    pub fn slow_ms(&self) -> u64 {
+        self.slow_ms
+    }
+
+    /// The ring bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether a request of this service time belongs in the log
+    /// (threshold 0 admits everything).
+    pub fn qualifies(&self, service_ms: f64) -> bool {
+        service_ms >= self.slow_ms as f64
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Inserts a record (its `seq` is assigned here), evicting the
+    /// oldest when the ring is full.
+    pub fn record(&self, mut record: SlowRecord) {
+        let mut inner = self.lock();
+        inner.total += 1;
+        record.seq = inner.total;
+        if inner.ring.len() >= self.capacity {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(record);
+    }
+
+    /// The retained records (oldest first) and the monotone total of
+    /// everything ever recorded.
+    pub fn snapshot(&self) -> (Vec<SlowRecord>, u64) {
+        let inner = self.lock();
+        (inner.ring.iter().cloned().collect(), inner.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(op: &str, service_ms: f64) -> SlowRecord {
+        SlowRecord {
+            seq: 0,
+            op: op.to_string(),
+            trace_id: format!("t-{op}"),
+            peer: "unit".to_string(),
+            graph: None,
+            ok: true,
+            queue_wait_ms: 0.25,
+            service_ms,
+            stages_executed: Some(2),
+            stages_cached: Some(1),
+            uptime_ms: 10,
+        }
+    }
+
+    #[test]
+    fn threshold_zero_admits_everything() {
+        let log = SlowLog::new(0, 4);
+        assert!(log.qualifies(0.0));
+        let log = SlowLog::new(100, 4);
+        assert!(!log.qualifies(99.9));
+        assert!(log.qualifies(100.0));
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_total() {
+        let log = SlowLog::new(0, 3);
+        for i in 0..7 {
+            log.record(rec(&format!("op{i}"), i as f64));
+        }
+        let (records, total) = log.snapshot();
+        assert_eq!(total, 7);
+        assert_eq!(records.len(), 3, "bounded at capacity");
+        let seqs: Vec<u64> = records.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![5, 6, 7], "newest retained, oldest aged out");
+    }
+
+    #[test]
+    fn record_renders_optional_fields() {
+        let json = rec("compress", 12.5).to_json();
+        assert_eq!(json.get("op").and_then(Json::as_str), Some("compress"));
+        assert_eq!(json.get("trace").and_then(Json::as_str), Some("t-compress"));
+        assert_eq!(json.get("stages_executed").and_then(Json::as_u64), Some(2));
+        let mut bare = rec("ping", 1.0);
+        bare.stages_executed = None;
+        bare.stages_cached = None;
+        let json = bare.to_json();
+        assert!(json.get("stages_executed").is_none());
+        assert!(json.get("graph").is_none());
+    }
+}

@@ -18,6 +18,13 @@
 //! * [`obs`] — zero-dependency metrics registry + span tracing shared by
 //!   every layer above (`sg-obs`, see docs/OBSERVABILITY.md)
 
+/// The sg-obs tracking allocator wraps the system allocator for every
+/// binary and test that links the umbrella crate. It is inert (one
+/// relaxed load per call) until [`sg_obs::alloc::set_profiling`] turns
+/// profiling on; results are bit-identical either way.
+#[global_allocator]
+static ALLOC: sg_obs::alloc::TrackingAlloc = sg_obs::alloc::TrackingAlloc;
+
 pub use sg_algos as algos;
 pub use sg_core as core;
 pub use sg_dist as dist;
