@@ -28,35 +28,45 @@ impl Triangle {
     }
 }
 
+/// Invokes `f` for every triangle whose *smallest* vertex is `u`, in
+/// canonical `(u, v, w)` order (ascending `v`, then `w`). This is the per-
+/// vertex inner loop of [`for_each_triangle`], exposed so partitioned
+/// executors (sg-dist ranks owning a vertex range) can enumerate exactly
+/// the triangles they own — each triangle belongs to exactly one vertex.
+pub fn for_triangles_at(g: &CsrGraph, u: VertexId, f: &mut impl FnMut(Triangle)) {
+    let nu = g.neighbors(u);
+    let eu = g.neighbor_edge_ids(u);
+    // Position of the first neighbor greater than u.
+    let start_u = nu.partition_point(|&x| x <= u);
+    for i in start_u..nu.len() {
+        let v = nu[i];
+        let e_uv = eu[i];
+        let nv = g.neighbors(v);
+        let ev = g.neighbor_edge_ids(v);
+        // Intersect {w in N(u) : w > v} with {w in N(v) : w > v}.
+        let mut a = nu.partition_point(|&x| x <= v);
+        let mut b = nv.partition_point(|&x| x <= v);
+        while a < nu.len() && b < nv.len() {
+            match nu[a].cmp(&nv[b]) {
+                std::cmp::Ordering::Less => a += 1,
+                std::cmp::Ordering::Greater => b += 1,
+                std::cmp::Ordering::Equal => {
+                    f(Triangle { u, v, w: nu[a], e_uv, e_vw: ev[b], e_uw: eu[a] });
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+    }
+}
+
 /// Invokes `f` once per triangle, in parallel. `f` must be thread-safe; the
 /// visit order is unspecified but the *set* of triangles is deterministic.
 pub fn for_each_triangle(g: &CsrGraph, f: impl Fn(Triangle) + Sync) {
     let n = g.num_vertices() as VertexId;
     (0..n).into_par_iter().for_each(|u| {
-        let nu = g.neighbors(u);
-        let eu = g.neighbor_edge_ids(u);
-        // Position of the first neighbor greater than u.
-        let start_u = nu.partition_point(|&x| x <= u);
-        for i in start_u..nu.len() {
-            let v = nu[i];
-            let e_uv = eu[i];
-            let nv = g.neighbors(v);
-            let ev = g.neighbor_edge_ids(v);
-            // Intersect {w in N(u) : w > v} with {w in N(v) : w > v}.
-            let mut a = nu.partition_point(|&x| x <= v);
-            let mut b = nv.partition_point(|&x| x <= v);
-            while a < nu.len() && b < nv.len() {
-                match nu[a].cmp(&nv[b]) {
-                    std::cmp::Ordering::Less => a += 1,
-                    std::cmp::Ordering::Greater => b += 1,
-                    std::cmp::Ordering::Equal => {
-                        f(Triangle { u, v, w: nu[a], e_uv, e_vw: ev[b], e_uw: eu[a] });
-                        a += 1;
-                        b += 1;
-                    }
-                }
-            }
-        }
+        let mut emit = |t| f(t);
+        for_triangles_at(g, u, &mut emit);
     });
 }
 

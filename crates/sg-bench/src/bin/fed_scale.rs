@@ -1,0 +1,132 @@
+//! E11 — federation overhead: an in-process coordinator + two worker
+//! daemons on loopback serving federated `compress` requests, vs the
+//! same requests on a standalone daemon. Measures the wire + fan-out +
+//! merge overhead of distributing a single-stage plan; digests are
+//! asserted equal, so the comparison is between bit-identical results.
+//!
+//! Run: `cargo run --release -p sg-bench --bin fed_scale`
+
+use sg_bench::{json_requested, render_json, render_table, BenchRecord};
+use sg_graph::generators;
+use sg_serve::{Client, FedConfig, Json, ServeConfig, Server};
+use std::time::Instant;
+
+type Daemon = (String, std::thread::JoinHandle<std::io::Result<()>>);
+
+fn spawn(federation: Option<FedConfig>) -> Daemon {
+    let cfg = ServeConfig {
+        listen: "127.0.0.1:0".into(),
+        transcript: false,
+        federation,
+        ..Default::default()
+    };
+    let server = Server::bind(&cfg).expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+fn shutdown(daemons: Vec<Daemon>) {
+    for (addr, handle) in daemons {
+        let mut client = Client::connect(&addr).expect("connect for shutdown");
+        client.request(&Client::request_for("shutdown")).expect("shutdown");
+        handle.join().expect("daemon thread").expect("daemon exit");
+    }
+}
+
+/// One timed compress; returns (wall ms, server total_ms, checksum).
+fn compress(client: &mut Client, spec: &str, seed: u64) -> (f64, f64, String) {
+    let started = Instant::now();
+    let response = client
+        .request(
+            &Client::request_for("compress")
+                .with("graph", Json::str("g"))
+                .with("spec", Json::str(spec))
+                .with("seed", Json::u64(seed)),
+        )
+        .expect("compress");
+    let wall = started.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        response.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "compress failed: {}",
+        response.render()
+    );
+    let total = response.get("total_ms").and_then(Json::as_f64).unwrap_or(0.0);
+    let checksum = response.get("checksum").and_then(Json::as_str).unwrap_or("").to_string();
+    (wall, total, checksum)
+}
+
+fn main() {
+    let g = generators::planted_triangles(&generators::barabasi_albert(8_000, 8, 71), 3000, 17);
+    let dir = std::env::temp_dir().join("slimgraph-fed-scale");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let sgr = dir.join("fed-scale.sgr").to_string_lossy().into_owned();
+    sg_store::save_sgr(&g, &sgr).expect("write input");
+
+    let json = json_requested();
+    if !json {
+        println!("== fed_scale: coordinator + 2 workers vs standalone ==\n");
+    }
+
+    let standalone = spawn(None);
+    let worker_a = spawn(None);
+    let worker_b = spawn(None);
+    let coordinator = spawn(Some(FedConfig {
+        workers: vec![worker_a.0.clone(), worker_b.0.clone()],
+        ..FedConfig::default()
+    }));
+
+    let mut solo = Client::connect(&standalone.0).expect("connect standalone");
+    let mut fed = Client::connect(&coordinator.0).expect("connect coordinator");
+    for client in [&mut solo, &mut fed] {
+        let response = client
+            .request(
+                &Client::request_for("load")
+                    .with("name", Json::str("g"))
+                    .with("path", Json::str(&sgr)),
+            )
+            .expect("load");
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+    }
+
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for (spec, seed) in [("uniform:p=0.5", 7u64), ("tr:p=0.6", 9), ("lowdeg", 3)] {
+        // Warm-up federates the lazy worker-side loads out of the measurement.
+        compress(&mut fed, spec, seed);
+        let (solo_wall, _, solo_sum) = compress(&mut solo, spec, seed);
+        let (fed_wall, fed_total, fed_sum) = compress(&mut fed, spec, seed);
+        assert_eq!(solo_sum, fed_sum, "{spec}: federated digest != standalone digest");
+        rows.push(vec![
+            spec.to_string(),
+            format!("{solo_wall:.1}"),
+            format!("{fed_wall:.1}"),
+            format!("{:.2}", fed_wall / solo_wall.max(1e-9)),
+        ]);
+        records.push(BenchRecord {
+            workload: "ba-8k-planted".to_string(),
+            label: format!("fed:{spec}"),
+            params: vec![
+                ("seed".into(), seed.to_string()),
+                ("shards".into(), "2".into()),
+                ("checksum".into(), fed_sum),
+            ],
+            ratio: None,
+            timings_ms: vec![
+                ("standalone_wall".into(), solo_wall),
+                ("federated_wall".into(), fed_wall),
+                ("federated_server".into(), fed_total),
+            ],
+        });
+        eprintln!("done: {spec}");
+    }
+    shutdown(vec![coordinator, worker_a, worker_b, standalone]);
+
+    if json {
+        println!("{}", render_json(&records));
+        return;
+    }
+    println!("{}", render_table(&["spec", "standalone ms", "federated ms", "overhead x"], &rows));
+    println!("(both columns serve bit-identical results — the digests are asserted");
+    println!(" equal — so overhead is pure wire + fan-out + merge cost)");
+}

@@ -4,7 +4,8 @@ use std::collections::BTreeMap;
 
 /// Flags that take no value: present means `true`. Everything else is
 /// `--flag value`.
-const BOOLEAN_FLAGS: [&str; 5] = ["json", "no-verify", "cache", "quiet", "alloc-profile"];
+const BOOLEAN_FLAGS: [&str; 6] =
+    ["json", "no-verify", "cache", "quiet", "alloc-profile", "coordinator"];
 
 /// Parsed command line: a subcommand plus `--key value` options.
 #[derive(Debug, Default)]

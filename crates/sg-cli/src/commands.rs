@@ -81,10 +81,14 @@ COMMANDS:
              [--slow-ms N]      slow-request threshold for the slowlog
                                 ring (0 logs every request; default 500)
              [--slowlog-cap N]  slowlog ring bound (records kept)
+             [--coordinator --worker-addr A[,B...]]  federate single-stage
+                                compress/analyze across worker daemons
+                                (stock daemons; see docs/FEDERATION.md)
+             [--fed-retries N] [--fed-timeout-ms N] [--worker-token S]
   client     Send requests to a running daemon (blocking, line-JSON)
              --connect HOST:PORT|unix:/path.sock  [--token SECRET]
              one-shot: --op ping|load|upload|compress|analyze|stats|
-                            metrics|slowlog|evict|shutdown
+                            metrics|slowlog|federation|evict|shutdown
                load:      --name NAME --path FILE [--format F] [--no-verify]
                upload:    --name NAME --path FILE [--format F]
                           [--chunk-kb N]  (chunked, digest-verified
@@ -98,6 +102,8 @@ COMMANDS:
                slowlog:   the daemon's slow-request ring as a table —
                           seq, op, trace id, queue wait, service time,
                           stages (--json for the raw line; v2 op)
+               federation: coordinator topology + worker reachability
+                          (standalone daemons answer mode standalone)
                evict:     [--graph NAME] [--cache]
              scripted: --script FILE (one JSON request per line)
   help       Show this message
@@ -465,11 +471,46 @@ fn serve(args: &Args) -> Result<(), String> {
         retry_after_ms: defaults.retry_after_ms,
         slow_ms: args.get_or("slow-ms", defaults.slow_ms)?,
         slowlog_capacity: args.get_or("slowlog-cap", defaults.slowlog_capacity)?,
+        federation: federation_config(args)?,
     };
     let server =
         sg_serve::Server::bind(&cfg).map_err(|e| format!("binding {}: {e}", cfg.listen))?;
     eprintln!("slimgraph serve: listening on {}", server.local_addr());
+    if let Some(fed) = &cfg.federation {
+        eprintln!(
+            "slimgraph serve: coordinating {} worker(s): {}",
+            fed.workers.len(),
+            fed.workers.join(", ")
+        );
+    }
     server.run().map_err(|e| format!("serve loop: {e}"))
+}
+
+/// Builds the coordinator config from `--coordinator`/`--worker-addr`/
+/// `--fed-retries`/`--fed-timeout-ms`/`--worker-token`; `None` without
+/// `--coordinator`.
+fn federation_config(args: &Args) -> Result<Option<sg_serve::FedConfig>, String> {
+    if !args.flag("coordinator") {
+        return Ok(None);
+    }
+    let workers: Vec<String> = args
+        .get("worker-addr")
+        .unwrap_or("")
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if workers.is_empty() {
+        return Err("--coordinator needs --worker-addr ADDR[,ADDR...]".to_string());
+    }
+    let defaults = sg_serve::FedConfig::default();
+    Ok(Some(sg_serve::FedConfig {
+        workers,
+        retries: args.get_or("fed-retries", defaults.retries)?,
+        timeout_ms: args.get_or("fed-timeout-ms", defaults.timeout_ms)?,
+        token: args.get("worker-token").map(str::to_string),
+    }))
 }
 
 /// `client`: one-shot protocol requests (`--op …`) or a scripted session

@@ -109,6 +109,39 @@ impl GraphView for GraphRef<'_> {
     }
 }
 
+/// The deterministic per-element random source behind `SG.rand`.
+///
+/// Factored out of [`SgContext`] so distributed executors (sg-dist's
+/// sharded ranks) can draw the *exact same* per-element values without
+/// materializing a full context: the decision for element `x` depends only
+/// on `(seed, stream, x)`, never on who asks or in what order.
+#[derive(Clone, Copy, Debug)]
+pub struct DetRand {
+    /// Global seed shared by every draw.
+    pub seed: u64,
+}
+
+impl DetRand {
+    /// A deterministic random source for `seed`.
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Deterministic uniform draw in `[0, 1)` for element `element` under
+    /// stream `stream`.
+    #[inline]
+    pub fn unit(&self, element: u64, stream: u64) -> f64 {
+        prng::unit_f64(self.seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15), element)
+    }
+
+    /// Deterministic uniform integer in `[0, bound)` for `element`.
+    #[inline]
+    pub fn below(&self, element: u64, stream: u64, bound: u64) -> u64 {
+        prng::bounded_u64(self.seed, element, stream, bound)
+    }
+}
+
 /// Shared kernel-visible state for one compression run.
 pub struct SgContext<'g> {
     /// The input graph (kernels have read-only structural access).
@@ -182,18 +215,25 @@ impl<'g> SgContext<'g> {
         self.considered_edges.get(e as usize)
     }
 
+    /// The context's random source as a standalone value (shared with the
+    /// sharded executors in sg-dist).
+    #[inline]
+    pub fn rand(&self) -> DetRand {
+        DetRand::new(self.seed)
+    }
+
     /// `SG.rand(0,1)` — deterministic uniform draw for element `element`
     /// under stream `stream` (so one element can draw several independent
     /// values).
     #[inline]
     pub fn rand_unit(&self, element: u64, stream: u64) -> f64 {
-        prng::unit_f64(self.seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15), element)
+        self.rand().unit(element, stream)
     }
 
     /// Deterministic uniform integer in `[0, bound)` for `element`.
     #[inline]
     pub fn rand_below(&self, element: u64, stream: u64, bound: u64) -> u64 {
-        prng::bounded_u64(self.seed, element, stream, bound)
+        self.rand().below(element, stream, bound)
     }
 
     /// Number of edges currently marked deleted.

@@ -54,9 +54,9 @@ pub mod spec;
 
 pub use cache::{CacheStats, StageCache, StageKey};
 pub use catalog::{graph_approx_bytes, GraphCatalog, GraphFormat, GraphHandle, GraphId};
-pub use context::{GraphRef, SgContext};
+pub use context::{DetRand, GraphRef, SgContext};
 pub use engine::{CompressionResult, Engine};
 pub use pipeline::{run_stage, Pipeline, PipelineResult, StageReport};
-pub use scheme::{CompressionScheme, SchemeParams, SchemeRegistry};
+pub use scheme::{CompressionScheme, DistPlan, SchemeParams, SchemeRegistry};
 pub use session::{SessionRun, SgSession, StageOutcome};
 pub use spec::{PipelineSpec, StageSpec};

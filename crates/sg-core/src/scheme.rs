@@ -8,15 +8,35 @@
 //! chained into [`crate::Pipeline`]s) without touching dispatch code.
 
 use crate::engine::CompressionResult;
-use crate::kernel::EdgeKernel;
+use crate::kernel::{EdgeKernel, VertexKernel};
 use crate::schemes::{
     cut_sparsify, forest_indices, remove_low_degree, spanner, spectral_sparsify,
     summarize_to_graph, triangle_collapse, triangle_reduce, uniform_sample, CutSparsifyKernel,
-    Discipline, EdgeChoice, SpectralKernel, SummarizationConfig, TrConfig, UniformKernel,
-    UpsilonVariant,
+    Discipline, EdgeChoice, LowDegreeKernel, SpectralKernel, SummarizationConfig, TrConfig,
+    UniformKernel, UpsilonVariant,
 };
 use sg_graph::CsrGraph;
 use std::collections::BTreeMap;
+
+/// How a scheme runs on the sharded/distributed backend (sg-dist).
+///
+/// The paper's distributed design (§7.3) partitions vertices across ranks
+/// and exchanges the shared `considered` flags over RMA; which protocol a
+/// scheme needs depends on its kernel class. [`CompressionScheme::dist_plan`]
+/// reports the class so `sg_dist::distributed_compress` can pick the right
+/// executor without downcasting.
+pub enum DistPlan {
+    /// A pure edge kernel: every rank decides its own edge range
+    /// independently (no shared state, single superstep).
+    EdgeKernel(Box<dyn EdgeKernel>),
+    /// The Triangle Reduction family: ranks own vertex/edge partitions and,
+    /// for the Edge-Once disciplines, reconcile the shared `considered`
+    /// flags through deterministic superstep rounds.
+    Triangle(TrConfig),
+    /// A pure vertex kernel: every rank decides its own vertex range
+    /// independently; removals are merged in rank order.
+    Vertex(Box<dyn VertexKernel>),
+}
 
 /// A lossy compression scheme: one stage-1 kernel family plus its
 /// parameters. Object-safe so schemes can live in registries and pipelines.
@@ -49,6 +69,16 @@ pub trait CompressionScheme: Send + Sync {
     fn edge_kernel(&self, g: &CsrGraph) -> Option<Box<dyn EdgeKernel>> {
         let _ = g;
         None
+    }
+
+    /// The scheme's sharded-execution plan, if it can run distributed.
+    /// Defaults to wrapping [`CompressionScheme::edge_kernel`]; schemes with
+    /// triangle- or vertex-class kernels override this to opt into the
+    /// shared-state executors. `None` means shared-memory only
+    /// (contraction/summarization classes that rewrite the vertex set
+    /// globally).
+    fn dist_plan(&self, g: &CsrGraph) -> Option<DistPlan> {
+        self.edge_kernel(g).map(DistPlan::EdgeKernel)
     }
 }
 
@@ -233,6 +263,10 @@ impl CompressionScheme for TriangleReduction {
     fn label(&self) -> String {
         self.cfg.label()
     }
+
+    fn dist_plan(&self, _g: &CsrGraph) -> Option<DistPlan> {
+        Some(DistPlan::Triangle(self.cfg))
+    }
 }
 
 /// Triangle p-Reduction by Collapse: contract sampled triangles.
@@ -267,6 +301,10 @@ impl CompressionScheme for LowDegree {
 
     fn apply(&self, g: &CsrGraph, seed: u64) -> CompressionResult {
         remove_low_degree(g, seed)
+    }
+
+    fn dist_plan(&self, _g: &CsrGraph) -> Option<DistPlan> {
+        Some(DistPlan::Vertex(Box::new(LowDegreeKernel::default())))
     }
 }
 

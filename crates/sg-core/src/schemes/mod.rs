@@ -24,6 +24,7 @@ pub use spanner::{spanner, SpannerKernel};
 pub use spectral::{spectral_sparsify, SpectralKernel, UpsilonVariant};
 pub use summarization::{summarize, summarize_to_graph, SummarizationConfig, Summary};
 pub use triangle_reduction::{
-    triangle_collapse, triangle_reduce, Discipline, EdgeChoice, TrConfig, TriangleReductionKernel,
+    ranked_triangle_edges, triangle_collapse, triangle_key, triangle_reduce, triangle_sampled,
+    Discipline, EdgeChoice, TrConfig, TriangleReductionKernel,
 };
 pub use uniform::{uniform_sample, UniformKernel};

@@ -20,13 +20,13 @@
 //! * **Collapse** — contract each sampled triangle into a single vertex
 //!   (changes the vertex set; maximal storage reduction).
 
-use crate::context::SgContext;
+use crate::context::{DetRand, SgContext};
 use crate::engine::{CompressionResult, Engine};
 use crate::kernel::{Triangle, TriangleKernel};
 use sg_algos::tc;
 use sg_algos::union_find::UnionFind;
 use sg_graph::prng::mix64;
-use sg_graph::{CsrGraph, EdgeId, EdgeList, GraphView, VertexId};
+use sg_graph::{CsrGraph, EdgeId, EdgeList, GraphView, VertexId, Weight};
 use std::time::Instant;
 
 /// Which edge(s) of a sampled triangle are removed.
@@ -104,10 +104,60 @@ impl TrConfig {
     }
 }
 
-/// Deterministic per-triangle key for sampling decisions.
+/// Deterministic per-triangle key for sampling decisions. Public so the
+/// sharded executors in sg-dist draw the *same* randomness per triangle as
+/// the in-process kernel — the single source of truth for TR sampling.
 #[inline]
-fn triangle_key(t: &Triangle) -> u64 {
+pub fn triangle_key(t: &Triangle) -> u64 {
     mix64(t.u as u64 ^ mix64(t.v as u64 ^ mix64(t.w as u64)))
+}
+
+/// Whether triangle `t` is sampled for reduction at probability `p` under
+/// `rand`. This is the exact sampling rule of
+/// [`TriangleReductionKernel::process`]; sg-dist ranks call it so sharded
+/// runs stay bit-identical to `scheme.apply`.
+#[inline]
+pub fn triangle_sampled(t: &Triangle, p: f64, rand: DetRand) -> bool {
+    1.0 - p < rand.unit(triangle_key(t), 1)
+}
+
+/// Orders a triangle's edges by `choice`; the first `x` are deletion
+/// candidates. `weight_of` supplies edge weights (only consulted by
+/// [`EdgeChoice::MaxWeight`]); `tri_counts` supplies per-edge triangle
+/// counts (required by [`EdgeChoice::FewestTriangles`]). Shared between the
+/// in-process kernel and the sharded executors so both rank identically.
+pub fn ranked_triangle_edges(
+    t: &Triangle,
+    choice: EdgeChoice,
+    rand: DetRand,
+    weight_of: impl Fn(EdgeId) -> Weight,
+    tri_counts: Option<&[u64]>,
+) -> [EdgeId; 3] {
+    let mut edges = t.edges();
+    match choice {
+        EdgeChoice::Random => {
+            let key = triangle_key(t);
+            // Deterministic random rotation + swap = uniform permutation.
+            let r = rand.below(key, 2, 6);
+            let perm: [usize; 3] = match r {
+                0 => [0, 1, 2],
+                1 => [0, 2, 1],
+                2 => [1, 0, 2],
+                3 => [1, 2, 0],
+                4 => [2, 0, 1],
+                _ => [2, 1, 0],
+            };
+            edges = [edges[perm[0]], edges[perm[1]], edges[perm[2]]];
+        }
+        EdgeChoice::MaxWeight => {
+            edges.sort_unstable_by(|&a, &b| weight_of(b).total_cmp(&weight_of(a)).then(b.cmp(&a)));
+        }
+        EdgeChoice::FewestTriangles => {
+            let counts = tri_counts.expect("CT requires counts");
+            edges.sort_unstable_by_key(|&e| (counts[e as usize], e));
+        }
+    }
+    edges
 }
 
 /// The TR compression kernel (`p-1-reduction` / `p-1-reduction-EO` of
@@ -131,33 +181,13 @@ impl TriangleReductionKernel {
     /// Orders the triangle's edges by the configured choice; the first `x`
     /// are deleted.
     fn ranked_edges(&self, t: &Triangle, sg: &SgContext<'_>) -> [EdgeId; 3] {
-        let mut edges = t.edges();
-        match self.cfg.choice {
-            EdgeChoice::Random => {
-                let key = triangle_key(t);
-                // Deterministic random rotation + swap = uniform permutation.
-                let r = sg.rand_below(key, 2, 6);
-                let perm: [usize; 3] = match r {
-                    0 => [0, 1, 2],
-                    1 => [0, 2, 1],
-                    2 => [1, 0, 2],
-                    3 => [1, 2, 0],
-                    4 => [2, 0, 1],
-                    _ => [2, 1, 0],
-                };
-                edges = [edges[perm[0]], edges[perm[1]], edges[perm[2]]];
-            }
-            EdgeChoice::MaxWeight => {
-                edges.sort_unstable_by(|&a, &b| {
-                    sg.graph.edge_weight(b).total_cmp(&sg.graph.edge_weight(a)).then(b.cmp(&a))
-                });
-            }
-            EdgeChoice::FewestTriangles => {
-                let counts = self.tri_counts.as_ref().expect("CT requires counts");
-                edges.sort_unstable_by_key(|&e| (counts[e as usize], e));
-            }
-        }
-        edges
+        ranked_triangle_edges(
+            t,
+            self.cfg.choice,
+            sg.rand(),
+            |e| sg.graph.edge_weight(e),
+            self.tri_counts.as_deref(),
+        )
     }
 }
 
@@ -169,9 +199,7 @@ impl TriangleKernel for TriangleReductionKernel {
     }
 
     fn process(&self, t: &Triangle, sg: &SgContext<'_>) {
-        let key = triangle_key(t);
-        let tr_stays = 1.0 - self.cfg.p;
-        if tr_stays >= sg.rand_unit(key, 1) {
+        if !triangle_sampled(t, self.cfg.p, sg.rand()) {
             return; // triangle not sampled for reduction
         }
         match self.cfg.discipline {

@@ -1,22 +1,46 @@
 //! # sg-dist — simulated distributed-memory compression (§7.3)
 //!
 //! The paper compresses its largest graphs (up to Web Data Commons 2012 at
-//! ≈128 B edges) with a *distributed* implementation of edge compression
-//! kernels built on MPI Remote Memory Access. That substrate is simulated
-//! here: each MPI rank becomes an OS thread owning a contiguous shard of the
-//! canonical edge array (`sg_graph::partition`), kernels run independently
-//! per shard, and the gather phase (surviving edges + per-rank degree
-//! histograms) flows over crossbeam channels instead of RMA windows.
+//! ≈128 B edges) with a *distributed* implementation of compression kernels
+//! built on MPI Remote Memory Access. That substrate is simulated here:
+//! each MPI rank becomes an OS thread owning a contiguous shard of the
+//! graph (`sg_graph::partition`), kernels run per shard, and gather phases
+//! flow over channels and deterministic mailboxes instead of RMA windows.
 //!
-//! Because kernel decisions are deterministic in `(seed, edge id)`, the
-//! distributed result is **bit-identical** to the shared-memory result for
-//! any rank count — the property the tests pin down, and the reason the
-//! simulation preserves the figure-8 pipeline's observable behaviour.
+//! Three kernel classes run distributed:
+//!
+//! * **edge kernels** — decisions are pure in `(seed, edge id)`, so shards
+//!   are embarrassingly parallel ([`distributed_edge_kernel`]);
+//! * **triangle kernels** — the Triangle Reduction family, including the
+//!   stateful Edge-Once/Count-Triangles disciplines, via the superstep
+//!   reservation protocol in [`sharded`];
+//! * **vertex kernels** — per-rank decisions over owned vertex ranges,
+//!   merged in rank order ([`sharded`]).
+//!
+//! In every case the distributed result is **bit-identical** to the
+//! shared-memory `scheme.apply(g, seed)` for any rank count — the property
+//! the tests pin down. Schemes that rewrite the graph globally
+//! (summarization, spanners, collapse) report [`DistError::Unsupported`].
+//!
+//! The `shard_*` helpers at the bottom are the *federation* building
+//! blocks: sg-serve's coordinator splits a request into `(shard, shards)`
+//! sub-requests answered by worker daemons holding full graph replicas, and
+//! merges the returned deletion lists with [`apply_edge_deletions`] /
+//! [`apply_vertex_removals`].
+
+pub mod error;
+pub mod sharded;
+
+pub use error::DistError;
+pub use sharded::ShardedContext;
 
 use crossbeam::channel;
-use sg_core::kernel::{EdgeDecision, EdgeKernel, EdgeView};
-use sg_core::{CompressionResult, CompressionScheme, SgContext};
-use sg_graph::partition::{partition_edges, EdgeShard};
+use sg_core::kernel::{
+    EdgeDecision, EdgeKernel, EdgeView, Triangle, VertexDecision, VertexKernel, VertexView,
+};
+use sg_core::schemes::{ranked_triangle_edges, triangle_sampled, Discipline, EdgeChoice, TrConfig};
+use sg_core::{CompressionResult, CompressionScheme, DetRand, DistPlan, SgContext};
+use sg_graph::partition::{partition_edges, partition_vertices, EdgeShard};
 use sg_graph::{CsrGraph, EdgeId, VertexId};
 use std::time::Instant;
 
@@ -25,10 +49,17 @@ use std::time::Instant;
 pub struct RankStats {
     /// Rank id.
     pub rank: usize,
-    /// Edges owned by the shard.
+    /// Canonical edges owned by the rank.
     pub owned_edges: usize,
-    /// Edges the rank's kernel instances kept.
+    /// Owned edges that survived compression.
     pub kept_edges: usize,
+    /// Vertices owned by the rank (0 on the edge-partitioned path, which
+    /// shards the edge array directly).
+    pub owned_vertices: usize,
+    /// Messages the rank sent over the exchange (gather sends included).
+    pub messages_sent: u64,
+    /// Superstep rounds the rank executed (1 for stateless kernels).
+    pub supersteps: u64,
 }
 
 /// Outcome of a distributed compression run.
@@ -41,6 +72,36 @@ pub struct DistResult {
     /// Merged degree histogram of the compressed graph
     /// (`degree -> #vertices`), the Figure-8 artifact.
     pub degree_histogram: Vec<(usize, usize)>,
+}
+
+impl DistResult {
+    /// Largest relative deviation of any rank's `owned_edges` from the
+    /// mean, in percent — the load-imbalance figure of the dist_scale
+    /// bench.
+    pub fn edge_imbalance_pct(&self) -> f64 {
+        if self.ranks.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.ranks.iter().map(|r| r.owned_edges).sum();
+        let mean = total as f64 / self.ranks.len() as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        self.ranks
+            .iter()
+            .map(|r| ((r.owned_edges as f64 - mean).abs() / mean) * 100.0)
+            .fold(0.0, f64::max)
+    }
+
+    /// Total messages sent across all ranks.
+    pub fn total_messages(&self) -> u64 {
+        self.ranks.iter().map(|r| r.messages_sent).sum()
+    }
+
+    /// Maximum superstep count over the ranks.
+    pub fn max_supersteps(&self) -> u64 {
+        self.ranks.iter().map(|r| r.supersteps).max().unwrap_or(0)
+    }
 }
 
 /// Runs an edge kernel over `ranks` simulated distributed ranks.
@@ -94,6 +155,9 @@ pub fn distributed_edge_kernel<K: EdgeKernel + ?Sized>(
             rank: s.rank,
             owned_edges: s.len(),
             kept_edges: per_rank[s.rank].len(),
+            owned_vertices: 0,
+            messages_sent: 1, // one gather send per rank
+            supersteps: 1,
         })
         .collect();
     let mut keep_mask = vec![false; g.num_edges()];
@@ -123,31 +187,41 @@ pub fn distributed_uniform_sample(g: &CsrGraph, p: f64, ranks: usize, seed: u64)
     distributed_edge_kernel(g, &kernel, ranks, seed)
 }
 
-/// Runs any registry scheme with an edge-kernel form (`uniform`,
-/// `spectral`, `cut`) over the simulated distributed pipeline. Schemes
-/// whose kernels need shared state (triangle, vertex, subgraph classes)
-/// report an error — the paper's distributed implementation covers edge
-/// compression kernels only.
+/// Runs any registry scheme with a sharded-execution plan over the
+/// simulated distributed pipeline:
 ///
-/// Because kernel decisions are deterministic in `(seed, edge id)`, the
-/// result is bit-identical to `scheme.apply(g, seed)` for delete-only
-/// kernels, for any rank count.
+/// * edge-kernel schemes (`uniform`, `spectral`, `cut`) shard the edge
+///   array and run embarrassingly parallel;
+/// * the Triangle Reduction family (`tr`, `tr-eo`, `tr-ct`, `tr-mw`) runs
+///   the superstep reservation protocol of [`sharded`];
+/// * vertex-kernel schemes (`lowdeg`) decide per owned vertex range and
+///   merge removals in rank order.
+///
+/// Schemes that rewrite the graph globally (`collapse`, `spanner`,
+/// `summary`) return [`DistError::Unsupported`]. Results are bit-identical
+/// to `scheme.apply(g, seed)` for any rank count.
 pub fn distributed_compress(
     g: &CsrGraph,
     scheme: &dyn CompressionScheme,
     ranks: usize,
     seed: u64,
-) -> Result<DistResult, String> {
-    let kernel = scheme.edge_kernel(g).ok_or_else(|| {
-        format!(
-            "scheme '{}' has no pure edge-kernel form; only edge compression kernels run distributed",
-            scheme.name()
-        )
-    })?;
-    Ok(distributed_edge_kernel(g, kernel.as_ref(), ranks, seed))
+) -> Result<DistResult, DistError> {
+    if ranks == 0 {
+        return Err(DistError::InvalidRanks { ranks });
+    }
+    match scheme.dist_plan(g) {
+        Some(DistPlan::EdgeKernel(kernel)) => {
+            Ok(distributed_edge_kernel(g, kernel.as_ref(), ranks, seed))
+        }
+        Some(DistPlan::Triangle(cfg)) => sharded::sharded_triangle_compress(g, cfg, ranks, seed),
+        Some(DistPlan::Vertex(kernel)) => {
+            sharded::sharded_vertex_compress(g, kernel.as_ref(), ranks, seed)
+        }
+        None => Err(unsupported_global(scheme)),
+    }
 }
 
-/// Runs a registry scheme's edge kernel over `ranks` simulated ranks with
+/// Runs a registry scheme's sharded plan over `ranks` simulated ranks with
 /// the graph served zero-copy out of one shared read-only `.sgr` mapping —
 /// the paper's setting where every rank reads the node-local graph through
 /// RMA windows without private copies.
@@ -156,16 +230,16 @@ pub fn distributed_compress(
 /// mapping, and each rank thread borrows the same `CsrGraph`, so the whole
 /// simulated cluster holds exactly one copy of the graph: the page cache's.
 /// Results are bit-identical to [`distributed_compress`] over a heap-loaded
-/// graph (kernel decisions depend only on `(seed, edge id)`).
+/// graph.
 pub fn distributed_compress_sgr(
     path: impl AsRef<std::path::Path>,
     scheme: &dyn CompressionScheme,
     ranks: usize,
     seed: u64,
-) -> Result<DistResult, String> {
+) -> Result<DistResult, DistError> {
     let path = path.as_ref();
-    let mapped =
-        sg_store::MmapGraph::open(path).map_err(|e| format!("mapping {}: {e}", path.display()))?;
+    let mapped = sg_store::MmapGraph::open(path)
+        .map_err(|e| DistError::Io { path: path.display().to_string(), message: e.to_string() })?;
     distributed_compress(&mapped, scheme, ranks, seed)
 }
 
@@ -173,7 +247,7 @@ pub fn distributed_compress_sgr(
 /// the root (each rank owns a contiguous vertex range — the reduction the
 /// paper performs with RMA accumulate).
 pub fn distributed_degree_histogram(g: &CsrGraph, ranks: usize) -> Vec<(usize, usize)> {
-    let parts = sg_graph::partition::partition_vertices(g.num_vertices(), ranks);
+    let parts = partition_vertices(g.num_vertices(), ranks);
     let (tx, rx) = channel::unbounded::<Vec<(usize, usize)>>();
     std::thread::scope(|scope| {
         for &(lo, hi) in &parts {
@@ -195,6 +269,217 @@ pub fn distributed_degree_histogram(g: &CsrGraph, ranks: usize) -> Vec<(usize, u
         }
     }
     merged.into_iter().collect()
+}
+
+// ---------------------------------------------------------------------------
+// Federation building blocks: one daemon computes one shard of a request
+// against its full graph replica; the coordinator merges the shards.
+// ---------------------------------------------------------------------------
+
+/// What one federation shard computed: edge deletions or vertex removals.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShardOutcome {
+    /// Edge ids to delete, sorted ascending, deduplicated.
+    Edges(Vec<EdgeId>),
+    /// Vertex ids to remove, sorted ascending, deduplicated.
+    Vertices(Vec<VertexId>),
+}
+
+/// The merge type of a federable scheme: what its shards return.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardKind {
+    /// Shards return edge deletions; the merged graph keeps every edge no
+    /// shard deleted.
+    Edges,
+    /// Shards return vertex removals; the merged graph relabels survivors.
+    Vertices,
+}
+
+/// Classifies `scheme` for federation **without doing any work**:
+/// `Ok(kind)` if independent `(shard, shards)` sub-runs against full
+/// replicas reconstruct the shared-memory result, else exactly the typed
+/// error [`shard_compress`] would return. The serving coordinator calls
+/// this up front to pick federated vs coordinator-local execution.
+pub fn federation_plan(
+    g: &CsrGraph,
+    scheme: &dyn CompressionScheme,
+) -> Result<ShardKind, DistError> {
+    match scheme.dist_plan(g) {
+        Some(DistPlan::EdgeKernel(_)) => Ok(ShardKind::Edges),
+        Some(DistPlan::Triangle(cfg)) => triangle_shard_supported(cfg).map(|()| ShardKind::Edges),
+        Some(DistPlan::Vertex(_)) => Ok(ShardKind::Vertices),
+        None => Err(unsupported_global(scheme)),
+    }
+}
+
+/// Plain Triangle Reduction federates; the stateful Edge-Once disciplines
+/// need the superstep flag exchange and must run through
+/// [`distributed_compress`] instead.
+fn triangle_shard_supported(cfg: TrConfig) -> Result<(), DistError> {
+    if cfg.discipline != Discipline::Plain {
+        return Err(DistError::Unsupported {
+            scheme: cfg.label(),
+            reason: "Edge-Once disciplines need the cross-shard flag exchange; \
+                     run them through distributed_compress"
+                .to_string(),
+        });
+    }
+    Ok(())
+}
+
+fn unsupported_global(scheme: &dyn CompressionScheme) -> DistError {
+    DistError::Unsupported {
+        scheme: scheme.name().to_string(),
+        reason: "scheme rewrites the graph globally; no sharded-execution plan".to_string(),
+    }
+}
+
+/// Computes shard `shard` of `shards` for any federable scheme. Dispatches
+/// on the scheme's [`DistPlan`]: edge kernels and *Plain* Triangle
+/// Reduction yield [`ShardOutcome::Edges`]; vertex kernels yield
+/// [`ShardOutcome::Vertices`]. Stateful disciplines (Edge-Once,
+/// Count-Triangles) need the cross-shard flag exchange of [`sharded`] and
+/// are rejected — the coordinator runs those locally instead.
+pub fn shard_compress(
+    g: &CsrGraph,
+    scheme: &dyn CompressionScheme,
+    shard: usize,
+    shards: usize,
+    seed: u64,
+) -> Result<ShardOutcome, DistError> {
+    check_shard(shard, shards)?;
+    match scheme.dist_plan(g) {
+        Some(DistPlan::EdgeKernel(kernel)) => {
+            shard_edge_deletions(g, kernel.as_ref(), shard, shards, seed).map(ShardOutcome::Edges)
+        }
+        Some(DistPlan::Triangle(cfg)) => {
+            shard_triangle_deletions(g, cfg, shard, shards, seed).map(ShardOutcome::Edges)
+        }
+        Some(DistPlan::Vertex(kernel)) => {
+            shard_vertex_removals(g, kernel.as_ref(), shard, shards, seed)
+                .map(ShardOutcome::Vertices)
+        }
+        None => Err(unsupported_global(scheme)),
+    }
+}
+
+/// Edge ids shard `shard` of `shards` deletes under `kernel`. Decisions are
+/// pure in `(seed, edge id)`, so the union over all shards equals the
+/// shared-memory deletion set exactly.
+pub fn shard_edge_deletions(
+    g: &CsrGraph,
+    kernel: &dyn EdgeKernel,
+    shard: usize,
+    shards: usize,
+    seed: u64,
+) -> Result<Vec<EdgeId>, DistError> {
+    check_shard(shard, shards)?;
+    let sg = SgContext::new(g, seed);
+    let deleted = partition_edges(g, shards)[shard]
+        .edge_ids()
+        .filter(|&e| {
+            let (u, v) = g.edge_endpoints(e);
+            let view = EdgeView {
+                id: e,
+                u,
+                v,
+                weight: g.edge_weight(e),
+                deg_u: g.degree(u),
+                deg_v: g.degree(v),
+            };
+            matches!(kernel.process(view, &sg), EdgeDecision::Delete)
+        })
+        .collect();
+    Ok(deleted)
+}
+
+/// Edge ids shard `shard` of `shards` deletes under *Plain* Triangle
+/// Reduction: the shard enumerates the triangles whose smallest vertex it
+/// owns and applies the sampling/ranking rules against its full replica.
+/// Stateful disciplines are rejected — they need the superstep exchange.
+pub fn shard_triangle_deletions(
+    g: &CsrGraph,
+    cfg: TrConfig,
+    shard: usize,
+    shards: usize,
+    seed: u64,
+) -> Result<Vec<EdgeId>, DistError> {
+    check_shard(shard, shards)?;
+    triangle_shard_supported(cfg)?;
+    let rand = DetRand::new(seed);
+    let counts = (cfg.choice == EdgeChoice::FewestTriangles)
+        .then(|| sg_core::schemes::triangle_reduction::edge_triangle_counts(g));
+    let (lo, hi) = partition_vertices(g.num_vertices(), shards)[shard];
+    let mut deleted: Vec<EdgeId> = Vec::new();
+    for u in lo..hi {
+        sg_algos::tc::for_triangles_at(g, u as VertexId, &mut |t: Triangle| {
+            if !triangle_sampled(&t, cfg.p, rand) {
+                return;
+            }
+            let ranked = ranked_triangle_edges(
+                &t,
+                cfg.choice,
+                rand,
+                |e| g.edge_weight(e),
+                counts.as_deref(),
+            );
+            deleted.extend(ranked.iter().take(cfg.x));
+        });
+    }
+    deleted.sort_unstable();
+    deleted.dedup();
+    Ok(deleted)
+}
+
+/// Vertex ids shard `shard` of `shards` removes under `kernel` (decided
+/// over the shard's owned vertex range).
+pub fn shard_vertex_removals(
+    g: &CsrGraph,
+    kernel: &dyn VertexKernel,
+    shard: usize,
+    shards: usize,
+    seed: u64,
+) -> Result<Vec<VertexId>, DistError> {
+    check_shard(shard, shards)?;
+    let sg = SgContext::new(g, seed);
+    let (lo, hi) = partition_vertices(g.num_vertices(), shards)[shard];
+    let removed = (lo..hi)
+        .filter(|&v| {
+            let view = VertexView { id: v as VertexId, degree: g.degree(v as VertexId) };
+            kernel.process(view, &sg) == VertexDecision::Delete
+        })
+        .map(|v| v as VertexId)
+        .collect();
+    Ok(removed)
+}
+
+/// Materializes the merged result of edge-deleting shards.
+pub fn apply_edge_deletions(g: &CsrGraph, deleted: &[EdgeId]) -> CsrGraph {
+    let mut mask = vec![false; g.num_edges()];
+    for &e in deleted {
+        mask[e as usize] = true;
+    }
+    g.filter_edges(|e| !mask[e as usize])
+}
+
+/// Materializes the merged result of vertex-removing shards, returning the
+/// relabelled graph and the old→new vertex mapping.
+pub fn apply_vertex_removals(
+    g: &CsrGraph,
+    removed: &[VertexId],
+) -> (CsrGraph, Vec<Option<VertexId>>) {
+    let mut mask = vec![false; g.num_vertices()];
+    for &v in removed {
+        mask[v as usize] = true;
+    }
+    g.remove_vertices(&mask)
+}
+
+fn check_shard(shard: usize, shards: usize) -> Result<(), DistError> {
+    if shards == 0 || shard >= shards {
+        return Err(DistError::InvalidShard { shard, shards });
+    }
+    Ok(())
 }
 
 /// Tiny local histogram helper (keeps per-rank state allocation-light).
@@ -222,6 +507,7 @@ mod rustc_lite {
 mod tests {
     use super::*;
     use sg_core::schemes::uniform_sample;
+    use sg_core::{SchemeParams, SchemeRegistry};
     use sg_graph::generators;
 
     #[test]
@@ -248,6 +534,8 @@ mod tests {
         let kept: usize = dist.ranks.iter().map(|r| r.kept_edges).sum();
         assert_eq!(owned, g.num_edges());
         assert_eq!(kept, dist.result.graph.num_edges());
+        assert!(dist.edge_imbalance_pct() < 1.0, "contiguous shards stay balanced");
+        assert_eq!(dist.max_supersteps(), 1);
     }
 
     #[test]
@@ -267,23 +555,32 @@ mod tests {
     }
 
     #[test]
-    fn registry_schemes_run_distributed_when_edge_shaped() {
-        use sg_core::{SchemeParams, SchemeRegistry};
-        let g = generators::barabasi_albert(1500, 4, 9);
+    fn registry_schemes_dispatch_through_their_plans() {
+        let g = generators::planted_triangles(&generators::erdos_renyi(900, 2000, 9), 1500, 3);
         let registry = SchemeRegistry::with_defaults();
         let params = SchemeParams::from_pairs(&[("p", "0.4")]);
+        // Edge plan.
         let uniform = registry.create("uniform", &params).expect("known");
         let dist = distributed_compress(&g, uniform.as_ref(), 5, 17).expect("edge kernel");
-        let shared = uniform.apply(&g, 17);
-        assert_eq!(dist.result.graph.edge_slice(), shared.graph.edge_slice());
-        // Triangle-class kernels have no shard-independent edge form.
+        assert_eq!(dist.result.graph.edge_slice(), uniform.apply(&g, 17).graph.edge_slice());
+        // Triangle plan — the edge-kernel-only restriction is gone.
         let tr = registry.create("tr", &params).expect("known");
-        assert!(distributed_compress(&g, tr.as_ref(), 5, 17).is_err());
+        let dist = distributed_compress(&g, tr.as_ref(), 5, 17).expect("triangle plan");
+        assert_eq!(dist.result.graph.edge_slice(), tr.apply(&g, 17).graph.edge_slice());
+        // Vertex plan.
+        let lowdeg = registry.create("lowdeg", &SchemeParams::default()).expect("known");
+        let dist = distributed_compress(&g, lowdeg.as_ref(), 5, 17).expect("vertex plan");
+        let shared = lowdeg.apply(&g, 17);
+        assert_eq!(dist.result.graph.edge_slice(), shared.graph.edge_slice());
+        assert_eq!(dist.result.vertex_mapping, shared.vertex_mapping);
+        // Global rewrites stay unsupported, with a typed error.
+        let summary = registry.create("summary", &SchemeParams::default()).expect("known");
+        let err = distributed_compress(&g, summary.as_ref(), 5, 17).unwrap_err();
+        assert_eq!(err.code(), "dist-unsupported");
     }
 
     #[test]
     fn ranks_share_one_mapping_and_match_heap_results() {
-        use sg_core::{SchemeParams, SchemeRegistry};
         let g = generators::erdos_renyi(2000, 9000, 21);
         let dir = std::env::temp_dir().join("sg-dist-tests");
         std::fs::create_dir_all(&dir).expect("mkdir");
@@ -311,10 +608,95 @@ mod tests {
     }
 
     #[test]
+    fn missing_sgr_is_a_typed_io_error() {
+        let registry = SchemeRegistry::with_defaults();
+        let uniform = registry
+            .create("uniform", &SchemeParams::from_pairs(&[("p", "0.5")]))
+            .expect("known scheme");
+        let err =
+            distributed_compress_sgr("/nonexistent/graph.sgr", uniform.as_ref(), 2, 1).unwrap_err();
+        assert_eq!(err.code(), "dist-io");
+    }
+
+    #[test]
     fn single_rank_degenerates_gracefully() {
         let g = generators::path(10);
         let dist = distributed_uniform_sample(&g, 0.0, 1, 7);
         assert_eq!(dist.result.graph.num_edges(), 9);
         assert_eq!(dist.ranks.len(), 1);
+    }
+
+    #[test]
+    fn shard_union_reconstructs_shared_memory_result() {
+        let g = generators::planted_triangles(&generators::erdos_renyi(700, 1500, 5), 1000, 6);
+        let registry = SchemeRegistry::with_defaults();
+        let params = SchemeParams::from_pairs(&[("p", "0.5")]);
+        for name in ["uniform", "tr"] {
+            let scheme = registry.create(name, &params).expect("known");
+            let shared = scheme.apply(&g, 23);
+            let mut deleted: Vec<EdgeId> = Vec::new();
+            for shard in 0..3 {
+                match shard_compress(&g, scheme.as_ref(), shard, 3, 23).expect("shardable") {
+                    ShardOutcome::Edges(d) => deleted.extend(d),
+                    ShardOutcome::Vertices(_) => panic!("edge scheme returned vertices"),
+                }
+            }
+            deleted.sort_unstable();
+            deleted.dedup();
+            let merged = apply_edge_deletions(&g, &deleted);
+            assert_eq!(merged.edge_slice(), shared.graph.edge_slice(), "scheme {name}");
+        }
+        // Vertex scheme: removals merge across shards.
+        let lowdeg = registry.create("lowdeg", &SchemeParams::default()).expect("known");
+        let shared = lowdeg.apply(&g, 23);
+        let mut removed: Vec<VertexId> = Vec::new();
+        for shard in 0..3 {
+            match shard_compress(&g, lowdeg.as_ref(), shard, 3, 23).expect("shardable") {
+                ShardOutcome::Vertices(v) => removed.extend(v),
+                ShardOutcome::Edges(_) => panic!("vertex scheme returned edges"),
+            }
+        }
+        let (merged, mapping) = apply_vertex_removals(&g, &removed);
+        assert_eq!(merged.edge_slice(), shared.graph.edge_slice());
+        assert_eq!(Some(mapping), shared.vertex_mapping);
+    }
+
+    #[test]
+    fn federation_plan_classifies_without_running() {
+        let g = generators::planted_triangles(&generators::erdos_renyi(200, 400, 2), 200, 3);
+        let registry = SchemeRegistry::with_defaults();
+        let params = SchemeParams::from_pairs(&[("p", "0.5")]);
+        let plan = |name: &str| {
+            federation_plan(&g, registry.create(name, &params).expect("known").as_ref())
+        };
+        assert_eq!(plan("uniform").expect("edge kernel"), ShardKind::Edges);
+        assert_eq!(plan("tr").expect("plain triangles"), ShardKind::Edges);
+        assert_eq!(plan("lowdeg").expect("vertex kernel"), ShardKind::Vertices);
+        assert_eq!(plan("tr-eo").unwrap_err().code(), "dist-unsupported");
+        assert_eq!(plan("summary").unwrap_err().code(), "dist-unsupported");
+    }
+
+    #[test]
+    fn stateful_disciplines_refuse_federation_shards() {
+        let g = generators::planted_triangles(&generators::erdos_renyi(300, 600, 7), 400, 8);
+        let registry = SchemeRegistry::with_defaults();
+        let tr_eo =
+            registry.create("tr-eo", &SchemeParams::from_pairs(&[("p", "0.5")])).expect("known");
+        let err = shard_compress(&g, tr_eo.as_ref(), 0, 2, 9).unwrap_err();
+        assert_eq!(err.code(), "dist-unsupported");
+        // But the same scheme runs fine through the superstep protocol.
+        assert!(distributed_compress(&g, tr_eo.as_ref(), 2, 9).is_ok());
+    }
+
+    #[test]
+    fn shard_bounds_are_checked() {
+        let g = generators::path(10);
+        let registry = SchemeRegistry::with_defaults();
+        let uniform =
+            registry.create("uniform", &SchemeParams::from_pairs(&[("p", "0.5")])).expect("known");
+        for (shard, shards) in [(2, 2), (0, 0), (5, 3)] {
+            let err = shard_compress(&g, uniform.as_ref(), shard, shards, 1).unwrap_err();
+            assert_eq!(err.code(), "dist-invalid-shard", "({shard}, {shards})");
+        }
     }
 }

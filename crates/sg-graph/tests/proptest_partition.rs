@@ -1,0 +1,88 @@
+//! Property-based tests for the distributed partitioners: exact cover,
+//! disjointness, ±1 balance, and ranks > n/m edge cases — the invariants
+//! the sharded executors in sg-dist build their ownership model on.
+
+use proptest::prelude::*;
+use sg_graph::generators;
+use sg_graph::partition::{partition_edges, partition_vertices};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Vertex ranges are contiguous, disjoint, cover `0..n` exactly, and
+    /// differ in size by at most one.
+    #[test]
+    fn vertex_partition_exact_cover_and_balance(n in 0usize..500, ranks in 1usize..40) {
+        let parts = partition_vertices(n, ranks);
+        prop_assert_eq!(parts.len(), ranks);
+        let mut cursor = 0usize;
+        for &(lo, hi) in &parts {
+            prop_assert_eq!(lo, cursor, "ranges must be contiguous");
+            prop_assert!(hi >= lo);
+            cursor = hi;
+        }
+        prop_assert_eq!(cursor, n, "ranges must cover all vertices");
+        let sizes: Vec<usize> = parts.iter().map(|&(lo, hi)| hi - lo).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        prop_assert!(max - min <= 1, "balance must be within one: {:?}", sizes);
+    }
+
+    /// Edge shards are contiguous, disjoint, cover the canonical edge
+    /// array exactly, and differ in size by at most one — even when ranks
+    /// exceed the edge count (empty shards are fine, lost edges are not).
+    #[test]
+    fn edge_partition_exact_cover_and_balance(
+        n in 2usize..120,
+        m in 0usize..400,
+        seed in 0u64..50,
+        ranks in 1usize..40,
+    ) {
+        let g = generators::erdos_renyi(n, m, seed);
+        let shards = partition_edges(&g, ranks);
+        prop_assert_eq!(shards.len(), ranks);
+        let mut cursor = 0u32;
+        for (rank, s) in shards.iter().enumerate() {
+            prop_assert_eq!(s.rank, rank);
+            prop_assert_eq!(s.start, cursor, "shards must be contiguous");
+            prop_assert!(s.end >= s.start);
+            prop_assert_eq!(s.len(), (s.end - s.start) as usize);
+            prop_assert_eq!(s.is_empty(), s.end == s.start);
+            cursor = s.end;
+        }
+        prop_assert_eq!(cursor as usize, g.num_edges(), "shards must cover all edges");
+        let sizes: Vec<usize> = shards.iter().map(|s| s.len()).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        prop_assert!(max - min <= 1, "balance must be within one: {:?}", sizes);
+    }
+
+    /// Every edge id lands in exactly one shard's iterator.
+    #[test]
+    fn edge_ids_visited_exactly_once(
+        n in 2usize..80,
+        m in 0usize..200,
+        ranks in 1usize..16,
+    ) {
+        let g = generators::erdos_renyi(n, m, 7);
+        let shards = partition_edges(&g, ranks);
+        let mut seen = vec![0u32; g.num_edges()];
+        for s in &shards {
+            for e in s.edge_ids() {
+                seen[e as usize] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "each edge owned exactly once");
+    }
+
+    /// More ranks than vertices: trailing ranges are empty but the cover
+    /// still holds (the sharded executors rely on empty ranks being inert).
+    #[test]
+    fn ranks_beyond_n_yield_empty_tail(n in 0usize..10, extra in 1usize..30) {
+        let ranks = n + extra;
+        let parts = partition_vertices(n, ranks);
+        prop_assert_eq!(parts.len(), ranks);
+        let nonempty = parts.iter().filter(|&&(lo, hi)| hi > lo).count();
+        prop_assert_eq!(nonempty, n, "each nonempty range holds exactly one vertex");
+        let total: usize = parts.iter().map(|&(lo, hi)| hi - lo).sum();
+        prop_assert_eq!(total, n);
+    }
+}

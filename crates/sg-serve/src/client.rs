@@ -49,6 +49,15 @@ impl Client {
         self.token = token;
     }
 
+    /// Bounds every subsequent read and write on this connection.
+    /// `None` restores fully blocking I/O. The federation coordinator
+    /// sets this so a hung worker turns into a retryable I/O error
+    /// instead of stalling the whole request.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        self.writer.set_write_timeout(timeout)
+    }
+
     /// Sends one raw request line and returns the raw response line.
     pub fn request_line(&mut self, line: &str) -> Result<String, String> {
         self.writer

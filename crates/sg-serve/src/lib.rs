@@ -35,6 +35,8 @@
 //! | `stats` | server-wide stats (graphs, cache, pool, clients, uploads) or one graph's structure |
 //! | `metrics` | v2: full sg-obs snapshot — counters, gauges, cumulative latency histograms (see `docs/OBSERVABILITY.md`) |
 //! | `slowlog` | v2: the slow-request ring — op, trace id, queue wait, service ms per request over `--slow-ms` |
+//! | `shard_run` | v2: one federation shard of a single-stage spec against the local replica (see [`fed`]) |
+//! | `federation` | v2: federation topology + live worker reachability (`standalone` on plain daemons) |
 //! | `evict` | drop a graph and its cache entries, and/or clear the cache |
 //! | `shutdown` | stop accepting and drain in-flight connections |
 //!
@@ -63,11 +65,22 @@
 //! daemon.join().unwrap().unwrap();
 //! ```
 //!
+//! ## Federation
+//!
+//! A daemon started with a [`FedConfig`] (`slimgraph serve --coordinator
+//! --worker-addr a,b`) becomes a *coordinator*: federable single-stage
+//! `compress`/`analyze` requests are split into one `shard_run`
+//! sub-request per worker daemon, replica digests are verified, and the
+//! merged result is bit-identical to a local run (same `checksum`).
+//! Workers are stock daemons — no special configuration. See [`fed`] and
+//! `docs/FEDERATION.md`.
+//!
 //! The CLI front ends are `slimgraph serve` (daemon) and `slimgraph
 //! client` (one-shot requests and scripted sessions).
 
 pub mod b64;
 pub mod client;
+pub mod fed;
 pub mod json;
 pub mod net;
 pub mod pool;
@@ -78,6 +91,7 @@ pub mod slowlog;
 pub mod upload;
 
 pub use client::Client;
+pub use fed::FedConfig;
 pub use json::Json;
 pub use proto::{ErrorCode, ProtoError, Request, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 pub use server::{graph_digest, snapshot_json, ServeConfig, Server};

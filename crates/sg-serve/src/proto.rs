@@ -10,10 +10,12 @@
 //!
 //! Version negotiation: this build speaks [`PROTOCOL_VERSION`] and
 //! accepts any version down to [`MIN_PROTOCOL_VERSION`]. v2 adds the
-//! `upload`, `metrics`, and `slowlog` ops, the `token` envelope field, and the
-//! `busy` / `auth-required` / `quota-exceeded` / `frame-too-large` /
-//! `timeout` / `digest-mismatch` error codes; v1 requests are still
-//! served unchanged (they simply cannot name the v2-only ops).
+//! `upload`, `metrics`, `slowlog`, `shard_run`, and `federation` ops,
+//! the `token` envelope field, and the `busy` / `auth-required` /
+//! `quota-exceeded` / `frame-too-large` / `timeout` / `digest-mismatch`
+//! / `fed-shard-failed` / `fed-digest-mismatch` error codes; v1
+//! requests are still served unchanged (they simply cannot name the
+//! v2-only ops).
 //!
 //! The full message schema is documented in `docs/PROTOCOL.md` at the
 //! repository root; this module is the single point where request syntax
@@ -56,6 +58,12 @@ pub enum ErrorCode {
     Timeout,
     /// Uploaded bytes hash to a different digest than declared.
     DigestMismatch,
+    /// A federation shard failed on every configured worker (death,
+    /// timeout, or a worker-side error) after the bounded retry budget.
+    FedShardFailed,
+    /// A worker's replica digests differently than the coordinator's
+    /// graph — the federation would merge shards of different inputs.
+    FedDigestMismatch,
 }
 
 impl ErrorCode {
@@ -74,6 +82,8 @@ impl ErrorCode {
             ErrorCode::FrameTooLarge => "frame-too-large",
             ErrorCode::Timeout => "timeout",
             ErrorCode::DigestMismatch => "digest-mismatch",
+            ErrorCode::FedShardFailed => "fed-shard-failed",
+            ErrorCode::FedDigestMismatch => "fed-digest-mismatch",
         }
     }
 }
@@ -187,6 +197,23 @@ pub enum Request {
     /// The slow-request log: the retained ring of requests whose
     /// service time met the daemon's `--slow-ms` threshold (v2).
     Slowlog,
+    /// Compute one federation shard of a single-stage spec against the
+    /// full local replica of `graph` (v2). Answered by *worker* daemons;
+    /// coordinators fan a `compress`/`analyze` out into these.
+    ShardRun {
+        /// Catalog name of the replica to shard against.
+        graph: String,
+        /// Single-stage pipeline spec in the CLI syntax.
+        spec: String,
+        /// Stage seed (stage 0 of a pipeline run uses the seed verbatim).
+        seed: u64,
+        /// This request's shard index, `0..shards`.
+        shard: usize,
+        /// Total shard count of the federated run.
+        shards: usize,
+    },
+    /// Federation topology and worker health of this daemon (v2).
+    Federation,
     /// Drop a graph (and its cache entries) and/or clear the stage cache.
     Evict {
         /// Graph to evict.
@@ -348,6 +375,36 @@ pub fn parse_request(line: &str) -> Result<Envelope, ProtoError> {
                 "op 'slowlog' requires protocol v2 (request declared v1)",
             ))
         }
+        "shard_run" if version >= 2 => {
+            let shard = require_u64(&value, "shard")? as usize;
+            let shards = require_u64(&value, "shards")? as usize;
+            if shards == 0 || shard >= shards {
+                return Err(ProtoError::new(
+                    ErrorCode::BadRequest,
+                    format!("shard {shard} out of range for {shards} shards"),
+                ));
+            }
+            Request::ShardRun {
+                graph: require_str(&value, "graph")?,
+                spec: require_str(&value, "spec")?,
+                seed: u64_field(&value, "seed", 42)?,
+                shard,
+                shards,
+            }
+        }
+        "shard_run" => {
+            return Err(ProtoError::new(
+                ErrorCode::UnknownOp,
+                "op 'shard_run' requires protocol v2 (request declared v1)",
+            ))
+        }
+        "federation" if version >= 2 => Request::Federation,
+        "federation" => {
+            return Err(ProtoError::new(
+                ErrorCode::UnknownOp,
+                "op 'federation' requires protocol v2 (request declared v1)",
+            ))
+        }
         "evict" => {
             let graph = str_field(&value, "graph")?;
             let cache = bool_field(&value, "cache", false)?;
@@ -418,6 +475,12 @@ mod tests {
             ("{\"op\":\"stats\"}", "stats"),
             ("{\"op\":\"metrics\"}", "metrics"),
             ("{\"op\":\"slowlog\"}", "slowlog"),
+            (
+                "{\"op\":\"shard_run\",\"graph\":\"g\",\"spec\":\"tr:p=0.5\",\
+                 \"shard\":1,\"shards\":4}",
+                "shard_run",
+            ),
+            ("{\"op\":\"federation\"}", "federation"),
             ("{\"op\":\"evict\",\"graph\":\"g\"}", "evict"),
             ("{\"op\":\"evict\",\"cache\":true}", "evict"),
             ("{\"op\":\"shutdown\"}", "shutdown"),
@@ -433,6 +496,8 @@ mod tests {
                 Request::Stats { .. } => "stats",
                 Request::Metrics => "metrics",
                 Request::Slowlog => "slowlog",
+                Request::ShardRun { .. } => "shard_run",
+                Request::Federation => "federation",
                 Request::Evict { .. } => "evict",
                 Request::Shutdown => "shutdown",
             };
@@ -486,6 +551,14 @@ mod tests {
         assert_eq!(err.code, ErrorCode::UnknownOp);
         let err = parse_request("{\"v\":1,\"op\":\"slowlog\"}").expect_err("rejects");
         assert_eq!(err.code, ErrorCode::UnknownOp);
+        let err = parse_request(
+            "{\"v\":1,\"op\":\"shard_run\",\"graph\":\"g\",\"spec\":\"tr\",\
+             \"shard\":0,\"shards\":2}",
+        )
+        .expect_err("rejects");
+        assert_eq!(err.code, ErrorCode::UnknownOp);
+        let err = parse_request("{\"v\":1,\"op\":\"federation\"}").expect_err("rejects");
+        assert_eq!(err.code, ErrorCode::UnknownOp);
     }
 
     #[test]
@@ -510,6 +583,17 @@ mod tests {
                 ErrorCode::BadRequest,
             ),
             ("{\"op\":\"ping\",\"token\":7}", ErrorCode::BadRequest),
+            ("{\"op\":\"shard_run\",\"graph\":\"g\",\"spec\":\"tr\"}", ErrorCode::BadRequest),
+            (
+                "{\"op\":\"shard_run\",\"graph\":\"g\",\"spec\":\"tr\",\
+                 \"shard\":3,\"shards\":2}",
+                ErrorCode::BadRequest,
+            ),
+            (
+                "{\"op\":\"shard_run\",\"graph\":\"g\",\"spec\":\"tr\",\
+                 \"shard\":0,\"shards\":0}",
+                ErrorCode::BadRequest,
+            ),
         ];
         for (line, code) in cases {
             let err = parse_request(line).expect_err(line);

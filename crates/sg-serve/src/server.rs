@@ -21,6 +21,7 @@
 //! per-peer byte quotas on catalog and cache footprint, and chunked
 //! digest-verified graph upload with disconnect reaping.
 
+use crate::fed::{self, FedConfig};
 use crate::json::Json;
 use crate::net::{Listener, Stream, UNIX_PREFIX};
 use crate::pool::ConnQueue;
@@ -32,7 +33,10 @@ use crate::slowlog::{SlowLog, SlowRecord, DEFAULT_SLOWLOG_CAPACITY, DEFAULT_SLOW
 use crate::upload::UploadRegistry;
 use crate::{b64, quota::QuotaBook};
 use sg_algos::{cc, pagerank, tc};
-use sg_core::{GraphCatalog, PipelineSpec, SchemeRegistry, SessionRun, SgSession, StageCache};
+use sg_core::{
+    GraphCatalog, PipelineSpec, SchemeParams, SchemeRegistry, SessionRun, SgSession, StageCache,
+    StageOutcome, StageReport,
+};
 use sg_graph::CsrGraph;
 use std::io::{Read, Write};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -90,6 +94,12 @@ pub struct ServeConfig {
     pub slow_ms: u64,
     /// Slow-request records retained (newest kept when full).
     pub slowlog_capacity: usize,
+    /// When set, this daemon is a federation *coordinator*: federable
+    /// single-stage `compress`/`analyze` requests fan out to the
+    /// configured worker daemons as `shard_run` sub-requests (see
+    /// [`crate::fed`]). `None` — the default — makes a plain
+    /// standalone/worker daemon.
+    pub federation: Option<FedConfig>,
 }
 
 impl Default for ServeConfig {
@@ -109,6 +119,7 @@ impl Default for ServeConfig {
             retry_after_ms: 200,
             slow_ms: DEFAULT_SLOW_MS,
             slowlog_capacity: DEFAULT_SLOWLOG_CAPACITY,
+            federation: None,
         }
     }
 }
@@ -243,6 +254,7 @@ struct ServeState {
     max_frame_bytes: usize,
     retry_after_ms: u64,
     workers: usize,
+    fed: Option<FedConfig>,
 }
 
 impl ServeState {
@@ -293,6 +305,12 @@ impl Server {
                 format!("refusing non-loopback bind {} without a token (set --token)", cfg.listen),
             ));
         }
+        if cfg.federation.as_ref().is_some_and(|f| f.workers.is_empty()) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "coordinator mode needs at least one worker address (set --worker-addr)",
+            ));
+        }
         let listener = Listener::bind(&cfg.listen)?;
         let addr = listener.local_addr()?;
         let session = SgSession::with_cache(
@@ -321,6 +339,7 @@ impl Server {
                 max_frame_bytes: cfg.max_frame_bytes.max(1024),
                 retry_after_ms: cfg.retry_after_ms,
                 workers: cfg.workers.max(1),
+                fed: cfg.federation.clone(),
             }),
         })
     }
@@ -613,9 +632,15 @@ struct RespondMeta {
 fn request_graph(request: &Request) -> Option<&str> {
     match request {
         Request::Load { name, .. } | Request::Upload { name, .. } => Some(name),
-        Request::Compress { graph, .. } | Request::Analyze { graph, .. } => Some(graph),
+        Request::Compress { graph, .. }
+        | Request::Analyze { graph, .. }
+        | Request::ShardRun { graph, .. } => Some(graph),
         Request::Stats { graph } | Request::Evict { graph, .. } => graph.as_deref(),
-        Request::Ping | Request::Metrics | Request::Slowlog | Request::Shutdown => None,
+        Request::Ping
+        | Request::Metrics
+        | Request::Slowlog
+        | Request::Federation
+        | Request::Shutdown => None,
     }
 }
 
@@ -685,6 +710,8 @@ fn op_name(request: &Request) -> &'static str {
         Request::Upload { .. } => "upload",
         Request::Compress { .. } => "compress",
         Request::Analyze { .. } => "analyze",
+        Request::ShardRun { .. } => "shard_run",
+        Request::Federation => "federation",
         Request::Stats { .. } => "stats",
         Request::Metrics => "metrics",
         Request::Slowlog => "slowlog",
@@ -759,19 +786,22 @@ fn dispatch(
         }
         Request::Upload { name, phase } => dispatch_upload(state, ctx, &name, phase, version, id),
         Request::Compress { graph, spec, seed, output, output_format } => {
-            let run = run_pipeline(state, ctx, &graph, &spec, seed)?;
+            let (run, federation) = run_or_federate(state, ctx, &graph, &spec, seed)?;
             let mut response = run_response(ok_response(version, id), &run);
             if let Some(path) = output {
                 sg_core::catalog::save_graph(&run.graph, &path, output_format.as_deref())
                     .map_err(|e| ProtoError::new(ErrorCode::Io, e))?;
                 response = response.with("output", Json::str(path));
             }
+            if let Some(block) = federation {
+                response = response.with("federation", block);
+            }
             Ok(response)
         }
         Request::Analyze { graph, spec, seed } => {
             let handle =
                 state.session.catalog().get(&graph).ok_or_else(|| unknown_graph(&graph))?;
-            let run = run_pipeline(state, ctx, &graph, &spec, seed)?;
+            let (run, federation) = run_or_federate(state, ctx, &graph, &spec, seed)?;
             let original = handle.graph();
             let compressed = run.graph.as_ref();
             let mut metrics = Json::obj()
@@ -805,8 +835,17 @@ fn dispatch(
                 metrics =
                     metrics.with("pagerank_kl", Json::Null).with("bfs_critical_kept", Json::Null);
             }
-            Ok(run_response(ok_response(version, id), &run).with("metrics", metrics))
+            let mut response =
+                run_response(ok_response(version, id), &run).with("metrics", metrics);
+            if let Some(block) = federation {
+                response = response.with("federation", block);
+            }
+            Ok(response)
         }
+        Request::ShardRun { graph, spec, seed, shard, shards } => {
+            dispatch_shard_run(state, &graph, &spec, seed, shard, shards, version, id)
+        }
+        Request::Federation => Ok(federation_status(state, version, id)),
         Request::Stats { graph: Some(name) } => {
             let handle = state.session.catalog().get(&name).ok_or_else(|| unknown_graph(&name))?;
             let g = handle.graph();
@@ -1116,6 +1155,209 @@ fn run_pipeline(
         .sum();
     state.quotas.charge_cache(&ctx.peer, executed_bytes);
     Ok(run)
+}
+
+/// How a coordinator decided to serve one compress/analyze request.
+enum FedOutcome {
+    /// Served by the worker fleet; carries the synthesized run and the
+    /// `federation` response block.
+    Run(Box<SessionRun>, Json),
+    /// Not federable; carries the reason for the `federation` block of
+    /// the coordinator-local run.
+    Local(String),
+}
+
+/// Runs a compress/analyze request locally or — on a coordinator, when
+/// the plan is federable — across the worker fleet. The second element
+/// is the response's `federation` block: `None` on a plain daemon,
+/// `{"mode":"federated",…}` or `{"mode":"local","reason":…}` on a
+/// coordinator.
+fn run_or_federate(
+    state: &ServeState,
+    ctx: &ConnCtx,
+    graph: &str,
+    spec: &str,
+    seed: u64,
+) -> Result<(SessionRun, Option<Json>), ProtoError> {
+    let Some(cfg) = &state.fed else {
+        return Ok((run_pipeline(state, ctx, graph, spec, seed)?, None));
+    };
+    match federated_run(state, cfg, graph, spec, seed)? {
+        FedOutcome::Run(run, block) => Ok((*run, Some(block))),
+        FedOutcome::Local(reason) => {
+            state.metrics.registry.counter("fed.local_fallbacks").inc();
+            let run = run_pipeline(state, ctx, graph, spec, seed)?;
+            Ok((run, Some(fed::local_block(&reason))))
+        }
+    }
+}
+
+/// The coordinator path: classify the spec, fan `shard_run` requests out
+/// to the workers, verify replica digests, and merge the shard outcomes
+/// into a [`SessionRun`] shaped exactly like a local one (so
+/// [`run_response`] emits the same contract fields, `checksum`
+/// included). Returns [`FedOutcome::Local`] for plans that need
+/// cross-shard state (multi-stage chains, Edge-Once disciplines, global
+/// rewrites) — those run on the coordinator itself.
+fn federated_run(
+    state: &ServeState,
+    cfg: &FedConfig,
+    graph: &str,
+    spec: &str,
+    seed: u64,
+) -> Result<FedOutcome, ProtoError> {
+    let parsed = PipelineSpec::parse(spec).map_err(|e| ProtoError::new(ErrorCode::BadSpec, e))?;
+    let resolved = parsed
+        .resolve(state.session.registry(), &SchemeParams::from_pairs(&[]))
+        .map_err(|e| ProtoError::new(ErrorCode::BadSpec, e))?;
+    if resolved.stages.len() != 1 {
+        return Ok(FedOutcome::Local(format!(
+            "only single-stage specs federate; this chain has {} stages",
+            resolved.stages.len()
+        )));
+    }
+    let handle = state.session.catalog().get(graph).ok_or_else(|| unknown_graph(graph))?;
+    let stage = &resolved.stages[0];
+    let scheme = state
+        .session
+        .registry()
+        .create(&stage.name, &stage.params)
+        .map_err(|e| ProtoError::new(ErrorCode::BadSpec, e))?;
+    if let Err(e) = sg_dist::federation_plan(handle.graph(), scheme.as_ref()) {
+        return Ok(FedOutcome::Local(e.to_string()));
+    }
+    state.metrics.registry.counter("fed.requests").inc();
+    let input = handle.graph();
+    let local_checksum = format!("{:016x}", graph_digest(input));
+    let trace_id = sg_obs::trace::current_trace_id().map(|id| id.to_string()).unwrap_or_default();
+    let started = Instant::now();
+    let _span = sg_obs::span!("fed.run", graph = graph, shards = cfg.workers.len());
+    let reports = fed::fan_out(&fed::FanOut {
+        cfg,
+        registry: &state.metrics.registry,
+        graph,
+        source: handle.source(),
+        local_checksum: &local_checksum,
+        spec: &resolved.render(),
+        seed,
+        trace_id: &trace_id,
+    })?;
+    let (merged, mapping) = fed::merge_reports(input, &reports);
+    let block = fed::federation_block(&reports);
+    let merged = Arc::new(merged);
+    // Synthesize the one-stage run a local execution would have produced
+    // (pipelines are pure in `(graph, spec, seed)` and
+    // `Pipeline::stage_seed(seed, 0) == seed`, so the merged graph IS the
+    // local stage output — dist_equivalence pins that bit-identity).
+    let run = SessionRun {
+        graph: Arc::clone(&merged),
+        vertex_mapping: mapping.map(Arc::new),
+        original_vertices: input.num_vertices(),
+        original_edges: input.num_edges(),
+        stages: vec![StageOutcome {
+            report: StageReport {
+                name: scheme.name().to_string(),
+                label: scheme.label(),
+                input_vertices: input.num_vertices(),
+                input_edges: input.num_edges(),
+                output_vertices: merged.num_vertices(),
+                output_edges: merged.num_edges(),
+                elapsed: started.elapsed(),
+            },
+            cached: false,
+            graph: Some(merged),
+        }],
+    };
+    Ok(FedOutcome::Run(Box::new(run), block))
+}
+
+/// The worker side of federation: compute one shard of a single-stage
+/// spec against the local replica and return the deletion/removal id
+/// list plus the replica's digest (the coordinator refuses to merge
+/// shards whose digests disagree with its own copy).
+#[allow(clippy::too_many_arguments)]
+fn dispatch_shard_run(
+    state: &ServeState,
+    graph: &str,
+    spec: &str,
+    seed: u64,
+    shard: usize,
+    shards: usize,
+    version: u64,
+    id: Option<&Json>,
+) -> Result<Json, ProtoError> {
+    let handle = state.session.catalog().get(graph).ok_or_else(|| unknown_graph(graph))?;
+    let parsed = PipelineSpec::parse(spec).map_err(|e| ProtoError::new(ErrorCode::BadSpec, e))?;
+    let resolved = parsed
+        .resolve(state.session.registry(), &SchemeParams::from_pairs(&[]))
+        .map_err(|e| ProtoError::new(ErrorCode::BadSpec, e))?;
+    if resolved.stages.len() != 1 {
+        return Err(ProtoError::new(
+            ErrorCode::BadSpec,
+            format!("shard_run takes a single-stage spec, got {} stages", resolved.stages.len()),
+        ));
+    }
+    let stage = &resolved.stages[0];
+    let scheme = state
+        .session
+        .registry()
+        .create(&stage.name, &stage.params)
+        .map_err(|e| ProtoError::new(ErrorCode::BadSpec, e))?;
+    let g = handle.graph();
+    let started = Instant::now();
+    let outcome =
+        sg_dist::shard_compress(g, scheme.as_ref(), shard, shards, seed).map_err(|e| match e {
+            sg_dist::DistError::InvalidShard { .. } | sg_dist::DistError::InvalidRanks { .. } => {
+                ProtoError::new(ErrorCode::BadRequest, e.to_string())
+            }
+            other => ProtoError::new(ErrorCode::BadSpec, other.to_string()),
+        })?;
+    let (kind, ids): (&str, Vec<Json>) = match outcome {
+        sg_dist::ShardOutcome::Edges(edges) => {
+            ("edges", edges.into_iter().map(|e| Json::u64(e as u64)).collect())
+        }
+        sg_dist::ShardOutcome::Vertices(vertices) => {
+            ("vertices", vertices.into_iter().map(|v| Json::u64(u64::from(v))).collect())
+        }
+    };
+    Ok(ok_response(version, id)
+        .with("graph", Json::str(graph))
+        .with("kind", Json::str(kind))
+        .with("count", Json::u64(ids.len() as u64))
+        .with("ids", Json::Arr(ids))
+        .with("shard", Json::u64(shard as u64))
+        .with("shards", Json::u64(shards as u64))
+        .with("checksum", Json::str(format!("{:016x}", graph_digest(g))))
+        .with("ms", Json::f64(started.elapsed().as_secs_f64() * 1e3)))
+}
+
+/// The `federation` status op: topology + live worker reachability on a
+/// coordinator, `{"mode":"standalone"}` elsewhere.
+fn federation_status(state: &ServeState, version: u64, id: Option<&Json>) -> Json {
+    let Some(cfg) = &state.fed else {
+        return ok_response(version, id)
+            .with("federation", Json::obj().with("mode", Json::str("standalone")));
+    };
+    let probe_timeout = Duration::from_millis(cfg.timeout_ms.clamp(1, 2_000));
+    let workers: Vec<Json> = cfg
+        .workers
+        .iter()
+        .map(|addr| {
+            Json::obj().with("addr", Json::str(addr.clone())).with(
+                "reachable",
+                Json::Bool(fed::probe_worker(addr, probe_timeout, cfg.token.as_deref())),
+            )
+        })
+        .collect();
+    ok_response(version, id).with(
+        "federation",
+        Json::obj()
+            .with("mode", Json::str("coordinator"))
+            .with("shards", Json::u64(cfg.workers.len() as u64))
+            .with("retries", Json::u64(cfg.retries as u64))
+            .with("timeout_ms", Json::u64(cfg.timeout_ms))
+            .with("workers", Json::Arr(workers)),
+    )
 }
 
 /// Appends the shared compress/analyze result fields: output shape,

@@ -1,0 +1,144 @@
+//! Sharded-vs-local bit-identity sweep — the determinism contract of the
+//! sharded subsystem (ISSUE 10 acceptance).
+//!
+//! Every supported scheme class (edge, triangle — plain and both stateful
+//! Edge-Once disciplines plus max-weight — and vertex) must produce a graph
+//! bit-identical to the shared-memory `scheme.apply(g, seed)` at ranks ∈
+//! {1, 2, 4}. CI runs the whole suite at SG_THREADS ∈ {1, 4}, closing the
+//! ranks × threads matrix.
+
+use sg_core::{SchemeParams, SchemeRegistry};
+use sg_dist::{
+    apply_edge_deletions, apply_vertex_removals, distributed_compress, shard_compress, ShardOutcome,
+};
+use sg_graph::generators;
+use sg_graph::{CsrGraph, EdgeId, VertexId};
+
+/// A graph with enough planted triangles that every TR discipline has real
+/// work (overlapping triangles force the reservation protocol through
+/// multiple supersteps).
+fn triangle_rich() -> CsrGraph {
+    generators::planted_triangles(&generators::erdos_renyi(900, 2200, 11), 1800, 12)
+}
+
+/// Every scheme with a sharded plan, with the params the sweep uses.
+fn sharded_schemes() -> Vec<(&'static str, SchemeParams)> {
+    let p = SchemeParams::from_pairs(&[("p", "0.6")]);
+    vec![
+        ("uniform", p.clone()),
+        ("cut", SchemeParams::from_pairs(&[("k", "3")])),
+        ("tr", p.clone()),
+        ("tr-eo", p.clone()),
+        ("tr-ct", p.clone()),
+        ("tr-mw", p.clone()),
+        ("lowdeg", SchemeParams::from_pairs(&[])),
+    ]
+}
+
+#[test]
+fn sharded_runs_are_bit_identical_to_local_at_every_rank_count() {
+    let g = triangle_rich();
+    let registry = SchemeRegistry::with_defaults();
+    for (name, params) in sharded_schemes() {
+        let scheme = registry.create(name, &params).expect("registered");
+        let shared = scheme.apply(&g, 45);
+        for ranks in [1, 2, 4] {
+            let dist = distributed_compress(&g, scheme.as_ref(), ranks, 45)
+                .unwrap_or_else(|e| panic!("{name} at ranks={ranks}: {e}"));
+            assert_eq!(
+                dist.result.graph.edge_slice(),
+                shared.graph.edge_slice(),
+                "{name} at ranks={ranks}: sharded edges diverge from scheme.apply"
+            );
+            assert_eq!(
+                dist.result.graph.num_vertices(),
+                shared.graph.num_vertices(),
+                "{name} at ranks={ranks}"
+            );
+            assert_eq!(
+                dist.result.vertex_mapping, shared.vertex_mapping,
+                "{name} at ranks={ranks}: vertex mappings diverge"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_runs_are_seed_sensitive_but_rank_insensitive() {
+    // Changing the seed must change the result (the schemes really sample);
+    // changing the rank count must not.
+    let g = triangle_rich();
+    let registry = SchemeRegistry::with_defaults();
+    let scheme =
+        registry.create("tr-eo", &SchemeParams::from_pairs(&[("p", "0.7")])).expect("registered");
+    let a = distributed_compress(&g, scheme.as_ref(), 2, 1).expect("runs");
+    let b = distributed_compress(&g, scheme.as_ref(), 4, 1).expect("runs");
+    let c = distributed_compress(&g, scheme.as_ref(), 2, 2).expect("runs");
+    assert_eq!(a.result.graph.edge_slice(), b.result.graph.edge_slice());
+    assert_ne!(a.result.graph.edge_slice(), c.result.graph.edge_slice());
+}
+
+#[test]
+fn rank_stats_account_for_the_whole_graph() {
+    let g = triangle_rich();
+    let registry = SchemeRegistry::with_defaults();
+    for (name, params) in sharded_schemes() {
+        let scheme = registry.create(name, &params).expect("registered");
+        let dist = distributed_compress(&g, scheme.as_ref(), 4, 45).expect("runs");
+        let owned_edges: usize = dist.ranks.iter().map(|r| r.owned_edges).sum();
+        assert_eq!(owned_edges, g.num_edges(), "{name}: ranks must own every edge once");
+        if dist.result.vertex_mapping.is_none() {
+            // Edge-deleting paths: kept edges per rank sum to the result.
+            let kept: usize = dist.ranks.iter().map(|r| r.kept_edges).sum();
+            assert_eq!(kept, dist.result.graph.num_edges(), "{name}");
+        }
+        // Stateful disciplines exchange messages; stateless paths at least
+        // send their gather messages.
+        assert!(dist.total_messages() >= 1, "{name}");
+        assert!(dist.max_supersteps() >= 1, "{name}");
+    }
+}
+
+#[test]
+fn federation_shards_union_to_the_local_result() {
+    // The coordinator's merge contract: for every federable scheme the
+    // union of per-shard outcomes applied to a replica equals scheme.apply.
+    let g = triangle_rich();
+    let registry = SchemeRegistry::with_defaults();
+    let federable = [
+        ("uniform", SchemeParams::from_pairs(&[("p", "0.6")])),
+        ("cut", SchemeParams::from_pairs(&[("k", "3")])),
+        ("tr", SchemeParams::from_pairs(&[("p", "0.6")])),
+        ("lowdeg", SchemeParams::from_pairs(&[])),
+    ];
+    for (name, params) in federable {
+        let scheme = registry.create(name, &params).expect("registered");
+        let shared = scheme.apply(&g, 83);
+        for shards in [1, 2, 4] {
+            let mut edges: Vec<EdgeId> = Vec::new();
+            let mut vertices: Vec<VertexId> = Vec::new();
+            for shard in 0..shards {
+                match shard_compress(&g, scheme.as_ref(), shard, shards, 83)
+                    .unwrap_or_else(|e| panic!("{name} shard {shard}/{shards}: {e}"))
+                {
+                    ShardOutcome::Edges(d) => edges.extend(d),
+                    ShardOutcome::Vertices(v) => vertices.extend(v),
+                }
+            }
+            if vertices.is_empty() {
+                edges.sort_unstable();
+                edges.dedup();
+                let merged = apply_edge_deletions(&g, &edges);
+                assert_eq!(
+                    merged.edge_slice(),
+                    shared.graph.edge_slice(),
+                    "{name} at shards={shards}"
+                );
+            } else {
+                let (merged, mapping) = apply_vertex_removals(&g, &vertices);
+                assert_eq!(merged.edge_slice(), shared.graph.edge_slice(), "{name}");
+                assert_eq!(Some(mapping), shared.vertex_mapping, "{name}");
+            }
+        }
+    }
+}

@@ -33,32 +33,37 @@ fn distributed_spectral_kernel_runs() {
 }
 
 #[test]
-fn registry_schemes_shard_when_edge_shaped() {
+fn registry_schemes_shard_through_their_plans() {
     // The distributed backend resolves schemes through the same registry as
-    // everything else: edge-kernel schemes shard and match shared memory
-    // bit-for-bit; kernel classes with shared state are rejected.
+    // everything else. Edge-kernel schemes shard embarrassingly parallel;
+    // triangle and vertex classes run the sharded executors; only global
+    // rewrites are rejected — with a typed, stable-coded error.
     let g = generators::rmat_graph500(11, 8, 30);
     let registry = SchemeRegistry::with_defaults();
     let params = SchemeParams::from_pairs(&[("p", "0.35"), ("k", "2")]);
-    for name in ["uniform", "cut"] {
+    for name in ["uniform", "cut", "tr", "lowdeg"] {
         let scheme = registry.create(name, &params).expect("registered");
         let shared = scheme.apply(&g, 77);
         for ranks in [1, 4, 9] {
             let dist = distributed_compress(&g, scheme.as_ref(), ranks, 77)
-                .expect("edge-kernel scheme shards");
+                .expect("scheme has a sharded plan");
             assert_eq!(
                 dist.result.graph.edge_slice(),
                 shared.graph.edge_slice(),
                 "{name} at ranks={ranks}"
             );
+            assert_eq!(
+                dist.result.vertex_mapping, shared.vertex_mapping,
+                "{name} at ranks={ranks}"
+            );
         }
     }
-    for name in ["tr", "lowdeg", "spanner", "summary", "collapse"] {
+    for name in ["spanner", "summary", "collapse"] {
         let scheme = registry.create(name, &params).expect("registered");
-        assert!(
-            distributed_compress(&g, scheme.as_ref(), 4, 77).is_err(),
-            "{name} should report no distributed form"
-        );
+        let err = distributed_compress(&g, scheme.as_ref(), 4, 77)
+            .err()
+            .unwrap_or_else(|| panic!("{name} should report no distributed form"));
+        assert_eq!(err.code(), "dist-unsupported", "{name}");
     }
 }
 
